@@ -1,0 +1,160 @@
+//! The GPU parameter-server baseline of §VI-E (Fig 16/17).
+//!
+//! The paper's comparison system is up to four A100 GPUs with a CPU
+//! parameter server. Two regimes matter:
+//!
+//! * **HBM-resident** — small deployments fit the embedding tables in
+//!   GPU memory, so SLS runs at HBM bandwidth and "for smaller models
+//!   (RMC1), GPU provides better throughput";
+//! * **parameter-server** — once the deployment outgrows aggregate HBM
+//!   (the paper's production context replicates Table I's tables many
+//!   hundreds of times), every sample's rows are gathered on the CPU
+//!   parameter server, whose memory bandwidth saturates — "when memory
+//!   bandwidth on the parameter server becomes the bottleneck throughput
+//!   drops".
+
+use dlrm::ModelConfig;
+
+/// How many Table I table-sets a production deployment carries
+/// (industrial DLRMs serve hundreds of tables; Table I lists one
+/// representative set of 8).
+pub const DEPLOYMENT_REPLICATION: u64 = 256;
+
+/// Usable HBM per A100 after activations/overheads, bytes.
+const HBM_USABLE: u64 = 76 * (1 << 30);
+
+/// An analytical GPU + parameter-server deployment.
+#[derive(Debug, Clone)]
+pub struct GpuParameterServer {
+    /// Number of A100 GPUs.
+    pub n_gpus: u32,
+    /// Parameter-server effective gather bandwidth, GB/s.
+    pub ps_gather_gbps: f64,
+    /// Per-GPU effective HBM bandwidth for sparse gathers, GB/s.
+    pub hbm_gather_gbps: f64,
+}
+
+impl GpuParameterServer {
+    /// A deployment with `n_gpus` A100s behind one EPYC parameter
+    /// server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_gpus` is zero.
+    pub fn new(n_gpus: u32) -> Self {
+        assert!(n_gpus > 0, "need at least one GPU");
+        GpuParameterServer {
+            n_gpus,
+            // 12 channels DDR5 ≈ 460 GB/s peak; random row gathers plus
+            // the NIC/RDMA handoff to the GPUs land near a quarter of
+            // peak.
+            ps_gather_gbps: 460.0 * 0.25,
+            // HBM2e ≈ 1935 GB/s peak; sparse gathers reach about half.
+            hbm_gather_gbps: 1935.0 * 0.5,
+        }
+    }
+
+    /// Full deployment footprint of `model`'s embeddings, bytes.
+    pub fn deployment_bytes(model: &ModelConfig) -> u64 {
+        model.embedding_bytes() * DEPLOYMENT_REPLICATION
+    }
+
+    /// `true` when the deployment fits in this cluster's aggregate HBM
+    /// (tables sharded across GPUs).
+    pub fn hbm_resident(&self, model: &ModelConfig) -> bool {
+        Self::deployment_bytes(model) <= self.n_gpus as u64 * HBM_USABLE
+    }
+
+    /// Sustained embedding-serving throughput in samples per
+    /// microsecond. §VI-E evaluates "the performance of the parameter
+    /// server", i.e. the SLS-serving stage — the dense stages run
+    /// pipelined on separate hardware in both systems.
+    pub fn throughput_samples_per_us(&self, model: &ModelConfig) -> f64 {
+        let sls_bytes = model.sls_bytes_per_sample() as f64;
+        let sls_rate = if self.hbm_resident(model) {
+            self.n_gpus as f64 * self.hbm_gather_gbps / sls_bytes
+        } else {
+            // Every sample's rows funnel through the one parameter
+            // server regardless of GPU count.
+            self.ps_gather_gbps / sls_bytes
+        };
+        sls_rate * 1000.0
+    }
+
+    /// Total board power in watts (Table III: 300 W per A100 plus the
+    /// 360 W server CPU).
+    pub fn power_w(&self) -> f64 {
+        360.0 + 300.0 * self.n_gpus as f64
+    }
+}
+
+/// PIFS-Rec's embedding-serving throughput for the same workload: SLS
+/// at the fabric's effective rate.
+pub fn pifs_throughput_samples_per_us(model: &ModelConfig, sls_gbps: f64) -> f64 {
+    sls_gbps / model.sls_bytes_per_sample() as f64 * 1000.0
+}
+
+/// Effective SLS bandwidth of the default 8-device PIFS-Rec fabric:
+/// bounded by aggregate DDR4 expander bandwidth less fabric overheads,
+/// with the hot fraction served from local DRAM.
+pub const PIFS_EFFECTIVE_SLS_GBPS: f64 = 190.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_models_are_hbm_resident_large_are_not() {
+        let four = GpuParameterServer::new(4);
+        assert!(four.hbm_resident(&ModelConfig::rmc1()));
+        assert!(four.hbm_resident(&ModelConfig::rmc2()));
+        assert!(!four.hbm_resident(&ModelConfig::rmc3()));
+        assert!(!four.hbm_resident(&ModelConfig::rmc4()));
+    }
+
+    #[test]
+    fn gpu_wins_small_models() {
+        let m = ModelConfig::rmc1();
+        let gpu = GpuParameterServer::new(4).throughput_samples_per_us(&m);
+        let pifs = pifs_throughput_samples_per_us(&m, PIFS_EFFECTIVE_SLS_GBPS);
+        assert!(gpu > pifs * 2.0, "gpu={gpu:.1} pifs={pifs:.1}");
+    }
+
+    #[test]
+    fn pifs_wins_the_largest_model() {
+        // Fig 17: PIFS-Rec "outperforms a 4-GPU cluster by 1.6×" on the
+        // biggest model, where the parameter server is bandwidth-bound.
+        let m = ModelConfig::rmc4();
+        let gpu = GpuParameterServer::new(4).throughput_samples_per_us(&m);
+        let pifs = pifs_throughput_samples_per_us(&m, PIFS_EFFECTIVE_SLS_GBPS);
+        let ratio = pifs / gpu;
+        assert!(ratio > 1.2, "ratio={ratio:.2}");
+        assert!(ratio < 2.5, "ratio={ratio:.2} should stay near the paper's 1.6×");
+    }
+
+    #[test]
+    fn more_gpus_help_until_the_ps_saturates() {
+        let m = ModelConfig::rmc4();
+        let t1 = GpuParameterServer::new(1).throughput_samples_per_us(&m);
+        let t4 = GpuParameterServer::new(4).throughput_samples_per_us(&m);
+        // RMC4 is PS-bound: extra GPUs buy nothing.
+        assert!((t4 - t1).abs() < 1e-9, "t1={t1} t4={t4}");
+        // RMC1 is HBM-resident: extra GPUs scale throughput.
+        let s = ModelConfig::rmc1();
+        let s1 = GpuParameterServer::new(1).throughput_samples_per_us(&s);
+        let s4 = GpuParameterServer::new(4).throughput_samples_per_us(&s);
+        assert!(s4 > s1 * 2.0, "s1={s1} s4={s4}");
+    }
+
+    #[test]
+    fn power_scales_with_gpu_count() {
+        assert_eq!(GpuParameterServer::new(1).power_w(), 660.0);
+        assert_eq!(GpuParameterServer::new(4).power_w(), 1560.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GPU")]
+    fn zero_gpus_rejected() {
+        let _ = GpuParameterServer::new(0);
+    }
+}

@@ -1,0 +1,13 @@
+//! `baselines` — the comparison systems of §VI-B.
+//!
+//! Pond, Pond+PM, BEACON-S and RecNMP are configurations of the shared
+//! [`pifs_core::system::SlsSystem`] (same substrates, different compute
+//! placement and management), exposed here as a [`Scheme`] registry so
+//! harnesses can sweep them uniformly. The GPU parameter-server used in
+//! Fig 16/17 is an analytical roofline model in [`gpu`].
+
+pub mod gpu;
+pub mod schemes;
+
+pub use gpu::GpuParameterServer;
+pub use schemes::Scheme;

@@ -1,0 +1,119 @@
+//! The scheme registry: one entry per system in Fig 12's legend.
+
+use dlrm::ModelConfig;
+use pifs_core::system::SystemConfig;
+
+/// A named evaluation scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// CXL pooling, host compute, no management (the Fig 12 baseline).
+    Pond,
+    /// Pond plus this paper's page management.
+    PondPm,
+    /// BEACON adapted to SLS (in-switch compute, CXL-only, in-order).
+    Beacon,
+    /// DIMM-side near-memory processing with a fixed local pool.
+    RecNmp,
+    /// The paper's full system.
+    PifsRec,
+}
+
+impl Scheme {
+    /// Every scheme in the paper's plotting order.
+    pub fn all() -> [Scheme; 5] {
+        [
+            Scheme::Pond,
+            Scheme::PondPm,
+            Scheme::Beacon,
+            Scheme::RecNmp,
+            Scheme::PifsRec,
+        ]
+    }
+
+    /// Display label matching the figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::Pond => "Pond",
+            Scheme::PondPm => "Pond+PM",
+            Scheme::Beacon => "BEACON",
+            Scheme::RecNmp => "RecNMP",
+            Scheme::PifsRec => "PIFS-Rec",
+        }
+    }
+
+    /// Builds the system configuration for `model`.
+    ///
+    /// RecNMP's fixed 128 GB local pool covers a model-dependent share of
+    /// the working set (the paper's larger models outgrow it); the scaled
+    /// fractions keep that relationship.
+    pub fn config(self, model: ModelConfig) -> SystemConfig {
+        match self {
+            Scheme::Pond => SystemConfig::pond(model),
+            Scheme::PondPm => SystemConfig::pond_pm(model),
+            Scheme::Beacon => SystemConfig::beacon(model),
+            Scheme::RecNmp => {
+                let frac = Self::recnmp_local_frac(&model);
+                SystemConfig::recnmp(model, frac)
+            }
+            Scheme::PifsRec => SystemConfig::pifs_rec(model),
+        }
+    }
+
+    /// Scaled equivalent of "a fixed amount of 128 GB local DRAM"
+    /// (§VI-B): small models fit almost entirely; RMC4 spills hardest.
+    pub fn recnmp_local_frac(model: &ModelConfig) -> f64 {
+        match model.name.as_str() {
+            "RMC1" => 0.80,
+            "RMC2" => 0.75,
+            "RMC3" => 0.70,
+            "RMC4" => 0.67,
+            _ => 0.72,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pifs_core::system::ComputeSite;
+
+    #[test]
+    fn registry_covers_all_five_schemes() {
+        let labels: Vec<&str> = Scheme::all().iter().map(|s| s.label()).collect();
+        assert_eq!(labels, ["Pond", "Pond+PM", "BEACON", "RecNMP", "PIFS-Rec"]);
+    }
+
+    #[test]
+    fn configs_differ_where_the_paper_says_they_do() {
+        let m = ModelConfig::rmc1().scaled_down(16);
+        let pond = Scheme::Pond.config(m.clone());
+        let beacon = Scheme::Beacon.config(m.clone());
+        let pifs = Scheme::PifsRec.config(m.clone());
+        let recnmp = Scheme::RecNmp.config(m.clone());
+
+        assert_eq!(pond.compute, ComputeSite::Host);
+        assert_eq!(beacon.compute, ComputeSite::Switch);
+        assert_eq!(recnmp.compute, ComputeSite::Dimm);
+        assert_eq!(pifs.compute, ComputeSite::Switch);
+
+        assert!(pond.page_mgmt.is_none());
+        assert!(pifs.page_mgmt.is_some());
+        assert!(beacon.buffer.is_none());
+        assert!(pifs.buffer.is_some());
+        assert!(!beacon.ooo);
+        assert!(pifs.ooo);
+        assert!(beacon.translation_ns > 0);
+        assert_eq!(pifs.translation_ns, 0);
+    }
+
+    #[test]
+    fn recnmp_local_share_shrinks_with_model_size() {
+        let fracs: Vec<f64> = ModelConfig::all()
+            .iter()
+            .map(Scheme::recnmp_local_frac)
+            .collect();
+        for w in fracs.windows(2) {
+            assert!(w[1] <= w[0], "local share must not grow: {fracs:?}");
+        }
+    }
+}

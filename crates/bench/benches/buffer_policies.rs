@@ -1,0 +1,31 @@
+//! Criterion bench: on-switch buffer policy overhead per access.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pifs_core::{BufferPolicy, OnSwitchBuffer};
+use simkit::DetRng;
+
+fn bench_buffer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("buffer_policies");
+    for (label, policy) in [
+        ("htr", BufferPolicy::Htr),
+        ("lru", BufferPolicy::Lru),
+        ("fifo", BufferPolicy::Fifo),
+    ] {
+        g.bench_function(label, |b| {
+            let mut buf = OnSwitchBuffer::new(policy, 512 * 1024, 256);
+            let mut rng = DetRng::new(3);
+            b.iter(|| {
+                let key = if rng.unit_f64() < 0.3 {
+                    rng.below(64)
+                } else {
+                    1000 + rng.below(100_000)
+                };
+                buf.access(black_box(key))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_buffer);
+criterion_main!(benches);

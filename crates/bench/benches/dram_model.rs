@@ -1,0 +1,36 @@
+//! Criterion bench: simulation throughput of the DDR timing model
+//! (events simulated per second, not simulated hardware speed).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use memsim::{DramConfig, DramDevice, MemOp};
+use simkit::SimTime;
+
+fn bench_dram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram_model");
+    g.bench_function("sequential_1k_lines", |b| {
+        b.iter(|| {
+            let mut dev = DramDevice::new(DramConfig::ddr5_4800_local());
+            let mut done = SimTime::ZERO;
+            for i in 0..1000u64 {
+                done = done.max(dev.access(SimTime::ZERO, black_box(i * 64), MemOp::Read));
+            }
+            done
+        })
+    });
+    g.bench_function("random_1k_lines", |b| {
+        b.iter(|| {
+            let mut dev = DramDevice::new(DramConfig::ddr4_cxl_expander());
+            let mut done = SimTime::ZERO;
+            let mut x = 9u64;
+            for _ in 0..1000 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                done = done.max(dev.access(SimTime::ZERO, black_box(x % (1 << 33)), MemOp::Read));
+            }
+            done
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dram);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench: full-system simulation throughput for each scheme
+//! (how fast the simulator itself runs one small trace).
+
+use baselines::Scheme;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dlrm::ModelConfig;
+use pifs_core::system::SlsSystem;
+use tracegen::{Distribution, TraceSpec};
+
+fn bench_e2e(c: &mut Criterion) {
+    let model = ModelConfig::rmc1().scaled_down(16);
+    let trace = TraceSpec {
+        distribution: Distribution::MetaLike { reuse_frac: 0.35, s: 1.05 },
+        n_tables: model.n_tables,
+        rows_per_table: model.emb_num,
+        batch_size: 16,
+        n_batches: 2,
+        bag_size: model.bag_size,
+        seed: 5,
+    }
+    .generate();
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(20);
+    for scheme in Scheme::all() {
+        g.bench_function(scheme.label(), |b| {
+            b.iter(|| {
+                let mut sys = SlsSystem::new(scheme.config(model.clone()));
+                black_box(sys.run_trace(&trace))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_e2e);
+criterion_main!(benches);

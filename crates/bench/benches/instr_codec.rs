@@ -1,0 +1,19 @@
+//! Criterion bench: bit-level encode/decode of the enhanced M2S request.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use cxlsim::M2sReq;
+
+fn bench_codec(c: &mut Criterion) {
+    let req = M2sReq::data_fetch(0x1234_5678_9ABC, 311, 8, 42);
+    let bits = req.encode();
+    let mut g = c.benchmark_group("instr_codec");
+    g.bench_function("encode", |b| b.iter(|| black_box(&req).encode()));
+    g.bench_function("decode", |b| b.iter(|| M2sReq::decode(black_box(bits)).unwrap()));
+    g.bench_function("repack", |b| {
+        b.iter(|| black_box(&req).repack_for_device(500, 7))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

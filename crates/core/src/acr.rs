@@ -1,0 +1,288 @@
+//! Accumulate Configuration Register and accumulate logic (§IV-A3).
+//!
+//! A `Configuration` instruction opens an *accumulation cluster*: it
+//! carries the cluster's `sumtag`, its `SumCandidateCount` (how many row
+//! vectors will arrive) and the host address reserved for the result.
+//! Each arriving row decrements the counter; at zero the accumulated
+//! vector ships back to the host over CXL.cache {D2H}. The ACR has
+//! finite capacity — when `CapacityCounter` hits the limit the switch
+//! back-pressures upstream modules.
+
+use std::collections::HashMap;
+
+/// Globally unique cluster identity. The 9-bit wire `sumtag` is an index
+/// into the ACR; the simulation widens it so concurrently live clusters
+/// from many hosts/batches stay distinct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClusterId(pub u64);
+
+/// A finished accumulation ready to return to its host.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletedCluster {
+    /// The cluster.
+    pub id: ClusterId,
+    /// Host memory address reserved for the result.
+    pub result_addr: u64,
+    /// The accumulated vector (arrival-order FP32 folds, as the hardware
+    /// adder would produce).
+    pub acc: Vec<f32>,
+}
+
+#[derive(Debug, Clone)]
+struct Cluster {
+    result_addr: u64,
+    remaining: u32,
+    acc: Vec<f32>,
+}
+
+/// The ACR array plus accumulate logic.
+///
+/// # Examples
+///
+/// ```
+/// use pifs_core::{AccumulateLogic, ClusterId};
+///
+/// let mut acr = AccumulateLogic::new(16);
+/// acr.configure(ClusterId(1), 2, 0xF000, 4).unwrap();
+/// assert!(acr.on_row(ClusterId(1), &[1.0, 0.0, 0.0, 0.0], 1.0).is_none());
+/// let done = acr.on_row(ClusterId(1), &[0.5, 0.0, 0.0, 0.0], 1.0).unwrap();
+/// assert_eq!(done.acc[0], 1.5);
+/// assert_eq!(done.result_addr, 0xF000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AccumulateLogic {
+    clusters: HashMap<ClusterId, Cluster>,
+    capacity: usize,
+    backpressure_events: u64,
+    completed: u64,
+    high_water: usize,
+}
+
+impl AccumulateLogic {
+    /// Creates accumulate logic with room for `capacity` concurrent
+    /// clusters (the ACR's `Total Capacity`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ACR capacity must be positive");
+        AccumulateLogic {
+            clusters: HashMap::new(),
+            capacity,
+            backpressure_events: 0,
+            completed: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Opens a cluster expecting `candidates` rows of `dim` elements,
+    /// with the result going to `result_addr`.
+    ///
+    /// Returns `Err(())` (a backpressure event) when the ACR is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is zero, `dim` is zero, or the cluster id
+    /// is already live.
+    pub fn configure(
+        &mut self,
+        id: ClusterId,
+        candidates: u32,
+        result_addr: u64,
+        dim: u32,
+    ) -> Result<(), ()> {
+        assert!(candidates > 0, "a cluster must expect at least one row");
+        assert!(dim > 0, "vector dimension must be positive");
+        assert!(
+            !self.clusters.contains_key(&id),
+            "cluster {id:?} already configured"
+        );
+        if self.clusters.len() >= self.capacity {
+            self.backpressure_events += 1;
+            return Err(());
+        }
+        self.clusters.insert(
+            id,
+            Cluster {
+                result_addr,
+                remaining: candidates,
+                acc: vec![0.0; dim as usize],
+            },
+        );
+        self.high_water = self.high_water.max(self.clusters.len());
+        Ok(())
+    }
+
+    /// Folds one arriving row into its cluster; returns the completed
+    /// cluster when its `SumCandidateCounter` reaches zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster is unknown or the row width mismatches.
+    pub fn on_row(&mut self, id: ClusterId, row: &[f32], weight: f32) -> Option<CompletedCluster> {
+        let cluster = self
+            .clusters
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("row for unconfigured cluster {id:?}"));
+        assert_eq!(
+            cluster.acc.len(),
+            row.len(),
+            "row width must match the configured dimension"
+        );
+        for (a, &r) in cluster.acc.iter_mut().zip(row) {
+            *a += weight * r;
+        }
+        cluster.remaining -= 1;
+        if cluster.remaining == 0 {
+            let c = self.clusters.remove(&id).expect("cluster present");
+            self.completed += 1;
+            Some(CompletedCluster {
+                id,
+                result_addr: c.result_addr,
+                acc: c.acc,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Grows a live cluster's expected-row count (used by the forward
+    /// controller when sub-clusters report extra candidates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster is unknown.
+    pub fn add_candidates(&mut self, id: ClusterId, extra: u32) {
+        self.clusters
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("unknown cluster {id:?}"))
+            .remaining += extra;
+    }
+
+    /// Clusters currently live.
+    pub fn live(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Total clusters completed.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Backpressure events (configure attempts refused at capacity).
+    pub fn backpressure_events(&self) -> u64 {
+        self.backpressure_events
+    }
+
+    /// Peak simultaneous clusters.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn completes_exactly_at_zero() {
+        let mut acr = AccumulateLogic::new(4);
+        acr.configure(ClusterId(1), 3, 0, 2).unwrap();
+        assert!(acr.on_row(ClusterId(1), &[1.0, 1.0], 1.0).is_none());
+        assert!(acr.on_row(ClusterId(1), &[1.0, 1.0], 1.0).is_none());
+        let done = acr.on_row(ClusterId(1), &[1.0, 1.0], 1.0).unwrap();
+        assert_eq!(done.acc, vec![3.0, 3.0]);
+        assert_eq!(acr.live(), 0);
+        assert_eq!(acr.completed(), 1);
+    }
+
+    #[test]
+    fn weights_are_applied() {
+        let mut acr = AccumulateLogic::new(4);
+        acr.configure(ClusterId(9), 1, 0, 1).unwrap();
+        let done = acr.on_row(ClusterId(9), &[2.0], 0.25).unwrap();
+        assert_eq!(done.acc, vec![0.5]);
+    }
+
+    #[test]
+    fn capacity_backpressures() {
+        let mut acr = AccumulateLogic::new(2);
+        acr.configure(ClusterId(1), 1, 0, 1).unwrap();
+        acr.configure(ClusterId(2), 1, 0, 1).unwrap();
+        assert!(acr.configure(ClusterId(3), 1, 0, 1).is_err());
+        assert_eq!(acr.backpressure_events(), 1);
+        // Completing one frees a slot.
+        acr.on_row(ClusterId(1), &[0.0], 1.0).unwrap();
+        assert!(acr.configure(ClusterId(3), 1, 0, 1).is_ok());
+    }
+
+    #[test]
+    fn interleaved_clusters_stay_independent() {
+        let mut acr = AccumulateLogic::new(4);
+        acr.configure(ClusterId(1), 2, 0x10, 1).unwrap();
+        acr.configure(ClusterId(2), 2, 0x20, 1).unwrap();
+        assert!(acr.on_row(ClusterId(1), &[1.0], 1.0).is_none());
+        assert!(acr.on_row(ClusterId(2), &[10.0], 1.0).is_none());
+        let d2 = acr.on_row(ClusterId(2), &[10.0], 1.0).unwrap();
+        let d1 = acr.on_row(ClusterId(1), &[1.0], 1.0).unwrap();
+        assert_eq!(d1.acc, vec![2.0]);
+        assert_eq!(d2.acc, vec![20.0]);
+        assert_eq!(d1.result_addr, 0x10);
+        assert_eq!(d2.result_addr, 0x20);
+    }
+
+    #[test]
+    fn add_candidates_extends_a_live_cluster() {
+        let mut acr = AccumulateLogic::new(4);
+        acr.configure(ClusterId(1), 1, 0, 1).unwrap();
+        acr.add_candidates(ClusterId(1), 1);
+        assert!(acr.on_row(ClusterId(1), &[1.0], 1.0).is_none());
+        assert!(acr.on_row(ClusterId(1), &[1.0], 1.0).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "unconfigured cluster")]
+    fn rows_for_unknown_clusters_panic() {
+        let mut acr = AccumulateLogic::new(4);
+        let _ = acr.on_row(ClusterId(404), &[0.0], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already configured")]
+    fn double_configure_panics() {
+        let mut acr = AccumulateLogic::new(4);
+        acr.configure(ClusterId(1), 1, 0, 1).unwrap();
+        let _ = acr.configure(ClusterId(1), 1, 0, 1);
+    }
+
+    proptest! {
+        /// The counter semantics: a cluster configured for n rows
+        /// completes on exactly the n-th row, never earlier or later.
+        #[test]
+        fn prop_completion_exactly_on_nth_row(n in 1u32..64) {
+            let mut acr = AccumulateLogic::new(4);
+            acr.configure(ClusterId(0), n, 0, 1).unwrap();
+            for i in 1..=n {
+                let done = acr.on_row(ClusterId(0), &[1.0], 1.0);
+                prop_assert_eq!(done.is_some(), i == n);
+            }
+            prop_assert_eq!(acr.live(), 0);
+        }
+
+        /// Arrival-order folding equals the sequential sum for pure adds.
+        #[test]
+        fn prop_sum_matches_sequential(values in proptest::collection::vec(-100.0f32..100.0, 1..32)) {
+            let mut acr = AccumulateLogic::new(4);
+            acr.configure(ClusterId(0), values.len() as u32, 0, 1).unwrap();
+            let mut seq = 0.0f32;
+            let mut done = None;
+            for &v in &values {
+                seq += v;
+                done = acr.on_row(ClusterId(0), &[v], 1.0);
+            }
+            prop_assert_eq!(done.unwrap().acc[0], seq);
+        }
+    }
+}

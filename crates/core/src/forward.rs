@@ -1,0 +1,201 @@
+//! Multi-layer instruction forwarding across fabric switches (§IV-C).
+//!
+//! In a scaled-out fabric, a row accumulation may need rows homed on
+//! devices behind several switches. The local switch's scheduler splits
+//! the cluster into per-switch *sub-clusters*, replacing
+//! `SumCandidateCount` with each remote's `Sub-SumCandidateCount`.
+//! Remote switches with a process core (CNV = 1) accumulate their rows
+//! locally and return one partial vector; CNV = 0 switches stream raw
+//! rows back. The local forward controller merges partials and releases
+//! the final result to the host only when every sub-cluster reported.
+
+use std::collections::HashMap;
+
+use simkit::SimTime;
+
+use crate::acr::ClusterId;
+
+/// Outcome of a sub-result arriving at the forward controller.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ForwardOutcome {
+    /// More sub-clusters outstanding; keep waiting.
+    Waiting,
+    /// All sub-clusters arrived: the merged vector and the time the last
+    /// one landed.
+    Complete(Vec<f32>, SimTime),
+}
+
+#[derive(Debug, Clone)]
+struct PendingCluster {
+    expected_subs: u32,
+    received_subs: u32,
+    acc: Vec<f32>,
+    last_arrival: SimTime,
+}
+
+/// The forward controller of a local switch.
+///
+/// # Examples
+///
+/// ```
+/// use pifs_core::{ClusterId, ForwardController, ForwardOutcome};
+/// use simkit::SimTime;
+///
+/// let mut fc = ForwardController::new();
+/// fc.open(ClusterId(1), 2, 4);
+/// let o = fc.on_sub_result(ClusterId(1), &[1.0, 0.0, 0.0, 0.0], SimTime::from_ns(10));
+/// assert_eq!(o, ForwardOutcome::Waiting);
+/// let o = fc.on_sub_result(ClusterId(1), &[0.5, 0.0, 0.0, 0.0], SimTime::from_ns(20));
+/// assert!(matches!(o, ForwardOutcome::Complete(_, _)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ForwardController {
+    pending: HashMap<ClusterId, PendingCluster>,
+    merged: u64,
+}
+
+impl ForwardController {
+    /// Creates an idle controller.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a cluster expecting `expected_subs` sub-results of `dim`
+    /// elements each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster is already open or `expected_subs` is zero.
+    pub fn open(&mut self, id: ClusterId, expected_subs: u32, dim: u32) {
+        assert!(expected_subs > 0, "need at least one sub-cluster");
+        let prev = self.pending.insert(
+            id,
+            PendingCluster {
+                expected_subs,
+                received_subs: 0,
+                acc: vec![0.0; dim as usize],
+                last_arrival: SimTime::ZERO,
+            },
+        );
+        assert!(prev.is_none(), "cluster {id:?} already open");
+    }
+
+    /// Registers one sub-result (a partial accumulation from a remote
+    /// switch, or the local switch's own share).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster is unknown, over-delivers, or the width
+    /// mismatches.
+    pub fn on_sub_result(
+        &mut self,
+        id: ClusterId,
+        partial: &[f32],
+        arrival: SimTime,
+    ) -> ForwardOutcome {
+        let p = self
+            .pending
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("sub-result for unknown cluster {id:?}"));
+        assert_eq!(p.acc.len(), partial.len(), "partial width mismatch");
+        assert!(
+            p.received_subs < p.expected_subs,
+            "cluster {id:?} over-delivered"
+        );
+        for (a, &v) in p.acc.iter_mut().zip(partial) {
+            *a += v;
+        }
+        p.received_subs += 1;
+        p.last_arrival = p.last_arrival.max(arrival);
+        if p.received_subs == p.expected_subs {
+            let done = self.pending.remove(&id).expect("present");
+            self.merged += 1;
+            ForwardOutcome::Complete(done.acc, done.last_arrival)
+        } else {
+            ForwardOutcome::Waiting
+        }
+    }
+
+    /// Discards a cluster whose transfer failed ("discard the result if
+    /// errors occurred during data transfer").
+    pub fn discard(&mut self, id: ClusterId) -> bool {
+        self.pending.remove(&id).is_some()
+    }
+
+    /// Clusters awaiting sub-results.
+    pub fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Clusters fully merged so far.
+    pub fn merged(&self) -> u64 {
+        self.merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_partials_and_reports_last_arrival() {
+        let mut fc = ForwardController::new();
+        fc.open(ClusterId(1), 3, 2);
+        fc.on_sub_result(ClusterId(1), &[1.0, 2.0], SimTime::from_ns(30));
+        fc.on_sub_result(ClusterId(1), &[1.0, 2.0], SimTime::from_ns(10));
+        match fc.on_sub_result(ClusterId(1), &[1.0, 2.0], SimTime::from_ns(20)) {
+            ForwardOutcome::Complete(acc, at) => {
+                assert_eq!(acc, vec![3.0, 6.0]);
+                assert_eq!(at, SimTime::from_ns(30)); // slowest sub decides
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+        assert_eq!(fc.outstanding(), 0);
+        assert_eq!(fc.merged(), 1);
+    }
+
+    #[test]
+    fn clusters_are_independent() {
+        let mut fc = ForwardController::new();
+        fc.open(ClusterId(1), 1, 1);
+        fc.open(ClusterId(2), 2, 1);
+        assert!(matches!(
+            fc.on_sub_result(ClusterId(1), &[5.0], SimTime::ZERO),
+            ForwardOutcome::Complete(_, _)
+        ));
+        assert_eq!(
+            fc.on_sub_result(ClusterId(2), &[1.0], SimTime::ZERO),
+            ForwardOutcome::Waiting
+        );
+        assert_eq!(fc.outstanding(), 1);
+    }
+
+    #[test]
+    fn discard_drops_a_failed_cluster() {
+        let mut fc = ForwardController::new();
+        fc.open(ClusterId(9), 2, 1);
+        assert!(fc.discard(ClusterId(9)));
+        assert!(!fc.discard(ClusterId(9)));
+        assert_eq!(fc.outstanding(), 0);
+    }
+
+    #[test]
+    fn completed_cluster_id_can_be_reopened() {
+        let mut fc = ForwardController::new();
+        fc.open(ClusterId(1), 1, 1);
+        fc.on_sub_result(ClusterId(1), &[1.0], SimTime::ZERO);
+        // Wire sumtags are reused across batches; re-opening is legal.
+        fc.open(ClusterId(1), 1, 1);
+        match fc.on_sub_result(ClusterId(1), &[2.0], SimTime::ZERO) {
+            ForwardOutcome::Complete(acc, _) => assert_eq!(acc, vec![2.0]),
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown cluster")]
+    fn unknown_cluster_panics() {
+        let mut fc = ForwardController::new();
+        let _ = fc.on_sub_result(ClusterId(404), &[0.0], SimTime::ZERO);
+    }
+}

@@ -1,0 +1,139 @@
+//! Instruction Ingress Registry (§IV-A3).
+//!
+//! "When a memory fetch based instruction arrives at the PC, it is
+//! stored in Instruction Ingress Registry (IIR). New data arriving from
+//! the CXL memory to the fabric switch is indexed in the IIR, and the
+//! corresponding instruction is retrieved by comparing the address
+//! field." This module models exactly that address-keyed matching, with
+//! a bounded capacity so registry pressure is observable.
+
+use std::collections::HashMap;
+
+use cxlsim::M2sReq;
+
+/// The address-indexed registry of in-flight fetch instructions.
+///
+/// # Examples
+///
+/// ```
+/// use cxlsim::M2sReq;
+/// use pifs_core::IngressRegistry;
+///
+/// let mut iir = IngressRegistry::new(4);
+/// let req = M2sReq::data_fetch(0x40, 1, 1, 0);
+/// iir.register(req).unwrap();
+/// let matched = iir.match_return(0x40).unwrap();
+/// assert_eq!(matched.sum_tag, 1);
+/// assert!(iir.match_return(0x40).is_none()); // consumed
+/// ```
+#[derive(Debug, Clone)]
+pub struct IngressRegistry {
+    /// address → queued instructions at that address (duplicate row
+    /// fetches to one address are legal and matched FIFO).
+    pending: HashMap<u64, Vec<M2sReq>>,
+    count: usize,
+    capacity: usize,
+    high_water: usize,
+}
+
+impl IngressRegistry {
+    /// Creates a registry holding at most `capacity` in-flight entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "IIR capacity must be positive");
+        IngressRegistry {
+            pending: HashMap::new(),
+            count: 0,
+            capacity,
+            high_water: 0,
+        }
+    }
+
+    /// Registers an in-flight fetch; returns it back as `Err` when the
+    /// registry is full (upstream must stall).
+    pub fn register(&mut self, req: M2sReq) -> Result<(), M2sReq> {
+        if self.count >= self.capacity {
+            return Err(req);
+        }
+        self.pending.entry(req.address).or_default().push(req);
+        self.count += 1;
+        self.high_water = self.high_water.max(self.count);
+        Ok(())
+    }
+
+    /// Matches returning data at `address` to its oldest registered
+    /// instruction, removing it.
+    pub fn match_return(&mut self, address: u64) -> Option<M2sReq> {
+        let queue = self.pending.get_mut(&address)?;
+        let req = queue.remove(0);
+        if queue.is_empty() {
+            self.pending.remove(&address);
+        }
+        self.count -= 1;
+        Some(req)
+    }
+
+    /// Entries currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.count
+    }
+
+    /// Peak occupancy observed.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// `true` when the registry cannot accept another instruction.
+    pub fn is_full(&self) -> bool {
+        self.count >= self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_addresses_match_fifo() {
+        let mut iir = IngressRegistry::new(8);
+        let a = M2sReq::data_fetch(0x100, 1, 1, 0);
+        let b = M2sReq::data_fetch(0x100, 2, 1, 0);
+        iir.register(a).unwrap();
+        iir.register(b).unwrap();
+        assert_eq!(iir.match_return(0x100).unwrap().sum_tag, 1);
+        assert_eq!(iir.match_return(0x100).unwrap().sum_tag, 2);
+        assert!(iir.match_return(0x100).is_none());
+    }
+
+    #[test]
+    fn capacity_exerts_backpressure() {
+        let mut iir = IngressRegistry::new(1);
+        iir.register(M2sReq::data_fetch(0x0, 1, 1, 0)).unwrap();
+        assert!(iir.is_full());
+        let rejected = iir.register(M2sReq::data_fetch(0x40, 2, 1, 0));
+        assert!(rejected.is_err());
+        iir.match_return(0x0).unwrap();
+        assert!(!iir.is_full());
+    }
+
+    #[test]
+    fn unknown_address_matches_nothing() {
+        let mut iir = IngressRegistry::new(4);
+        assert!(iir.match_return(0xDEAD).is_none());
+    }
+
+    #[test]
+    fn high_water_tracks_peak_occupancy() {
+        let mut iir = IngressRegistry::new(4);
+        for i in 0..3 {
+            iir.register(M2sReq::data_fetch(i * 64, 0, 1, 0)).unwrap();
+        }
+        iir.match_return(0).unwrap();
+        iir.match_return(64).unwrap();
+        assert_eq!(iir.high_water(), 3);
+        assert_eq!(iir.in_flight(), 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! `pifs-core` — Process-In-Fabric-Switch for Recommendation systems.
+//!
+//! This crate is the paper's primary contribution: a near-data processing
+//! layer living inside the CXL fabric switch that executes DLRM
+//! SparseLengthSum (SLS) accumulations next to pooled Type 3 memory,
+//! plus the full-system simulator that evaluates it against host-compute
+//! (Pond), switch-compute-without-management (BEACON) and DIMM-compute
+//! (RecNMP) alternatives.
+//!
+//! Hardware blocks (§IV-A):
+//!
+//! * [`instrflow`] — the MemOpcode checker and instruction repacking that
+//!   let standard CXL traffic bypass the process core untouched;
+//! * [`iir`] — the Instruction Ingress Registry matching returning data
+//!   to its originating instruction by address;
+//! * [`acr`] — the Accumulate Configuration Register/Logic with
+//!   `SumCandidateCounter` completion tracking and capacity-based
+//!   backpressure;
+//! * [`ooo`] — the out-of-order accumulation engine with swap registers;
+//! * [`buffer`] — the on-switch SRAM buffer with the Hottest-Recording
+//!   (HTR) replacement policy, plus LRU/FIFO for comparison;
+//! * [`forward`] — multi-layer instruction forwarding across switches
+//!   with `Sub-SumCandidateCounter` bookkeeping and CNV discovery.
+//!
+//! The [`system`] module composes these with the substrate crates
+//! (`memsim`, `cxlsim`, `pagemgmt`, `dlrm`, `tracegen`) into a runnable
+//! end-to-end model; every figure harness in `pifs-bench` drives
+//! [`system::SlsSystem`].
+//!
+//! # Examples
+//!
+//! ```
+//! use pifs_core::system::{SlsSystem, SystemConfig};
+//! use tracegen::{Distribution, TraceSpec};
+//!
+//! let cfg = SystemConfig::pifs_rec_default();
+//! let trace = TraceSpec {
+//!     distribution: Distribution::MetaLike { reuse_frac: 0.35, s: 1.05 },
+//!     n_tables: cfg.model.n_tables,
+//!     rows_per_table: cfg.model.emb_num,
+//!     batch_size: 8,
+//!     n_batches: 2,
+//!     bag_size: cfg.model.bag_size,
+//!     seed: 1,
+//! }.generate();
+//! let metrics = SlsSystem::new(cfg).run_trace(&trace);
+//! assert!(metrics.total_ns > 0);
+//! ```
+
+pub mod acr;
+pub mod buffer;
+pub mod forward;
+pub mod iir;
+pub mod instrflow;
+pub mod ooo;
+pub mod system;
+
+pub use acr::{AccumulateLogic, ClusterId};
+pub use buffer::{BufferPolicy, OnSwitchBuffer};
+pub use forward::{ForwardController, ForwardOutcome};
+pub use iir::IngressRegistry;
+pub use instrflow::{check_memopcode, InstrRoute};
+pub use ooo::AccumEngine;
+pub use system::{ComputeSite, RunMetrics, SlsSystem, SystemConfig};

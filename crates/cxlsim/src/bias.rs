@@ -1,0 +1,131 @@
+//! The CXL coherence bias table (§II-B1).
+//!
+//! CXL's asymmetric coherence protocol tracks, per 4 KB region, whether a
+//! pooled-memory range is in *host bias* (host coherence checks on every
+//! device access) or *device bias* (region locked for the device, host
+//! accesses trapped). PIFS-Rec designates embedding-table regions as
+//! device-bias so the switch can stream rows without host round trips
+//! (§IV-A1), and flips pages back during migration (§IV-D).
+
+use std::collections::HashMap;
+
+/// Coherence mode of a 4 KB region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BiasMode {
+    /// Device accesses require host coherence control messages.
+    #[default]
+    HostBias,
+    /// Region locked for device use; no host coherence traffic.
+    DeviceBias,
+}
+
+/// A sparse bias table over 4 KB regions.
+///
+/// # Examples
+///
+/// ```
+/// use cxlsim::{BiasMode, BiasTable};
+///
+/// let mut bt = BiasTable::new();
+/// bt.set_range(0x0, 0x4000, BiasMode::DeviceBias);
+/// assert_eq!(bt.mode_of(0x1234), BiasMode::DeviceBias);
+/// assert_eq!(bt.mode_of(0x4000), BiasMode::HostBias); // past the range
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BiasTable {
+    entries: HashMap<u64, BiasMode>,
+    flips: u64,
+}
+
+const REGION: u64 = 4096;
+
+impl BiasTable {
+    /// Creates an empty table (everything host-bias).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mode of the region containing `addr`.
+    pub fn mode_of(&self, addr: u64) -> BiasMode {
+        self.entries
+            .get(&(addr / REGION))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Sets the mode for every region overlapping `[start, end)`.
+    pub fn set_range(&mut self, start: u64, end: u64, mode: BiasMode) {
+        let first = start / REGION;
+        let last = (end.max(start + 1) - 1) / REGION;
+        for r in first..=last {
+            let prev = self.entries.insert(r, mode);
+            if prev.unwrap_or_default() != mode {
+                self.flips += 1;
+            }
+        }
+    }
+
+    /// Flips one region containing `addr` (the `bias table flip` hook
+    /// invoked on page migration, §IV-D) and returns the new mode.
+    pub fn flip(&mut self, addr: u64) -> BiasMode {
+        let region = addr / REGION;
+        let cur = self.entries.get(&region).copied().unwrap_or_default();
+        let next = match cur {
+            BiasMode::HostBias => BiasMode::DeviceBias,
+            BiasMode::DeviceBias => BiasMode::HostBias,
+        };
+        self.entries.insert(region, next);
+        self.flips += 1;
+        next
+    }
+
+    /// Number of bias transitions performed (a proxy for coherence
+    /// management overhead).
+    pub fn flip_count(&self) -> u64 {
+        self.flips
+    }
+
+    /// `true` if the device may access `addr` without host coherence
+    /// messages.
+    pub fn device_can_stream(&self, addr: u64) -> bool {
+        self.mode_of(addr) == BiasMode::DeviceBias
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_host_bias() {
+        let bt = BiasTable::new();
+        assert_eq!(bt.mode_of(0), BiasMode::HostBias);
+        assert!(!bt.device_can_stream(12345));
+    }
+
+    #[test]
+    fn range_covers_partial_regions() {
+        let mut bt = BiasTable::new();
+        // End mid-region: the whole containing region flips.
+        bt.set_range(100, 5000, BiasMode::DeviceBias);
+        assert_eq!(bt.mode_of(0), BiasMode::DeviceBias);
+        assert_eq!(bt.mode_of(4999), BiasMode::DeviceBias);
+        assert_eq!(bt.mode_of(8192), BiasMode::HostBias);
+    }
+
+    #[test]
+    fn flip_toggles_and_counts() {
+        let mut bt = BiasTable::new();
+        assert_eq!(bt.flip(0), BiasMode::DeviceBias);
+        assert_eq!(bt.flip(0), BiasMode::HostBias);
+        assert_eq!(bt.flip_count(), 2);
+    }
+
+    #[test]
+    fn redundant_set_does_not_count_as_flip() {
+        let mut bt = BiasTable::new();
+        bt.set_range(0, 4096, BiasMode::DeviceBias);
+        bt.set_range(0, 4096, BiasMode::DeviceBias);
+        assert_eq!(bt.flip_count(), 1);
+    }
+}

@@ -1,0 +1,353 @@
+//! Bit-level model of the enhanced CXL.mem M2S request (Fig 9).
+//!
+//! The paper keeps the standard CXL 3.0 M2S layout and claims two slots
+//! of slack: a `sumtag` identifying which accumulation cluster a row
+//! fetch belongs to, a 3-bit `vectorsize` giving the row width in 16 B
+//! chunks, and — for `Configuration` instructions — a
+//! `SumCandidateCount` saying how many rows form one accumulation. The
+//! SPID is rewritten by the fabric switch during instruction repacking so
+//! retrieved data lands in the switch instead of the host (§IV-A2).
+//!
+//! This module packs those fields into a `u128` with a fixed layout so
+//! tests can check exact bit behaviour and the codec bench has something
+//! real to measure.
+
+use serde::{Deserialize, Serialize};
+
+use crate::opcode::{DecodeOpcodeError, MemOpcode};
+
+/// Field widths (bits), one concrete realization of Fig 9.
+const VALID_BITS: u32 = 1;
+const OPCODE_BITS: u32 = 4;
+const META_BITS: u32 = 7; // ST, MF, MV
+const TAG_BITS: u32 = 16;
+const ADDR_BITS: u32 = 47;
+const SPID_BITS: u32 = 12;
+const DPID_BITS: u32 = 12;
+const SUMTAG_BITS: u32 = 9;
+const VSIZE_BITS: u32 = 3;
+const SCC_BITS: u32 = 9;
+const CNV_BITS: u32 = 1;
+
+/// An enhanced CXL.mem Master-to-Subordinate request.
+///
+/// # Examples
+///
+/// ```
+/// use cxlsim::{M2sReq, MemOpcode};
+///
+/// let req = M2sReq::data_fetch(0xBEEF00, /*sumtag=*/5, /*chunks=*/4, /*spid=*/1);
+/// assert_eq!(req.vector_bytes(), 64);
+/// let bits = req.encode();
+/// assert_eq!(M2sReq::decode(bits).unwrap(), req);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct M2sReq {
+    /// Valid bit.
+    pub valid: bool,
+    /// Memory opcode.
+    pub opcode: MemOpcode,
+    /// ST/MF/MV metadata bits (opaque to this model).
+    pub meta: u8,
+    /// Transaction tag.
+    pub tag: u16,
+    /// 47-bit physical address (row address for `DataFetch`, result
+    /// address for `Configuration`).
+    pub address: u64,
+    /// Source port id — the requester. Rewritten from host to switch
+    /// during instruction repacking.
+    pub spid: u16,
+    /// Destination port id (fabric-switch-issued requests only).
+    pub dpid: u16,
+    /// Accumulation cluster id.
+    pub sum_tag: u16,
+    /// Row vector size, encoded as (16 B chunks − 1); 0 ⇒ 16 B, 7 ⇒ 128 B.
+    pub vector_size: u8,
+    /// For `Configuration`: number of row candidates in the cluster.
+    pub sum_candidate_count: u16,
+    /// Compute-Node-Valid: whether the issuing switch has a process core
+    /// (read during scale-up configuration, §IV-C2).
+    pub cnv: bool,
+}
+
+/// Error decoding a packed request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode field held an undefined pattern.
+    BadOpcode(DecodeOpcodeError),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadOpcode(e) => write!(f, "invalid M2S request: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl M2sReq {
+    /// Builds a standard CXL.mem read issued by `spid` for `address`.
+    pub fn mem_read(address: u64, spid: u16) -> Self {
+        M2sReq {
+            valid: true,
+            opcode: MemOpcode::MemRd,
+            meta: 0,
+            tag: 0,
+            address: address & mask64(ADDR_BITS),
+            spid,
+            dpid: 0,
+            sum_tag: 0,
+            vector_size: 0,
+            sum_candidate_count: 0,
+            cnv: false,
+        }
+    }
+
+    /// Builds a `DataFetch` for one row vector of `chunks` 16 B chunks
+    /// belonging to accumulation cluster `sum_tag`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunks` is 0 or greater than 8 (the 3-bit field limit).
+    pub fn data_fetch(address: u64, sum_tag: u16, chunks: u8, spid: u16) -> Self {
+        assert!(
+            (1..=8).contains(&chunks),
+            "vectorsize supports 1–8 16B chunks, got {chunks}"
+        );
+        M2sReq {
+            valid: true,
+            opcode: MemOpcode::DataFetch,
+            meta: 0,
+            tag: 0,
+            address: address & mask64(ADDR_BITS),
+            spid,
+            dpid: 0,
+            sum_tag,
+            vector_size: chunks - 1,
+            sum_candidate_count: 0,
+            cnv: false,
+        }
+    }
+
+    /// Builds a `Configuration` instruction declaring that cluster
+    /// `sum_tag` accumulates `candidates` rows and that the result goes
+    /// to `result_address` (the re-purposed address field, §IV-A3).
+    pub fn configuration(result_address: u64, sum_tag: u16, candidates: u16, spid: u16) -> Self {
+        M2sReq {
+            valid: true,
+            opcode: MemOpcode::Configuration,
+            meta: 0,
+            tag: 0,
+            address: result_address & mask64(ADDR_BITS),
+            spid,
+            dpid: 0,
+            sum_tag,
+            vector_size: 0,
+            sum_candidate_count: candidates & mask16(SCC_BITS),
+            cnv: false,
+        }
+    }
+
+    /// Row vector size in bytes.
+    pub fn vector_bytes(&self) -> u64 {
+        (self.vector_size as u64 + 1) * 16
+    }
+
+    /// Instruction repacking (§IV-A2): converts a `DataFetch` into the
+    /// standard read the end device understands, rewriting the SPID so
+    /// the data returns to the fabric switch instead of the host, and
+    /// stamping the destination port.
+    pub fn repack_for_device(&self, switch_spid: u16, device_dpid: u16) -> M2sReq {
+        M2sReq {
+            opcode: MemOpcode::MemRd,
+            spid: switch_spid,
+            dpid: device_dpid,
+            ..*self
+        }
+    }
+
+    /// Packs the request into a 121-bit little-endian layout inside a
+    /// `u128`.
+    pub fn encode(&self) -> u128 {
+        let mut v: u128 = 0;
+        let mut off = 0u32;
+        let mut put = |val: u128, bits: u32| {
+            v |= (val & mask128(bits)) << off;
+            off += bits;
+        };
+        put(self.valid as u128, VALID_BITS);
+        put(self.opcode.bits() as u128, OPCODE_BITS);
+        put(self.meta as u128, META_BITS);
+        put(self.tag as u128, TAG_BITS);
+        put(self.address as u128, ADDR_BITS);
+        put(self.spid as u128, SPID_BITS);
+        put(self.dpid as u128, DPID_BITS);
+        put(self.sum_tag as u128, SUMTAG_BITS);
+        put(self.vector_size as u128, VSIZE_BITS);
+        put(self.sum_candidate_count as u128, SCC_BITS);
+        put(self.cnv as u128, CNV_BITS);
+        v
+    }
+
+    /// Unpacks a request previously produced by [`M2sReq::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::BadOpcode`] if the opcode field is invalid.
+    pub fn decode(bits: u128) -> Result<Self, DecodeError> {
+        let mut off = 0u32;
+        let mut get = |nbits: u32| -> u128 {
+            let v = (bits >> off) & mask128(nbits);
+            off += nbits;
+            v
+        };
+        let valid = get(VALID_BITS) != 0;
+        let opcode =
+            MemOpcode::from_bits(get(OPCODE_BITS) as u8).map_err(DecodeError::BadOpcode)?;
+        let meta = get(META_BITS) as u8;
+        let tag = get(TAG_BITS) as u16;
+        let address = get(ADDR_BITS) as u64;
+        let spid = get(SPID_BITS) as u16;
+        let dpid = get(DPID_BITS) as u16;
+        let sum_tag = get(SUMTAG_BITS) as u16;
+        let vector_size = get(VSIZE_BITS) as u8;
+        let sum_candidate_count = get(SCC_BITS) as u16;
+        let cnv = get(CNV_BITS) != 0;
+        Ok(M2sReq {
+            valid,
+            opcode,
+            meta,
+            tag,
+            address,
+            spid,
+            dpid,
+            sum_tag,
+            vector_size,
+            sum_candidate_count,
+            cnv,
+        })
+    }
+
+    /// Wire size of one request flit in bytes (one CXL 16 B slot).
+    pub const WIRE_BYTES: u64 = 16;
+}
+
+fn mask128(bits: u32) -> u128 {
+    if bits >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << bits) - 1
+    }
+}
+
+fn mask64(bits: u32) -> u64 {
+    ((1u128 << bits) - 1) as u64
+}
+
+fn mask16(bits: u32) -> u16 {
+    ((1u32 << bits) - 1) as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn data_fetch_round_trips() {
+        let req = M2sReq::data_fetch(0x1234_5678_9ABC, 42, 8, 3);
+        assert_eq!(M2sReq::decode(req.encode()).unwrap(), req);
+    }
+
+    #[test]
+    fn configuration_carries_candidate_count() {
+        let req = M2sReq::configuration(0xCAFE, 7, 123, 1);
+        assert_eq!(req.sum_candidate_count, 123);
+        assert_eq!(req.opcode, MemOpcode::Configuration);
+        let rt = M2sReq::decode(req.encode()).unwrap();
+        assert_eq!(rt.sum_candidate_count, 123);
+    }
+
+    #[test]
+    fn vector_bytes_covers_paper_sizes() {
+        // §IV-A3: row vectors range 16 B–128 B in 16 B chunks.
+        for chunks in 1..=8u8 {
+            let req = M2sReq::data_fetch(0, 0, chunks, 0);
+            assert_eq!(req.vector_bytes(), chunks as u64 * 16);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "16B chunks")]
+    fn oversized_vector_rejected() {
+        let _ = M2sReq::data_fetch(0, 0, 9, 0);
+    }
+
+    #[test]
+    fn repacking_rewrites_spid_and_opcode_only() {
+        let orig = M2sReq::data_fetch(0xABCD, 9, 4, /*host spid*/ 2);
+        let packed = orig.repack_for_device(/*switch*/ 500, /*device*/ 7);
+        assert_eq!(packed.opcode, MemOpcode::MemRd);
+        assert_eq!(packed.spid, 500);
+        assert_eq!(packed.dpid, 7);
+        // Everything else is preserved for the IIR to match on.
+        assert_eq!(packed.address, orig.address);
+        assert_eq!(packed.sum_tag, orig.sum_tag);
+        assert_eq!(packed.vector_size, orig.vector_size);
+    }
+
+    #[test]
+    fn address_is_truncated_to_47_bits() {
+        let req = M2sReq::mem_read(u64::MAX, 0);
+        assert_eq!(req.address, (1u64 << 47) - 1);
+    }
+
+    #[test]
+    fn bad_opcode_bits_fail_decode() {
+        // Craft an encoding with an invalid opcode pattern (0b0101).
+        let mut bits = M2sReq::mem_read(0, 0).encode();
+        bits &= !(0b1111u128 << 1);
+        bits |= 0b0101u128 << 1;
+        assert!(matches!(
+            M2sReq::decode(bits),
+            Err(DecodeError::BadOpcode(_))
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_encode_decode_round_trip(
+            valid in any::<bool>(),
+            opcode_idx in 0usize..4,
+            meta in 0u8..128,
+            tag in any::<u16>(),
+            address in 0u64..(1 << 47),
+            spid in 0u16..(1 << 12),
+            dpid in 0u16..(1 << 12),
+            sum_tag in 0u16..(1 << 9),
+            vector_size in 0u8..8,
+            scc in 0u16..(1 << 9),
+            cnv in any::<bool>(),
+        ) {
+            let opcode = [
+                MemOpcode::MemRd,
+                MemOpcode::MemWr,
+                MemOpcode::DataFetch,
+                MemOpcode::Configuration,
+            ][opcode_idx];
+            let req = M2sReq {
+                valid, opcode, meta, tag, address, spid, dpid,
+                sum_tag, vector_size, sum_candidate_count: scc, cnv,
+            };
+            prop_assert_eq!(M2sReq::decode(req.encode()).unwrap(), req);
+        }
+
+        #[test]
+        fn prop_encoding_fits_in_121_bits(address in 0u64..(1 << 47)) {
+            let req = M2sReq::data_fetch(address, 511, 8, 4095);
+            prop_assert_eq!(req.encode() >> 121, 0);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! CXL.mem memory opcodes, including the two codepoints the paper adds.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The 4-bit `MemOpcode` field of an M2S request.
+///
+/// `MemRd`/`MemWr` are the standard CXL.mem operations a Type 3 device
+/// understands. `DataFetch` (0b1110) and `Configuration` (0b1111) are the
+/// enhancements of Fig 9: `DataFetch` asks the fabric switch to fetch a
+/// row vector and fold it into an accumulation cluster; `Configuration`
+/// programs the Accumulate Configuration Register with a cluster's
+/// `SumCandidateCount` and result address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemOpcode {
+    /// Standard CXL.mem read.
+    MemRd,
+    /// Standard CXL.mem write.
+    MemWr,
+    /// PIFS enhanced: fetch a row vector for in-switch accumulation.
+    DataFetch,
+    /// PIFS enhanced: configure an accumulation cluster.
+    Configuration,
+}
+
+/// Error returned when decoding an unknown opcode bit pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeOpcodeError(pub u8);
+
+impl fmt::Display for DecodeOpcodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown MemOpcode bit pattern {:#06b}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeOpcodeError {}
+
+impl MemOpcode {
+    /// Encodes the opcode into its 4-bit field value.
+    pub fn bits(self) -> u8 {
+        match self {
+            MemOpcode::MemRd => 0b0000,
+            MemOpcode::MemWr => 0b0001,
+            MemOpcode::DataFetch => 0b1110,
+            MemOpcode::Configuration => 0b1111,
+        }
+    }
+
+    /// Decodes a 4-bit field value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeOpcodeError`] for patterns this model does not
+    /// define.
+    pub fn from_bits(bits: u8) -> Result<Self, DecodeOpcodeError> {
+        match bits {
+            0b0000 => Ok(MemOpcode::MemRd),
+            0b0001 => Ok(MemOpcode::MemWr),
+            0b1110 => Ok(MemOpcode::DataFetch),
+            0b1111 => Ok(MemOpcode::Configuration),
+            other => Err(DecodeOpcodeError(other)),
+        }
+    }
+
+    /// `true` for the PIFS-enhanced opcodes the MemOpcode checker routes
+    /// to the process core; standard opcodes bypass it (§IV-A2).
+    pub fn is_pifs_enhanced(self) -> bool {
+        matches!(self, MemOpcode::DataFetch | MemOpcode::Configuration)
+    }
+}
+
+impl fmt::Display for MemOpcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemOpcode::MemRd => "MemRd",
+            MemOpcode::MemWr => "MemWr",
+            MemOpcode::DataFetch => "DataFetch",
+            MemOpcode::Configuration => "Configuration",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_all_variants() {
+        for op in [
+            MemOpcode::MemRd,
+            MemOpcode::MemWr,
+            MemOpcode::DataFetch,
+            MemOpcode::Configuration,
+        ] {
+            assert_eq!(MemOpcode::from_bits(op.bits()), Ok(op));
+        }
+    }
+
+    #[test]
+    fn paper_codepoints_match_fig9() {
+        assert_eq!(MemOpcode::DataFetch.bits(), 0b1110);
+        assert_eq!(MemOpcode::Configuration.bits(), 0b1111);
+    }
+
+    #[test]
+    fn unknown_patterns_error() {
+        let err = MemOpcode::from_bits(0b0101).unwrap_err();
+        assert_eq!(err, DecodeOpcodeError(0b0101));
+        assert!(err.to_string().contains("0b0101"));
+    }
+
+    #[test]
+    fn only_enhanced_opcodes_hit_the_process_core() {
+        assert!(!MemOpcode::MemRd.is_pifs_enhanced());
+        assert!(!MemOpcode::MemWr.is_pifs_enhanced());
+        assert!(MemOpcode::DataFetch.is_pifs_enhanced());
+        assert!(MemOpcode::Configuration.is_pifs_enhanced());
+    }
+}

@@ -1,0 +1,176 @@
+//! Multi-switch fabric topologies for the §IV-C scale-up study.
+//!
+//! CXL 3.0 permits non-tree fabrics; the paper's Fig 13(c) experiment
+//! assumes fully connected switches, each with one local host and one
+//! local Type 3 device, paying an extra 100 ns per inter-switch hop.
+
+use serde::{Deserialize, Serialize};
+use simkit::SimDuration;
+
+use crate::link::CxlParams;
+
+/// Identifies one fabric switch in a topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SwitchId(pub u16);
+
+/// A fully connected multi-switch fabric.
+///
+/// # Examples
+///
+/// ```
+/// use cxlsim::{CxlParams, SwitchId, Topology};
+///
+/// let topo = Topology::fully_connected(4, CxlParams::default());
+/// assert_eq!(topo.hops(SwitchId(0), SwitchId(0)), 0);
+/// assert_eq!(topo.hops(SwitchId(0), SwitchId(3)), 1);
+/// assert_eq!(topo.hop_latency(SwitchId(0), SwitchId(3)).as_ns(), 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Topology {
+    n_switches: u16,
+    params: CxlParams,
+    /// device index → owning switch
+    device_home: Vec<SwitchId>,
+    /// host index → local switch
+    host_home: Vec<SwitchId>,
+}
+
+impl Topology {
+    /// A single-switch topology (CXL 2.0 style): all hosts and devices on
+    /// one switch.
+    pub fn single_switch(n_devices: usize, n_hosts: usize, params: CxlParams) -> Self {
+        Topology {
+            n_switches: 1,
+            params,
+            device_home: vec![SwitchId(0); n_devices],
+            host_home: vec![SwitchId(0); n_hosts],
+        }
+    }
+
+    /// A fully connected fabric of `n` switches, each with one host and
+    /// one device (the Fig 13(c) configuration: "each fabric switch has
+    /// one local CXL memory and one host").
+    pub fn fully_connected(n: u16, params: CxlParams) -> Self {
+        assert!(n >= 1, "need at least one switch");
+        Topology {
+            n_switches: n,
+            params,
+            device_home: (0..n).map(SwitchId).collect(),
+            host_home: (0..n).map(SwitchId).collect(),
+        }
+    }
+
+    /// A custom assignment of devices and hosts to switches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any assignment references a switch ≥ `n_switches`.
+    pub fn custom(
+        n_switches: u16,
+        device_home: Vec<SwitchId>,
+        host_home: Vec<SwitchId>,
+        params: CxlParams,
+    ) -> Self {
+        assert!(
+            device_home.iter().chain(&host_home).all(|s| s.0 < n_switches),
+            "assignment references a nonexistent switch"
+        );
+        Topology {
+            n_switches,
+            params,
+            device_home,
+            host_home,
+        }
+    }
+
+    /// Number of switches.
+    pub fn n_switches(&self) -> u16 {
+        self.n_switches
+    }
+
+    /// Number of devices in the fabric.
+    pub fn n_devices(&self) -> usize {
+        self.device_home.len()
+    }
+
+    /// Number of hosts in the fabric.
+    pub fn n_hosts(&self) -> usize {
+        self.host_home.len()
+    }
+
+    /// Switch owning device `dev`.
+    pub fn device_switch(&self, dev: usize) -> SwitchId {
+        self.device_home[dev]
+    }
+
+    /// Switch local to host `host`.
+    pub fn host_switch(&self, host: usize) -> SwitchId {
+        self.host_home[host]
+    }
+
+    /// Inter-switch hop count (0 or 1 in a fully connected fabric).
+    pub fn hops(&self, a: SwitchId, b: SwitchId) -> u32 {
+        u32::from(a != b)
+    }
+
+    /// Extra latency for traversing from switch `a` to switch `b`.
+    pub fn hop_latency(&self, a: SwitchId, b: SwitchId) -> SimDuration {
+        SimDuration::from_ns(self.params.inter_switch_ns * self.hops(a, b) as u64)
+    }
+
+    /// Devices homed on switch `s`.
+    pub fn devices_on(&self, s: SwitchId) -> Vec<usize> {
+        self.device_home
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &h)| (h == s).then_some(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_switch_has_no_hops() {
+        let t = Topology::single_switch(8, 2, CxlParams::default());
+        assert_eq!(t.n_switches(), 1);
+        assert_eq!(t.hops(SwitchId(0), SwitchId(0)), 0);
+        assert_eq!(t.device_switch(7), SwitchId(0));
+        assert_eq!(t.devices_on(SwitchId(0)).len(), 8);
+    }
+
+    #[test]
+    fn fully_connected_pairs_host_and_device_per_switch() {
+        let t = Topology::fully_connected(4, CxlParams::default());
+        assert_eq!(t.n_devices(), 4);
+        assert_eq!(t.n_hosts(), 4);
+        for i in 0..4 {
+            assert_eq!(t.device_switch(i), SwitchId(i as u16));
+            assert_eq!(t.host_switch(i), SwitchId(i as u16));
+        }
+    }
+
+    #[test]
+    fn remote_hop_costs_inter_switch_latency() {
+        let p = CxlParams::default();
+        let t = Topology::fully_connected(2, p);
+        assert_eq!(
+            t.hop_latency(SwitchId(0), SwitchId(1)),
+            SimDuration::from_ns(p.inter_switch_ns)
+        );
+        assert_eq!(t.hop_latency(SwitchId(1), SwitchId(1)), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonexistent switch")]
+    fn custom_rejects_bad_assignment() {
+        let _ = Topology::custom(
+            2,
+            vec![SwitchId(0), SwitchId(5)],
+            vec![SwitchId(0)],
+            CxlParams::default(),
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Embedding-table layout and procedural row values.
+//!
+//! Production tables reach terabytes (§III), which a simulation cannot
+//! materialize. Rows are therefore *procedural*: `value(row, elem)` is a
+//! deterministic hash of (table, row, element), so any two compute sites
+//! (host, fabric switch, DIMM) can produce — and tests can verify —
+//! bit-identical SLS results without storing a single row.
+
+/// One embedding table: an address range plus procedural contents.
+///
+/// # Examples
+///
+/// ```
+/// use dlrm::EmbeddingTable;
+///
+/// let t = EmbeddingTable::new(0, 1024, 64, 0x1000);
+/// assert_eq!(t.row_bytes(), 256);
+/// assert_eq!(t.row_addr(2), 0x1000 + 512);
+/// // Values are deterministic.
+/// assert_eq!(t.value(5, 3), t.value(5, 3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmbeddingTable {
+    id: u32,
+    rows: u64,
+    dim: u32,
+    base_addr: u64,
+}
+
+impl EmbeddingTable {
+    /// Creates table `id` with `rows` rows of `dim` f32 elements laid out
+    /// contiguously from `base_addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `dim` is zero.
+    pub fn new(id: u32, rows: u64, dim: u32, base_addr: u64) -> Self {
+        assert!(rows > 0, "table must have at least one row");
+        assert!(dim > 0, "embedding dimension must be positive");
+        EmbeddingTable {
+            id,
+            rows,
+            dim,
+            base_addr,
+        }
+    }
+
+    /// Table id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Embedding dimension in f32 elements.
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Bytes per row.
+    pub fn row_bytes(&self) -> u64 {
+        4 * self.dim as u64
+    }
+
+    /// Total bytes of the table.
+    pub fn total_bytes(&self) -> u64 {
+        self.rows * self.row_bytes()
+    }
+
+    /// First byte address of the table.
+    pub fn base_addr(&self) -> u64 {
+        self.base_addr
+    }
+
+    /// Byte address of row `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn row_addr(&self, row: u64) -> u64 {
+        assert!(row < self.rows, "row {row} out of bounds ({})", self.rows);
+        self.base_addr + row * self.row_bytes()
+    }
+
+    /// `true` if `addr` falls inside this table.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.base_addr && addr < self.base_addr + self.total_bytes()
+    }
+
+    /// Procedural value of element `elem` of row `row`: a deterministic
+    /// hash mapped into `[-1, 1)` (typical for trained embeddings).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `elem` is out of bounds.
+    pub fn value(&self, row: u64, elem: u32) -> f32 {
+        assert!(row < self.rows, "row {row} out of bounds");
+        assert!(elem < self.dim, "element {elem} out of bounds");
+        let mut h = (self.id as u64) << 48 ^ row.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ elem as u64;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+        // Map to [-1, 1) with 2^-23 granularity so f32 holds it exactly —
+        // this keeps cross-site accumulation comparisons bit-exact.
+        let mantissa = (h >> 41) as u32; // 23 bits
+        (mantissa as f32) * (2.0 / (1u32 << 23) as f32) - 1.0
+    }
+
+    /// Materializes a whole row (for the functional SLS kernel).
+    pub fn row(&self, row: u64) -> Vec<f32> {
+        (0..self.dim).map(|e| self.value(row, e)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn layout_is_contiguous() {
+        let t = EmbeddingTable::new(1, 100, 16, 4096);
+        assert_eq!(t.row_addr(0), 4096);
+        assert_eq!(t.row_addr(1), 4096 + 64);
+        assert_eq!(t.total_bytes(), 6400);
+        assert!(t.contains(4096));
+        assert!(t.contains(4096 + 6399));
+        assert!(!t.contains(4095));
+        assert!(!t.contains(4096 + 6400));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn row_addr_bounds_checked() {
+        let t = EmbeddingTable::new(0, 10, 16, 0);
+        let _ = t.row_addr(10);
+    }
+
+    #[test]
+    fn values_differ_across_tables_rows_elements() {
+        let a = EmbeddingTable::new(0, 10, 8, 0);
+        let b = EmbeddingTable::new(1, 10, 8, 0);
+        assert_ne!(a.value(1, 1), b.value(1, 1));
+        assert_ne!(a.value(1, 1), a.value(2, 1));
+        assert_ne!(a.value(1, 1), a.value(1, 2));
+    }
+
+    #[test]
+    fn row_materialization_matches_values() {
+        let t = EmbeddingTable::new(3, 10, 4, 0);
+        let r = t.row(7);
+        for (e, &v) in r.iter().enumerate() {
+            assert_eq!(v, t.value(7, e as u32));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_values_bounded(row in 0u64..1000, elem in 0u32..64) {
+            let t = EmbeddingTable::new(9, 1000, 64, 0);
+            let v = t.value(row, elem);
+            prop_assert!((-1.0..1.0).contains(&v));
+        }
+
+        #[test]
+        fn prop_row_addrs_disjoint(a in 0u64..999, b in 0u64..999) {
+            prop_assume!(a != b);
+            let t = EmbeddingTable::new(0, 1000, 32, 0);
+            let (ra, rb) = (t.row_addr(a), t.row_addr(b));
+            // Rows never overlap.
+            prop_assert!(ra.abs_diff(rb) >= t.row_bytes());
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Roofline cost model for the dense DLRM stages.
+//!
+//! The MLP and interaction stages are compute-bound on any reasonable
+//! device, so a roofline — `max(flops / peak_flops, bytes / peak_bw)` —
+//! captures their latency well enough for the end-to-end weighting the
+//! paper uses in Fig 14 ("we calculate the speedup by weighting the
+//! speedup of both SLS and non-SLS operators") and for the GPU
+//! comparisons of Fig 16/17.
+
+use serde::{Deserialize, Serialize};
+use simkit::SimDuration;
+
+/// Peak rates of one compute device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Peak compute in GFLOP/s.
+    pub gflops: f64,
+    /// Peak memory bandwidth in GB/s.
+    pub mem_gbps: f64,
+    /// Achievable fraction of peak (datacenter kernels rarely exceed
+    /// 60–80 % of roofline).
+    pub efficiency: f64,
+}
+
+impl CostModel {
+    /// A 96-core AMD EPYC 9654 socket (Table III): ~7 TFLOP/s FP32 with
+    /// AVX-512, 12 channels of DDR5-4800 ≈ 460 GB/s.
+    pub fn epyc_9654() -> Self {
+        CostModel {
+            gflops: 7_000.0,
+            mem_gbps: 460.0,
+            efficiency: 0.6,
+        }
+    }
+
+    /// An NVIDIA A100 80 GB PCIe (Table III): 19.5 TFLOP/s FP32,
+    /// ~1935 GB/s HBM2e.
+    pub fn a100() -> Self {
+        CostModel {
+            gflops: 19_500.0,
+            mem_gbps: 1_935.0,
+            efficiency: 0.7,
+        }
+    }
+
+    /// Roofline latency for a kernel of `flops` FLOPs touching `bytes`
+    /// bytes.
+    pub fn latency(&self, flops: u64, bytes: u64) -> SimDuration {
+        let compute_ns = flops as f64 / (self.gflops * self.efficiency);
+        let memory_ns = bytes as f64 / (self.mem_gbps * self.efficiency);
+        SimDuration::from_ns(compute_ns.max(memory_ns).ceil() as u64)
+    }
+
+    /// `true` when a kernel of this shape is bandwidth-bound on this
+    /// device.
+    pub fn is_memory_bound(&self, flops: u64, bytes: u64) -> bool {
+        (flops as f64 / self.gflops) < (bytes as f64 / self.mem_gbps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+
+    #[test]
+    fn latency_scales_with_flops() {
+        let m = CostModel::epyc_9654();
+        let small = m.latency(1_000_000, 0);
+        let big = m.latency(100_000_000, 0);
+        assert!(big > small);
+    }
+
+    #[test]
+    fn memory_bound_kernels_hit_the_bandwidth_wall() {
+        let m = CostModel::epyc_9654();
+        // 1 FLOP per 64 bytes: hopelessly memory bound (like SLS).
+        assert!(m.is_memory_bound(1_000, 64_000));
+        // 1000 FLOPs per byte: compute bound (like an MLP).
+        assert!(!m.is_memory_bound(64_000_000, 64_000));
+    }
+
+    #[test]
+    fn sls_is_memory_bound_on_both_cpu_and_gpu() {
+        let cfg = ModelConfig::rmc4();
+        let bytes = cfg.sls_bytes_per_sample() * 1024; // batch 1024
+        let flops = bytes / 4; // one add per f32 element
+        assert!(CostModel::epyc_9654().is_memory_bound(flops, bytes));
+        assert!(CostModel::a100().is_memory_bound(flops, bytes));
+    }
+
+    #[test]
+    fn mlps_are_compute_bound_on_cpu() {
+        let cfg = ModelConfig::rmc4();
+        let flops = cfg.dense_flops_per_sample() * 1024;
+        let bytes = cfg.bottom_mlp.weight_bytes(cfg.dense_features)
+            + cfg.top_mlp.weight_bytes(cfg.top_mlp.0[0]);
+        assert!(!CostModel::epyc_9654().is_memory_bound(flops, bytes));
+    }
+
+    #[test]
+    fn gpu_beats_cpu_on_dense_compute() {
+        let flops = 1_000_000_000;
+        let cpu = CostModel::epyc_9654().latency(flops, 0);
+        let gpu = CostModel::a100().latency(flops, 0);
+        assert!(gpu < cpu);
+    }
+
+    #[test]
+    fn zero_work_costs_zero() {
+        assert_eq!(
+            CostModel::a100().latency(0, 0),
+            SimDuration::ZERO
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! Batch assembly and the two parallelization strategies of Fig 4.
+//!
+//! *Batch threading* assigns each CPU core a slice of the batch (every
+//! core touches every table); *table threading* assigns each core a set
+//! of tables (every core sees the whole batch). The characterization
+//! study (Fig 5) runs both because their access patterns stress the
+//! memory system differently: table threading gives each core higher
+//! row-buffer locality, batch threading balances load better when tables
+//! are skewed.
+
+use serde::{Deserialize, Serialize};
+
+/// Parallelization strategy for the embedding lookup stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ThreadingMode {
+    /// Fig 4(a): each core processes a contiguous slice of the batch.
+    Batch,
+    /// Fig 4(b): each core processes a subset of the tables.
+    Table,
+}
+
+/// One unit of lookup work assigned to a core: a table and a sample
+/// range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkItem {
+    /// Table index.
+    pub table: u32,
+    /// First sample (inclusive).
+    pub sample_begin: u32,
+    /// Last sample (exclusive).
+    pub sample_end: u32,
+}
+
+impl WorkItem {
+    /// Number of samples covered.
+    pub fn samples(&self) -> u32 {
+        self.sample_end - self.sample_begin
+    }
+}
+
+/// Splits `batch` samples over `n_tables` tables across `n_cores` cores.
+///
+/// Returns one work list per core. Every (table, sample) pair appears in
+/// exactly one item on exactly one core — a property the unit tests and
+/// the cross-placement SLS equivalence tests rely on.
+///
+/// # Panics
+///
+/// Panics if any argument is zero.
+pub fn partition(
+    n_tables: u32,
+    batch: u32,
+    n_cores: u32,
+    mode: ThreadingMode,
+) -> Vec<Vec<WorkItem>> {
+    assert!(n_tables > 0 && batch > 0 && n_cores > 0, "arguments must be positive");
+    let mut per_core: Vec<Vec<WorkItem>> = vec![Vec::new(); n_cores as usize];
+    match mode {
+        ThreadingMode::Batch => {
+            // Contiguous batch slices, one slice per core, all tables.
+            for core in 0..n_cores {
+                let begin = (batch as u64 * core as u64 / n_cores as u64) as u32;
+                let end = (batch as u64 * (core as u64 + 1) / n_cores as u64) as u32;
+                if begin == end {
+                    continue;
+                }
+                for table in 0..n_tables {
+                    per_core[core as usize].push(WorkItem {
+                        table,
+                        sample_begin: begin,
+                        sample_end: end,
+                    });
+                }
+            }
+        }
+        ThreadingMode::Table => {
+            // Tables round-robin over cores, full batch each.
+            for table in 0..n_tables {
+                let core = (table % n_cores) as usize;
+                per_core[core].push(WorkItem {
+                    table,
+                    sample_begin: 0,
+                    sample_end: batch,
+                });
+            }
+        }
+    }
+    per_core
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn coverage(parts: &[Vec<WorkItem>], n_tables: u32, batch: u32) -> HashSet<(u32, u32)> {
+        let mut seen = HashSet::new();
+        for core in parts {
+            for item in core {
+                for s in item.sample_begin..item.sample_end {
+                    assert!(
+                        seen.insert((item.table, s)),
+                        "duplicate (table {}, sample {s})",
+                        item.table
+                    );
+                }
+            }
+        }
+        assert_eq!(seen.len() as u64, n_tables as u64 * batch as u64);
+        seen
+    }
+
+    #[test]
+    fn batch_threading_covers_every_pair_once() {
+        let parts = partition(4, 100, 3, ThreadingMode::Batch);
+        coverage(&parts, 4, 100);
+    }
+
+    #[test]
+    fn table_threading_covers_every_pair_once() {
+        let parts = partition(7, 64, 4, ThreadingMode::Table);
+        coverage(&parts, 7, 64);
+    }
+
+    #[test]
+    fn batch_threading_balances_samples() {
+        let parts = partition(2, 99, 4, ThreadingMode::Batch);
+        let loads: Vec<u32> = parts
+            .iter()
+            .map(|c| c.iter().map(WorkItem::samples).sum())
+            .collect();
+        let max = *loads.iter().max().unwrap();
+        let min = *loads.iter().min().unwrap();
+        assert!(max - min <= 2, "unbalanced: {loads:?}");
+    }
+
+    #[test]
+    fn table_threading_keeps_a_table_on_one_core() {
+        let parts = partition(8, 32, 4, ThreadingMode::Table);
+        for (core_idx, core) in parts.iter().enumerate() {
+            for item in core {
+                assert_eq!(item.table % 4, core_idx as u32);
+                assert_eq!(item.samples(), 32);
+            }
+        }
+    }
+
+    #[test]
+    fn more_cores_than_work_leaves_some_idle() {
+        let parts = partition(2, 1, 8, ThreadingMode::Table);
+        let busy = parts.iter().filter(|c| !c.is_empty()).count();
+        assert_eq!(busy, 2);
+        coverage(&parts, 2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cores_rejected() {
+        let _ = partition(1, 1, 0, ThreadingMode::Batch);
+    }
+}

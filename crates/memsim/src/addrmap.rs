@@ -1,0 +1,155 @@
+//! Physical-address decomposition into DRAM coordinates.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::DramOrg;
+
+/// Where one 64-byte access lands inside the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Location {
+    /// Channel index.
+    pub channel: u32,
+    /// Rank index within the channel.
+    pub rank: u32,
+    /// Bank index within the rank.
+    pub bank: u32,
+    /// Row index within the bank.
+    pub row: u64,
+}
+
+/// Address-interleaving policy.
+///
+/// `CacheLineInterleave` spreads consecutive cache lines round-robin over
+/// channels then banks, maximizing parallelism for streaming access —
+/// the policy real memory controllers default to and the one the paper's
+/// bandwidth-expansion argument assumes. `RowInterleave` keeps whole rows
+/// on one bank, maximizing row-buffer locality for sequential scans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AddressMapping {
+    /// 64 B granularity: channel bits lowest, then bank, then rank.
+    CacheLineInterleave,
+    /// Row granularity: consecutive addresses fill a row before moving on.
+    RowInterleave,
+}
+
+impl AddressMapping {
+    /// Decodes `addr` into DRAM coordinates for a device organized as
+    /// `org`. Addresses beyond capacity wrap (the simulation treats the
+    /// device as its own physical address space).
+    pub fn decode(self, addr: u64, org: &DramOrg) -> Location {
+        let line = (addr % org.capacity_bytes.max(1)) / 64;
+        let ch = org.channels as u64;
+        let ba = org.banks as u64;
+        let ra = org.ranks as u64;
+        let lines_per_row = (org.row_bytes / 64).max(1);
+        match self {
+            AddressMapping::CacheLineInterleave => {
+                // line = (((row * ranks + rank) * banks + bank) * channels + channel)
+                //        × lines_per_row + line_in_row   — channel varies fastest.
+                let channel = line % ch;
+                let rest = line / ch;
+                let in_row = rest % lines_per_row;
+                let _ = in_row;
+                let rest = rest / lines_per_row;
+                let bank = rest % ba;
+                let rest = rest / ba;
+                let rank = rest % ra;
+                let row = rest / ra;
+                Location {
+                    channel: channel as u32,
+                    rank: rank as u32,
+                    bank: bank as u32,
+                    row,
+                }
+            }
+            AddressMapping::RowInterleave => {
+                let rest = line / lines_per_row;
+                let channel = rest % ch;
+                let rest = rest / ch;
+                let bank = rest % ba;
+                let rest = rest / ba;
+                let rank = rest % ra;
+                let row = rest / ra;
+                Location {
+                    channel: channel as u32,
+                    rank: rank as u32,
+                    bank: bank as u32,
+                    row,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn org() -> DramOrg {
+        DramOrg {
+            channels: 4,
+            ranks: 2,
+            banks: 16,
+            row_bytes: 8192,
+            bus_bytes: 8,
+            capacity_bytes: 1 << 30,
+        }
+    }
+
+    #[test]
+    fn cacheline_interleave_rotates_channels() {
+        let m = AddressMapping::CacheLineInterleave;
+        let o = org();
+        for i in 0..16u64 {
+            let loc = m.decode(i * 64, &o);
+            assert_eq!(loc.channel, (i % 4) as u32, "line {i}");
+        }
+    }
+
+    #[test]
+    fn row_interleave_keeps_row_on_one_channel() {
+        let m = AddressMapping::RowInterleave;
+        let o = org();
+        let first = m.decode(0, &o);
+        for i in 0..(o.row_bytes / 64) {
+            let loc = m.decode(i * 64, &o);
+            assert_eq!(loc.channel, first.channel);
+            assert_eq!(loc.bank, first.bank);
+            assert_eq!(loc.row, first.row);
+        }
+        // The next row moves to a different channel.
+        let next = m.decode(o.row_bytes, &o);
+        assert_ne!(next.channel, first.channel);
+    }
+
+    #[test]
+    fn decode_is_within_bounds() {
+        let o = org();
+        for m in [
+            AddressMapping::CacheLineInterleave,
+            AddressMapping::RowInterleave,
+        ] {
+            for i in 0..10_000u64 {
+                let loc = m.decode(i * 64 + 3, &o);
+                assert!(loc.channel < o.channels);
+                assert!(loc.rank < o.ranks);
+                assert!(loc.bank < o.banks);
+            }
+        }
+    }
+
+    #[test]
+    fn addresses_wrap_at_capacity() {
+        let o = org();
+        let m = AddressMapping::CacheLineInterleave;
+        assert_eq!(m.decode(64, &o), m.decode(o.capacity_bytes + 64, &o));
+    }
+
+    #[test]
+    fn same_line_same_location() {
+        let o = org();
+        let m = AddressMapping::CacheLineInterleave;
+        assert_eq!(m.decode(128, &o), m.decode(129, &o));
+        assert_eq!(m.decode(128, &o), m.decode(191, &o));
+    }
+}

@@ -1,0 +1,354 @@
+//! One DRAM channel: banks, rank-level activate limits, the shared data
+//! bus, and refresh.
+
+use std::collections::VecDeque;
+
+use simkit::{SimDuration, SimTime};
+
+use crate::addrmap::Location;
+use crate::bank::{BankState, RowOutcome};
+use crate::config::{DramOrg, DramTimings};
+
+/// Kind of memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemOp {
+    /// 64 B read burst.
+    Read,
+    /// 64 B write burst.
+    Write,
+}
+
+/// Per-rank bookkeeping: refresh schedule and the tFAW activate window.
+#[derive(Debug, Clone)]
+struct RankState {
+    next_refresh: SimTime,
+    /// Times of the most recent activates (bounded by 4 for tFAW).
+    recent_acts: VecDeque<SimTime>,
+}
+
+/// One DRAM channel with its own command/data bus.
+#[derive(Debug, Clone)]
+pub struct Channel {
+    banks: Vec<BankState>,
+    ranks: Vec<RankState>,
+    org: DramOrg,
+    /// Time at which the shared data bus frees up.
+    bus_free: SimTime,
+    /// Recent idle windows on the data bus, oldest first. A burst whose
+    /// data is ready early may claim one instead of queueing at
+    /// `bus_free` — the reordering freedom an FR-FCFS controller has,
+    /// without which one bank-conflicted request head-of-line-blocks
+    /// every later burst.
+    free_gaps: VecDeque<(SimTime, SimTime)>,
+    /// Accumulated statistics.
+    pub stats: ChannelStats,
+}
+
+const MAX_GAPS: usize = 64;
+
+/// Row-buffer and traffic statistics for one channel.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChannelStats {
+    /// Row-buffer hits.
+    pub hits: u64,
+    /// Activates into an idle bank.
+    pub empties: u64,
+    /// Row-buffer conflicts (PRE + ACT).
+    pub conflicts: u64,
+    /// Read accesses.
+    pub reads: u64,
+    /// Write accesses.
+    pub writes: u64,
+    /// Total bytes moved on the data bus.
+    pub bytes: u64,
+    /// Accesses delayed by a refresh blackout.
+    pub refresh_stalls: u64,
+}
+
+impl ChannelStats {
+    /// Row-buffer hit ratio over all accesses (0.0 when idle).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.empties + self.conflicts;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl Channel {
+    /// Creates an idle channel for a device organized as `org`.
+    pub fn new(org: DramOrg) -> Self {
+        let banks = vec![BankState::new(); (org.ranks * org.banks) as usize];
+        let ranks = (0..org.ranks)
+            .map(|_| RankState {
+                next_refresh: SimTime::ZERO + SimDuration::from_ns(1), // first REF after warmup
+                recent_acts: VecDeque::with_capacity(4),
+            })
+            .collect();
+        Channel {
+            banks,
+            ranks,
+            org,
+            bus_free: SimTime::ZERO,
+            free_gaps: VecDeque::new(),
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// Claims a data-bus slot of `burst` length no earlier than
+    /// `earliest`; prefers filling a recorded idle gap, else queues at
+    /// the end of the bus schedule.
+    fn claim_bus(&mut self, earliest: SimTime, burst: SimDuration) -> SimTime {
+        for i in 0..self.free_gaps.len() {
+            let (gs, ge) = self.free_gaps[i];
+            let start = gs.max(earliest);
+            if start + burst <= ge {
+                // Split the gap around the claimed slot.
+                self.free_gaps[i] = (gs, start);
+                if start + burst < ge {
+                    self.free_gaps.insert(i + 1, (start + burst, ge));
+                }
+                if self.free_gaps[i].0 == self.free_gaps[i].1 {
+                    self.free_gaps.remove(i);
+                }
+                return start;
+            }
+        }
+        let start = earliest.max(self.bus_free);
+        if start > self.bus_free {
+            self.free_gaps.push_back((self.bus_free, start));
+            while self.free_gaps.len() > MAX_GAPS {
+                self.free_gaps.pop_front();
+            }
+        }
+        self.bus_free = start + burst;
+        start
+    }
+
+    fn bank_index(&self, loc: &Location) -> usize {
+        (loc.rank * self.org.banks + loc.bank) as usize
+    }
+
+    /// Applies any refresh blackouts due before `now` on `rank`.
+    fn apply_refresh(&mut self, now: SimTime, rank: u32, t: &DramTimings) -> bool {
+        let mut stalled = false;
+        let refi = SimDuration::from_ns(t.refi_ns);
+        let rfc = t.cycles(t.rfc);
+        loop {
+            let due = self.ranks[rank as usize].next_refresh;
+            if due > now {
+                break;
+            }
+            let blocked_until = due + rfc;
+            let base = rank * self.org.banks;
+            for b in 0..self.org.banks {
+                self.banks[(base + b) as usize].block_until(blocked_until);
+            }
+            self.ranks[rank as usize].next_refresh = due + refi;
+            if blocked_until > now {
+                stalled = true;
+            }
+        }
+        stalled
+    }
+
+    /// Earliest time a new ACT may issue on `rank` given tFAW and tRRD.
+    fn act_gate(&self, rank: u32, t: &DramTimings) -> SimTime {
+        let rs = &self.ranks[rank as usize];
+        let mut gate = SimTime::ZERO;
+        if rs.recent_acts.len() >= 4 {
+            // The 4th-most-recent ACT opens the tFAW window.
+            gate = gate.max(rs.recent_acts[rs.recent_acts.len() - 4] + t.cycles(t.faw));
+        }
+        if let Some(&last) = rs.recent_acts.back() {
+            gate = gate.max(last + t.cycles(t.rrd));
+        }
+        gate
+    }
+
+    /// Schedules one 64 B access arriving at `now`; returns the instant the
+    /// data burst completes on the bus.
+    pub fn access(
+        &mut self,
+        now: SimTime,
+        loc: &Location,
+        op: MemOp,
+        t: &DramTimings,
+    ) -> SimTime {
+        if self.apply_refresh(now, loc.rank, t) {
+            self.stats.refresh_stalls += 1;
+        }
+
+        let gate = self.act_gate(loc.rank, t);
+        let idx = self.bank_index(loc);
+        let acts_before = self.banks[idx].last_act();
+        let (cas_ready, outcome) = self.banks[idx].prepare(now, gate, loc.row, t);
+
+        match outcome {
+            RowOutcome::Hit => self.stats.hits += 1,
+            RowOutcome::Empty => self.stats.empties += 1,
+            RowOutcome::Conflict => self.stats.conflicts += 1,
+        }
+        if outcome != RowOutcome::Hit {
+            let act_at = self.banks[idx].last_act();
+            debug_assert!(act_at >= acts_before);
+            let rs = &mut self.ranks[loc.rank as usize];
+            rs.recent_acts.push_back(act_at);
+            while rs.recent_acts.len() > 4 {
+                rs.recent_acts.pop_front();
+            }
+        }
+
+        // The data burst must find a free slot on the shared bus; if the
+        // bus is busy, the column command slips until the slot aligns.
+        let cas_to_data = match op {
+            MemOp::Read => t.cycles(t.cl),
+            MemOp::Write => t.cycles(t.cwl),
+        };
+        let earliest_data = cas_ready + cas_to_data;
+        let burst = t.burst_time();
+        let data_start = self.claim_bus(earliest_data, burst);
+        let cas_at = SimTime::from_ns(data_start.as_ns() - cas_to_data.as_ns());
+
+        match op {
+            MemOp::Read => {
+                self.banks[idx].complete_read(cas_at, t);
+                self.stats.reads += 1;
+            }
+            MemOp::Write => {
+                self.banks[idx].complete_write(cas_at, t);
+                self.stats.writes += 1;
+            }
+        }
+        self.stats.bytes += 64;
+        data_start + burst
+    }
+
+    /// Time the data bus next frees up.
+    pub fn bus_free_at(&self) -> SimTime {
+        self.bus_free
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DramTimings;
+
+    fn org() -> DramOrg {
+        DramOrg {
+            channels: 1,
+            ranks: 1,
+            banks: 4,
+            row_bytes: 8192,
+            bus_bytes: 8,
+            capacity_bytes: 1 << 30,
+        }
+    }
+
+    fn t() -> DramTimings {
+        DramTimings::ddr5_4800()
+    }
+
+    fn loc(bank: u32, row: u64) -> Location {
+        Location {
+            channel: 0,
+            rank: 0,
+            bank,
+            row,
+        }
+    }
+
+    #[test]
+    fn row_hits_stream_at_bus_rate() {
+        let mut ch = Channel::new(org());
+        let tt = t();
+        let first = ch.access(SimTime::ZERO, &loc(0, 1), MemOp::Read, &tt);
+        let second = ch.access(SimTime::ZERO, &loc(0, 1), MemOp::Read, &tt);
+        // Back-to-back hits are separated by exactly one burst.
+        assert_eq!(second.since(first), tt.burst_time());
+        assert_eq!(ch.stats.hits, 1);
+        assert_eq!(ch.stats.empties, 1);
+    }
+
+    #[test]
+    fn different_banks_overlap_row_preparation() {
+        let tt = t();
+        // Same bank, different rows: serialized by tRC.
+        let mut same = Channel::new(org());
+        same.access(SimTime::ZERO, &loc(0, 1), MemOp::Read, &tt);
+        let same_done = same.access(SimTime::ZERO, &loc(0, 2), MemOp::Read, &tt);
+        // Different banks: row preparation overlaps.
+        let mut diff = Channel::new(org());
+        diff.access(SimTime::ZERO, &loc(0, 1), MemOp::Read, &tt);
+        let diff_done = diff.access(SimTime::ZERO, &loc(1, 2), MemOp::Read, &tt);
+        assert!(
+            diff_done < same_done,
+            "bank-level parallelism should win: {diff_done} vs {same_done}"
+        );
+    }
+
+    #[test]
+    fn bus_serializes_bursts_across_banks() {
+        let tt = t();
+        let mut ch = Channel::new(org());
+        let a = ch.access(SimTime::ZERO, &loc(0, 1), MemOp::Read, &tt);
+        let b = ch.access(SimTime::ZERO, &loc(1, 1), MemOp::Read, &tt);
+        assert!(b.since(a) >= tt.burst_time());
+    }
+
+    #[test]
+    fn tfaw_throttles_a_fifth_activate() {
+        let tt = t();
+        let mut ch = Channel::new(DramOrg {
+            banks: 8,
+            ..org()
+        });
+        let mut last = SimTime::ZERO;
+        for bank in 0..5 {
+            last = ch.access(SimTime::ZERO, &loc(bank, 1), MemOp::Read, &tt);
+        }
+        // The 5th activate cannot start before ACT#1 + tFAW.
+        let min_done =
+            SimTime::ZERO + tt.cycles(tt.faw) + tt.cycles(tt.rcd + tt.cl) + tt.burst_time();
+        assert!(last >= min_done, "last={last} min={min_done}");
+    }
+
+    #[test]
+    fn refresh_eventually_stalls_accesses() {
+        let tt = t();
+        let mut ch = Channel::new(org());
+        // Walk time far past several tREFI intervals.
+        let mut now = SimTime::ZERO;
+        for i in 0..100u64 {
+            now = SimTime::from_ns(i * 1000);
+            ch.access(now, &loc(0, i), MemOp::Read, &tt);
+        }
+        // Refresh bookkeeping advanced past `now`.
+        assert!(ch.ranks[0].next_refresh > SimTime::ZERO + SimDuration::from_ns(tt.refi_ns));
+    }
+
+    #[test]
+    fn writes_count_separately_and_move_bytes() {
+        let tt = t();
+        let mut ch = Channel::new(org());
+        ch.access(SimTime::ZERO, &loc(0, 1), MemOp::Write, &tt);
+        ch.access(SimTime::ZERO, &loc(0, 1), MemOp::Read, &tt);
+        assert_eq!(ch.stats.writes, 1);
+        assert_eq!(ch.stats.reads, 1);
+        assert_eq!(ch.stats.bytes, 128);
+    }
+
+    #[test]
+    fn hit_ratio_reflects_locality() {
+        let tt = t();
+        let mut ch = Channel::new(org());
+        for _ in 0..9 {
+            ch.access(SimTime::ZERO, &loc(0, 1), MemOp::Read, &tt);
+        }
+        let r = ch.stats.hit_ratio();
+        assert!(r > 0.8, "expected high hit ratio, got {r}");
+    }
+}

@@ -1,0 +1,151 @@
+//! Migration cost model: page-block vs cache-line-block (§IV-B4).
+//!
+//! OS page migration marks the whole 4 KB page inaccessible for the full
+//! copy ("page block"), stalling every row vector on the page. PIFS-Rec's
+//! Migration Controller instead locks one cache line at a time, parking
+//! in-flight lines in the switch ("cache-line block"), cutting observed
+//! migration overhead by up to 5.1×.
+
+use serde::{Deserialize, Serialize};
+use simkit::SimDuration;
+
+use crate::table::PAGE_BYTES;
+
+/// Which blocking discipline a migration uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MigrationGranularity {
+    /// Standard OS behaviour: the whole page is unmapped for the copy.
+    PageBlock,
+    /// PIFS-Rec Migration Controller: one 64 B line locked at a time.
+    CacheLineBlock,
+}
+
+/// Cost parameters for one page migration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MigrationCostModel {
+    /// Blocking discipline.
+    pub granularity: MigrationGranularity,
+    /// Fixed OS bookkeeping per page migration (unmap, TLB shootdown,
+    /// remap), ns.
+    pub os_overhead_ns: u64,
+    /// Copy bandwidth over the fabric, bytes per ns (≈ GB/s).
+    pub copy_bytes_per_ns: u64,
+    /// Per-line handoff overhead in the switch for cache-line mode, ns.
+    pub line_overhead_ns: u64,
+}
+
+impl MigrationCostModel {
+    /// Page-block defaults: ~1 µs of kernel work (unmap + TLB shootdown)
+    /// plus a 4 KB copy.
+    pub fn page_block() -> Self {
+        MigrationCostModel {
+            granularity: MigrationGranularity::PageBlock,
+            os_overhead_ns: 1_000,
+            copy_bytes_per_ns: 32,
+            line_overhead_ns: 0,
+        }
+    }
+
+    /// Cache-line-block defaults: P2P copy brokered by the Migration
+    /// Controller with a per-line handoff in the switch. The copy itself
+    /// overlaps foreground service, so only the final remap update (the
+    /// `os_overhead_ns` here) lands on the critical path.
+    pub fn cache_line_block() -> Self {
+        MigrationCostModel {
+            granularity: MigrationGranularity::CacheLineBlock,
+            os_overhead_ns: 10,
+            copy_bytes_per_ns: 32,
+            line_overhead_ns: 14,
+        }
+    }
+
+    /// Total wall time to migrate one page.
+    pub fn page_copy_time(&self) -> SimDuration {
+        let copy_ns = PAGE_BYTES.div_ceil(self.copy_bytes_per_ns);
+        let per_line = match self.granularity {
+            MigrationGranularity::PageBlock => 0,
+            MigrationGranularity::CacheLineBlock => (PAGE_BYTES / 64) * self.line_overhead_ns,
+        };
+        SimDuration::from_ns(self.os_overhead_ns + copy_ns + per_line)
+    }
+
+    /// How long one *in-flight access* to the migrating page stalls, on
+    /// average. Under page block every access waits out the remaining
+    /// page copy (expected half of it); under cache-line block an access
+    /// only collides with the single locked line (1/64 of the page) and
+    /// waits the per-line window.
+    pub fn expected_access_stall(&self) -> SimDuration {
+        match self.granularity {
+            MigrationGranularity::PageBlock => {
+                SimDuration::from_ns(self.page_copy_time().as_ns() / 2)
+            }
+            MigrationGranularity::CacheLineBlock => {
+                let line_window = 64u64.div_ceil(self.copy_bytes_per_ns) + self.line_overhead_ns;
+                // Collision probability 1/64 × expected half-window,
+                // floored at 1 ns.
+                SimDuration::from_ns(((line_window / 2) / 64).max(1))
+            }
+        }
+    }
+
+    /// Total overhead charged for migrating `pages` pages while
+    /// `concurrent_accesses` lookups hit those pages mid-flight.
+    pub fn total_overhead(&self, pages: u64, concurrent_accesses: u64) -> SimDuration {
+        let stall = self.expected_access_stall().as_ns() * concurrent_accesses;
+        let fixed = match self.granularity {
+            // Page-block migrations serialize through the kernel path.
+            MigrationGranularity::PageBlock => self.page_copy_time().as_ns() * pages,
+            // Cache-line migrations overlap with service; only the remap
+            // bookkeeping is exposed.
+            MigrationGranularity::CacheLineBlock => self.os_overhead_ns * pages,
+        };
+        SimDuration::from_ns(fixed + stall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_line_block_is_much_cheaper_per_page() {
+        let pb = MigrationCostModel::page_block();
+        let clb = MigrationCostModel::cache_line_block();
+        let pages = 100;
+        let accesses = 1000;
+        let ratio = pb.total_overhead(pages, accesses).as_ns() as f64
+            / clb.total_overhead(pages, accesses).as_ns() as f64;
+        // §IV-B4 reports "up to 5.1×" at the *system* level, where
+        // page-block cost saturates against useful work; the raw per-page
+        // gap here is necessarily larger (Fig 13(a) reproduces the 5.1×).
+        assert!(ratio > 5.0, "ratio={ratio}");
+    }
+
+    #[test]
+    fn page_block_stall_is_half_the_copy() {
+        let pb = MigrationCostModel::page_block();
+        assert_eq!(
+            pb.expected_access_stall().as_ns(),
+            pb.page_copy_time().as_ns() / 2
+        );
+    }
+
+    #[test]
+    fn cache_line_stall_is_tiny() {
+        let clb = MigrationCostModel::cache_line_block();
+        assert!(clb.expected_access_stall().as_ns() <= 4);
+    }
+
+    #[test]
+    fn overhead_scales_with_pages_and_accesses() {
+        let pb = MigrationCostModel::page_block();
+        assert!(pb.total_overhead(10, 0) < pb.total_overhead(20, 0));
+        assert!(pb.total_overhead(10, 0) < pb.total_overhead(10, 100));
+    }
+
+    #[test]
+    fn copy_time_includes_os_overhead() {
+        let pb = MigrationCostModel::page_block();
+        assert!(pb.page_copy_time().as_ns() > pb.os_overhead_ns);
+    }
+}

@@ -1,0 +1,185 @@
+//! A TPP-style tiering baseline (Fig 13(d)'s comparison point).
+//!
+//! TPP (Transparent Page Placement, ASPLOS'23) promotes CXL pages into
+//! local DRAM when they are re-referenced within a sampling window and
+//! demotes cold local pages under memory pressure. It has no global
+//! cross-host view and no device-spreading — exactly the gap PIFS-Rec's
+//! page management closes, which is why Fig 13(d) shows the cold-age
+//! policy beating it by ~12 %.
+
+use std::collections::HashMap;
+
+use crate::table::{PageId, PageTable, Tier};
+
+/// A minimal TPP-like promotion/demotion policy.
+///
+/// # Examples
+///
+/// ```
+/// use pagemgmt::{PageId, PageTable, Tier, TierCapacities, TppPolicy};
+///
+/// let mut pt = PageTable::new(TierCapacities::new(1, 0, 1, 8));
+/// pt.place(PageId(0), Tier::Cxl(0)).unwrap();
+/// let mut tpp = TppPolicy::new(2);
+/// tpp.on_access(PageId(0), &mut pt); // first touch: sampled
+/// tpp.on_access(PageId(0), &mut pt); // re-reference: promoted
+/// assert_eq!(pt.tier_of(PageId(0)), Some(Tier::Local));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TppPolicy {
+    /// Accesses within the window required to promote.
+    promote_threshold: u64,
+    /// Access counts within the current sampling window.
+    window_counts: HashMap<PageId, u64>,
+    /// LRU approximation for demotion: last-touch sequence numbers of
+    /// local pages.
+    last_touch: HashMap<PageId, u64>,
+    seq: u64,
+    promotions: u64,
+    demotions: u64,
+}
+
+impl TppPolicy {
+    /// Creates a policy that promotes after `promote_threshold` touches
+    /// in one window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `promote_threshold` is zero.
+    pub fn new(promote_threshold: u64) -> Self {
+        assert!(promote_threshold > 0, "threshold must be positive");
+        TppPolicy {
+            promote_threshold,
+            window_counts: HashMap::new(),
+            last_touch: HashMap::new(),
+            seq: 0,
+            promotions: 0,
+            demotions: 0,
+        }
+    }
+
+    /// Observes one access, possibly promoting the page (demoting a
+    /// victim if local DRAM is full).
+    pub fn on_access(&mut self, page: PageId, pt: &mut PageTable) {
+        self.seq += 1;
+        match pt.tier_of(page) {
+            Some(Tier::Local) => {
+                self.last_touch.insert(page, self.seq);
+            }
+            Some(Tier::Cxl(_)) | Some(Tier::Remote) => {
+                let c = self.window_counts.entry(page).or_insert(0);
+                *c += 1;
+                if *c >= self.promote_threshold {
+                    self.window_counts.remove(&page);
+                    self.promote(page, pt);
+                }
+            }
+            None => {}
+        }
+    }
+
+    fn promote(&mut self, page: PageId, pt: &mut PageTable) {
+        let from = pt.tier_of(page).expect("page placed");
+        if pt.move_page(page, Tier::Local).is_err() {
+            // Local full: demote the coldest local page to where the
+            // promoted page came from, then retry.
+            let victim = self
+                .last_touch
+                .iter()
+                .min_by_key(|&(&p, &s)| (s, p))
+                .map(|(&p, _)| p);
+            let Some(victim) = victim else { return };
+            self.last_touch.remove(&victim);
+            if pt.move_page(victim, from).is_err() {
+                return; // both tiers full: give up this round
+            }
+            self.demotions += 1;
+            if pt.move_page(page, Tier::Local).is_err() {
+                return;
+            }
+        }
+        self.last_touch.insert(page, self.seq);
+        self.promotions += 1;
+    }
+
+    /// Ends a sampling window, forgetting single-touch pages.
+    pub fn end_window(&mut self) {
+        self.window_counts.clear();
+    }
+
+    /// Promotions performed.
+    pub fn promotions(&self) -> u64 {
+        self.promotions
+    }
+
+    /// Demotions performed.
+    pub fn demotions(&self) -> u64 {
+        self.demotions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TierCapacities;
+
+    fn setup(local: u64) -> PageTable {
+        let mut pt = PageTable::new(TierCapacities::new(local, 0, 1, 100));
+        for i in 0..10 {
+            pt.place(PageId(i), Tier::Cxl(0)).unwrap();
+        }
+        pt
+    }
+
+    #[test]
+    fn single_touch_does_not_promote() {
+        let mut pt = setup(4);
+        let mut tpp = TppPolicy::new(2);
+        tpp.on_access(PageId(0), &mut pt);
+        assert_eq!(pt.tier_of(PageId(0)), Some(Tier::Cxl(0)));
+        assert_eq!(tpp.promotions(), 0);
+    }
+
+    #[test]
+    fn re_reference_promotes() {
+        let mut pt = setup(4);
+        let mut tpp = TppPolicy::new(2);
+        tpp.on_access(PageId(0), &mut pt);
+        tpp.on_access(PageId(0), &mut pt);
+        assert_eq!(pt.tier_of(PageId(0)), Some(Tier::Local));
+        assert_eq!(tpp.promotions(), 1);
+    }
+
+    #[test]
+    fn window_reset_forgets_samples() {
+        let mut pt = setup(4);
+        let mut tpp = TppPolicy::new(2);
+        tpp.on_access(PageId(0), &mut pt);
+        tpp.end_window();
+        tpp.on_access(PageId(0), &mut pt);
+        assert_eq!(pt.tier_of(PageId(0)), Some(Tier::Cxl(0)));
+    }
+
+    #[test]
+    fn pressure_demotes_the_coldest_local_page() {
+        let mut pt = setup(2);
+        let mut tpp = TppPolicy::new(1);
+        // Promote pages 0 and 1, filling local.
+        tpp.on_access(PageId(0), &mut pt);
+        tpp.on_access(PageId(1), &mut pt);
+        assert_eq!(pt.occupancy(Tier::Local), 2);
+        // Touch page 1 so page 0 is coldest, then promote page 2.
+        tpp.on_access(PageId(1), &mut pt);
+        tpp.on_access(PageId(2), &mut pt);
+        assert_eq!(pt.tier_of(PageId(2)), Some(Tier::Local));
+        assert_eq!(pt.tier_of(PageId(0)), Some(Tier::Cxl(0)));
+        assert_eq!(tpp.demotions(), 1);
+        assert_eq!(pt.occupancy(Tier::Local), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_threshold_rejected() {
+        let _ = TppPolicy::new(0);
+    }
+}

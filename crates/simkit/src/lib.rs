@@ -1,0 +1,46 @@
+//! `simkit` — discrete-event simulation foundation for the PIFS-Rec
+//! reproduction.
+//!
+//! Every timing model in this workspace (the DDR state machines in
+//! [`memsim`](../memsim/index.html), the CXL fabric in
+//! [`cxlsim`](../cxlsim/index.html), the PIFS process core in
+//! `pifs-core`) is built on the primitives here:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution simulated time,
+//!   matching the paper's 1 ns/clk top-module tick (§VI-A).
+//! * [`EventQueue`] — a deterministic time-ordered event queue with FIFO
+//!   tie-breaking.
+//! * [`BandwidthLink`] — a serialization-delay model for bandwidth-limited
+//!   resources (FlexBus lanes, DIMM data buses, switch ports).
+//! * [`BoundedQueue`] — a capacity-limited FIFO used to model backpressure
+//!   (the Accumulate Config Register's `CapacityCounter` in §IV-A3).
+//! * [`stats`] — counters, histograms and bandwidth meters used by every
+//!   experiment harness.
+//! * [`rng`] — a small deterministic RNG so that every figure regenerates
+//!   bit-identically.
+//!
+//! # Examples
+//!
+//! ```
+//! use simkit::{EventQueue, SimTime, SimDuration};
+//!
+//! let mut q: EventQueue<&str> = EventQueue::new();
+//! q.push(SimTime::from_ns(10), "b");
+//! q.push(SimTime::from_ns(5), "a");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!((t.as_ns(), ev), (5, "a"));
+//! ```
+
+pub mod event;
+pub mod link;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use event::EventQueue;
+pub use link::BandwidthLink;
+pub use queue::BoundedQueue;
+pub use rng::DetRng;
+pub use stats::{BandwidthMeter, Counter, Histogram, Summary};
+pub use time::{SimDuration, SimTime};

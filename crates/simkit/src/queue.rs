@@ -1,0 +1,148 @@
+//! A bounded FIFO used to model backpressure.
+//!
+//! The Accumulate Config Register in the PIFS process core imposes
+//! backpressure on upstream modules when its `CapacityCounter` hits the
+//! configured limit (§IV-A3). `BoundedQueue` is the reusable primitive for
+//! that pattern: `try_push` refuses new entries when full, and the caller
+//! models the stall.
+
+use std::collections::VecDeque;
+
+/// A FIFO with a hard capacity limit.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::BoundedQueue;
+///
+/// let mut q = BoundedQueue::new(2);
+/// assert!(q.try_push(1).is_ok());
+/// assert!(q.try_push(2).is_ok());
+/// assert_eq!(q.try_push(3), Err(3)); // full: backpressure
+/// assert_eq!(q.pop(), Some(1));
+/// assert!(q.try_push(3).is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BoundedQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    rejected: u64,
+    high_water: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedQueue {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+            rejected: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Attempts to append `item`; returns it back as `Err` when full.
+    pub fn try_push(&mut self, item: T) -> Result<(), T> {
+        if self.items.len() >= self.capacity {
+            self.rejected += 1;
+            return Err(item);
+        }
+        self.items.push_back(item);
+        self.high_water = self.high_water.max(self.items.len());
+        Ok(())
+    }
+
+    /// Removes and returns the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Returns a reference to the oldest item without removing it.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` when the queue holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Returns `true` when the queue cannot accept another item.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Maximum number of items the queue can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of pushes refused due to a full queue (backpressure events).
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Highest occupancy ever observed.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Iterates over queued items from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_ordering() {
+        let mut q = BoundedQueue::new(3);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        assert_eq!(q.front(), Some(&"a"));
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn rejects_when_full_and_counts_backpressure() {
+        let mut q = BoundedQueue::new(1);
+        q.try_push(1).unwrap();
+        assert!(q.is_full());
+        assert_eq!(q.try_push(2), Err(2));
+        assert_eq!(q.try_push(3), Err(3));
+        assert_eq!(q.rejected(), 2);
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.try_push(3).unwrap();
+        q.pop();
+        q.pop();
+        assert_eq!(q.high_water(), 3);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _: BoundedQueue<u8> = BoundedQueue::new(0);
+    }
+}

@@ -1,0 +1,154 @@
+//! CAPEX/OPEX bill-of-materials for the Fig 16 TCO comparison.
+//!
+//! §VI-E: "Traditional setups involve a CPU in the GPU server along with
+//! NICs and a network switch. PIFS-Rec uses a CPU and fabric switch."
+//! The paper's worked example: RMC4 on a 2 TB system costs $27,769 to
+//! build with PIFS-Rec vs $57,639 for a single-GPU parameter server.
+
+use serde::{Deserialize, Serialize};
+
+use crate::parts;
+
+/// A complete system bill of materials.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemBom {
+    /// Descriptive name.
+    pub kind: BomKind,
+    /// Capital expenditure, USD.
+    pub capex_usd: f64,
+    /// Steady-state power draw, watts.
+    pub power_w: f64,
+}
+
+/// Which architecture a BOM describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BomKind {
+    /// GPU parameter server with `n` GPUs.
+    GpuParameterServer,
+    /// PIFS-Rec: CPU + fabric switch + tiered memory.
+    PifsRec,
+}
+
+/// CAPEX + 3-year OPEX.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TcoReport {
+    /// The system.
+    pub bom: SystemBom,
+    /// 3-year energy cost, USD.
+    pub opex_usd: f64,
+}
+
+impl TcoReport {
+    /// Total cost of ownership.
+    pub fn total_usd(&self) -> f64 {
+        self.bom.capex_usd + self.opex_usd
+    }
+}
+
+impl SystemBom {
+    /// A traditional GPU parameter server: CPU + memory (DDR5) + one NIC
+    /// per GPU + network switch + the GPUs.
+    pub fn gpu_server(n_gpus: u32, memory_gb: u64) -> SystemBom {
+        let n = n_gpus as f64;
+        let capex = parts::SERVER_CPU.price_usd
+            + memory_gb as f64 * parts::DDR5_PER_GB.price_usd
+            + n * parts::NIC.price_usd
+            + parts::NETWORK_SWITCH.price_usd
+            + n * parts::GPU_A100.price_usd;
+        let power = parts::SERVER_CPU.tdp_w
+            + memory_gb as f64 * parts::DDR5_PER_GB.tdp_w
+            + n * parts::NIC.tdp_w
+            + parts::NETWORK_SWITCH.tdp_w
+            + n * parts::GPU_A100.tdp_w;
+        SystemBom {
+            kind: BomKind::GpuParameterServer,
+            capex_usd: capex,
+            power_w: power,
+        }
+    }
+
+    /// A PIFS-Rec system: CPU + fabric switch + a local DDR5 tier plus a
+    /// CXL DDR4 pool. §VI-E conservatively books CXL memory at 90 % of
+    /// local DRAM power.
+    pub fn pifs_rec(local_gb: u64, cxl_gb: u64) -> SystemBom {
+        let capex = parts::SERVER_CPU.price_usd
+            + parts::FABRIC_SWITCH.price_usd
+            + local_gb as f64 * parts::DDR5_PER_GB.price_usd
+            + cxl_gb as f64 * parts::DDR4_PER_GB.price_usd;
+        let power = parts::SERVER_CPU.tdp_w
+            + parts::FABRIC_SWITCH.tdp_w
+            + local_gb as f64 * parts::DDR5_PER_GB.tdp_w
+            + cxl_gb as f64 * parts::DDR4_PER_GB.tdp_w * 0.9;
+        SystemBom {
+            kind: BomKind::PifsRec,
+            capex_usd: capex,
+            power_w: power,
+        }
+    }
+
+    /// CAPEX plus three years of energy.
+    pub fn tco(&self) -> TcoReport {
+        TcoReport {
+            bom: *self,
+            opex_usd: parts::opex_usd(self.power_w),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pifs_2tb_build_cost_matches_the_papers_ballpark() {
+        // §VI-E: "deploying RMC4 on a 2TB system with 64GB DIMMs requires
+        // $27,769 to build a PIFS-Rec system". 2 TB split 20/80 across
+        // DDR5/DDR4 lands in that neighbourhood.
+        let bom = SystemBom::pifs_rec(410, 1638);
+        assert!(
+            (20_000.0..36_000.0).contains(&bom.capex_usd),
+            "capex={}",
+            bom.capex_usd
+        );
+    }
+
+    #[test]
+    fn single_gpu_2tb_server_matches_the_papers_ballpark() {
+        // §VI-E: "a parameter server with a single GPU costs $57,639".
+        let bom = SystemBom::gpu_server(1, 2048);
+        assert!(
+            (48_000.0..66_000.0).contains(&bom.capex_usd),
+            "capex={}",
+            bom.capex_usd
+        );
+    }
+
+    #[test]
+    fn pifs_is_cheaper_than_any_gpu_config() {
+        let pifs = SystemBom::pifs_rec(410, 1638).tco();
+        for n in 1..=4 {
+            let gpu = SystemBom::gpu_server(n, 2048).tco();
+            assert!(pifs.total_usd() < gpu.total_usd(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn opex_savings_are_thousands_over_three_years() {
+        // §VI-E: "PIFS-Rec can save an additional $2,332.14 in OPEX over
+        // three years" — reproduced against the 4-GPU configuration.
+        let pifs = SystemBom::pifs_rec(410, 1638).tco();
+        let gpu = SystemBom::gpu_server(4, 2048).tco();
+        let saving = gpu.opex_usd - pifs.opex_usd;
+        assert!(
+            (1_500.0..3_500.0).contains(&saving),
+            "saving={saving}"
+        );
+    }
+
+    #[test]
+    fn gpu_capex_scales_with_gpu_count() {
+        let one = SystemBom::gpu_server(1, 2048).capex_usd;
+        let four = SystemBom::gpu_server(4, 2048).capex_usd;
+        assert!((four - one - 3.0 * (parts::GPU_A100.price_usd + parts::NIC.price_usd)).abs() < 1.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! System energy model (§VI-D): per-operation energy of an SLS pipeline
+//! on a conventional DIMM + CPU host versus PIFS-Rec.
+//!
+//! The dominant term in bandwidth-bound workloads is data movement:
+//! every byte that crosses a longer wire costs more picojoules. The
+//! paper's Cacti-3DD/Cacti-IO-derived result is a 15.3 % average energy
+//! reduction for PIFS-Rec over the DIMM + CPU baseline, mostly because
+//! accumulated *results* (one row per bag) travel to the host instead of
+//! every candidate row.
+
+use dlrm::ModelConfig;
+use serde::{Deserialize, Serialize};
+
+/// Energy coefficients in picojoules per byte moved / per FLOP.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// DRAM array access, pJ/B.
+    pub dram_pj_per_byte: f64,
+    /// Off-chip DDR bus transfer, pJ/B (Cacti-IO territory).
+    pub ddr_io_pj_per_byte: f64,
+    /// CXL/PCIe SerDes transfer, pJ/B.
+    pub cxl_io_pj_per_byte: f64,
+    /// CPU core energy per accumulate FLOP, pJ.
+    pub cpu_flop_pj: f64,
+    /// Switch process-core energy per accumulate FLOP, pJ.
+    pub pc_flop_pj: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            dram_pj_per_byte: 4.0,
+            ddr_io_pj_per_byte: 6.0,
+            cxl_io_pj_per_byte: 5.0,
+            cpu_flop_pj: 10.0,
+            pc_flop_pj: 1.0,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Energy (nJ) for one bag on the DIMM + CPU baseline: every row is
+    /// read from DRAM, crosses the DDR bus, and is folded on a big
+    /// out-of-order core.
+    pub fn baseline_bag_nj(&self, model: &ModelConfig) -> f64 {
+        let row = model.row_bytes() as f64;
+        let rows = model.bag_size as f64;
+        let flops = rows * model.emb_dim as f64;
+        let per_row = row * (self.dram_pj_per_byte + self.ddr_io_pj_per_byte);
+        (rows * per_row + flops * self.cpu_flop_pj) / 1000.0
+    }
+
+    /// Energy (nJ) for one bag on PIFS-Rec: rows move only DRAM → switch
+    /// over the short downstream hop; one result row crosses to the
+    /// host; folds happen in the lean process core.
+    pub fn pifs_bag_nj(&self, model: &ModelConfig) -> f64 {
+        let row = model.row_bytes() as f64;
+        let rows = model.bag_size as f64;
+        let flops = rows * model.emb_dim as f64;
+        let rows_to_switch = rows * row * (self.dram_pj_per_byte + self.cxl_io_pj_per_byte);
+        let result_to_host = row * self.cxl_io_pj_per_byte;
+        (rows_to_switch + result_to_host + flops * self.pc_flop_pj) / 1000.0
+    }
+
+    /// Fractional energy saving of PIFS-Rec over the baseline.
+    pub fn saving_frac(&self, model: &ModelConfig) -> f64 {
+        let b = self.baseline_bag_nj(model);
+        (b - self.pifs_bag_nj(model)) / b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saving_is_near_the_papers_15_percent() {
+        // §VI-D: "PIFS-Rec reduces the energy consumption by 15.3% on
+        // average" vs conventional DIMM + CPU.
+        let m = EnergyModel::default();
+        let avg: f64 = ModelConfig::all()
+            .iter()
+            .map(|cfg| m.saving_frac(cfg))
+            .sum::<f64>()
+            / 4.0;
+        assert!((0.10..0.22).contains(&avg), "avg saving = {avg}");
+    }
+
+    #[test]
+    fn both_paths_cost_positive_energy() {
+        let m = EnergyModel::default();
+        let cfg = ModelConfig::rmc2();
+        assert!(m.baseline_bag_nj(&cfg) > 0.0);
+        assert!(m.pifs_bag_nj(&cfg) > 0.0);
+        assert!(m.pifs_bag_nj(&cfg) < m.baseline_bag_nj(&cfg));
+    }
+
+    #[test]
+    fn bigger_rows_cost_more_energy() {
+        let m = EnergyModel::default();
+        assert!(m.baseline_bag_nj(&ModelConfig::rmc4()) > m.baseline_bag_nj(&ModelConfig::rmc1()));
+    }
+}

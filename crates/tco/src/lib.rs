@@ -1,0 +1,16 @@
+//! `tco` — cost, power, area, and energy models for §VI-D/E.
+//!
+//! Everything here is analytical, seeded with the paper's own reported
+//! constants: Table III's component catalogue, Fig 18's synthesized
+//! power/area numbers, and the §VI-E TCO assumptions (three years of
+//! OPEX at $0.05/kWh).
+
+pub mod capex;
+pub mod energy;
+pub mod parts;
+pub mod power;
+
+pub use capex::{SystemBom, TcoReport};
+pub use energy::EnergyModel;
+pub use parts::Part;
+pub use power::HardwareOverheads;

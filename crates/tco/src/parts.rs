@@ -1,0 +1,109 @@
+//! Table III: hardware specifications, TDP, and unit prices.
+
+use serde::{Deserialize, Serialize};
+
+/// One catalogue entry from Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Part {
+    /// Short name.
+    pub name: &'static str,
+    /// Thermal design power in watts.
+    pub tdp_w: f64,
+    /// Unit price in USD ("subject to market fluctuations", per the
+    /// paper's own disclaimer).
+    pub price_usd: f64,
+}
+
+/// AMD EPYC 9654, 96C @ 2.4 GHz: 360 W, $4,695.
+pub const SERVER_CPU: Part = Part {
+    name: "AMD EPYC 9654",
+    tdp_w: 360.0,
+    price_usd: 4_695.0,
+};
+
+/// DDR4 (DIMM & CXL memory): $4.90/GB, 21.6 W per 64 GB DIMM.
+pub const DDR4_PER_GB: Part = Part {
+    name: "DDR4 per GB",
+    tdp_w: 21.6 / 64.0,
+    price_usd: 4.90,
+};
+
+/// DDR5: $11.25/GB, 24 W per 64 GB DIMM.
+pub const DDR5_PER_GB: Part = Part {
+    name: "DDR5 per GB",
+    tdp_w: 24.0 / 64.0,
+    price_usd: 11.25,
+};
+
+/// NVIDIA ConnectX-6 200 Gbps IB NIC: 23.6 W, $1,900.
+pub const NIC: Part = Part {
+    name: "ConnectX-6 NIC",
+    tdp_w: 23.6,
+    price_usd: 1_900.0,
+};
+
+/// Juniper QFX10002-36Q 100 Gbps network switch: 360 W, $11,899.
+pub const NETWORK_SWITCH: Part = Part {
+    name: "Juniper QFX10002",
+    tdp_w: 360.0,
+    price_usd: 11_899.0,
+};
+
+/// Tofino-class switch with processing units (the fabric-switch cost
+/// stand-in): 400 W, $13,039.
+pub const FABRIC_SWITCH: Part = Part {
+    name: "Switch + PUs (Tofino)",
+    tdp_w: 400.0,
+    price_usd: 13_039.0,
+};
+
+/// NVIDIA A100 80 GB PCIe: 300 W, $18,900.
+pub const GPU_A100: Part = Part {
+    name: "NVIDIA A100 80GB",
+    tdp_w: 300.0,
+    price_usd: 18_900.0,
+};
+
+/// Electricity price used for OPEX, $ per kWh (§VI-E).
+pub const USD_PER_KWH: f64 = 0.05;
+
+/// OPEX horizon in years (§VI-E: "three years of power usage").
+pub const OPEX_YEARS: f64 = 3.0;
+
+/// Datacenter power-usage-effectiveness: every IT watt costs ~1.3 W at
+/// the meter (cooling + distribution).
+pub const PUE: f64 = 1.3;
+
+/// Energy cost of running `watts` of IT load continuously for the OPEX
+/// horizon, including PUE.
+pub fn opex_usd(watts: f64) -> f64 {
+    let hours = OPEX_YEARS * 365.0 * 24.0;
+    watts * PUE / 1000.0 * hours * USD_PER_KWH
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_matches_table3() {
+        assert_eq!(SERVER_CPU.price_usd, 4_695.0);
+        assert_eq!(GPU_A100.price_usd, 18_900.0);
+        assert_eq!(FABRIC_SWITCH.tdp_w, 400.0);
+        assert_eq!(DDR5_PER_GB.price_usd, 11.25);
+        assert!(DDR4_PER_GB.price_usd < DDR5_PER_GB.price_usd);
+    }
+
+    #[test]
+    fn opex_arithmetic() {
+        // 1 kW IT for 3 years at $0.05/kWh with PUE 1.3:
+        // 26280 h × 1.3 kW × 0.05 ≈ $1708.
+        let usd = opex_usd(1000.0);
+        assert!((usd - 1708.2).abs() < 1.0, "got {usd}");
+    }
+
+    #[test]
+    fn zero_power_costs_nothing() {
+        assert_eq!(opex_usd(0.0), 0.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Trace characterization: skew, reuse, and footprint.
+//!
+//! The characterization study (§III) motivates every PIFS-Rec mechanism
+//! with trace properties — skew justifies the HTR buffer, footprint
+//! justifies CXL pooling, balance justifies embedding spreading. This
+//! module extracts those properties from any [`Trace`].
+
+use std::collections::HashMap;
+
+use crate::trace::Trace;
+
+/// Aggregate properties of a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceProfile {
+    /// Total lookups.
+    pub lookups: u64,
+    /// Distinct (table, row) pairs touched.
+    pub unique_rows: u64,
+    /// Fraction of accesses landing on the top 1 % most popular rows.
+    pub top1pct_mass: f64,
+    /// Fraction of accesses whose previous occurrence of the same row was
+    /// within the last 256 lookups of the same table (temporal reuse).
+    pub near_reuse_frac: f64,
+    /// Touched footprint in bytes for rows of `row_bytes` each.
+    pub touched_bytes: u64,
+}
+
+impl TraceProfile {
+    /// Profiles `trace`, assuming `row_bytes` per row.
+    pub fn of(trace: &Trace, row_bytes: u64) -> TraceProfile {
+        let mut counts: HashMap<(u32, u64), u64> = HashMap::new();
+        let mut last_pos: HashMap<(u32, u64), u64> = HashMap::new();
+        let mut per_table_pos: HashMap<u32, u64> = HashMap::new();
+        let mut near_reuse = 0u64;
+        let mut lookups = 0u64;
+
+        for batch in &trace.batches {
+            for t in &batch.tables {
+                for &row in &t.indices {
+                    let pos = per_table_pos.entry(t.table).or_insert(0);
+                    let key = (t.table, row);
+                    if let Some(&prev) = last_pos.get(&key) {
+                        if *pos - prev <= 256 {
+                            near_reuse += 1;
+                        }
+                    }
+                    last_pos.insert(key, *pos);
+                    *counts.entry(key).or_insert(0) += 1;
+                    *pos += 1;
+                    lookups += 1;
+                }
+            }
+        }
+
+        let mut freq: Vec<u64> = counts.values().copied().collect();
+        freq.sort_unstable_by(|a, b| b.cmp(a));
+        let top_n = (freq.len().max(100) / 100).max(1).min(freq.len());
+        let top_mass: u64 = freq.iter().take(top_n).sum();
+
+        TraceProfile {
+            lookups,
+            unique_rows: counts.len() as u64,
+            top1pct_mass: if lookups == 0 {
+                0.0
+            } else {
+                top_mass as f64 / lookups as f64
+            },
+            near_reuse_frac: if lookups == 0 {
+                0.0
+            } else {
+                near_reuse as f64 / lookups as f64
+            },
+            touched_bytes: counts.len() as u64 * row_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Distribution;
+    use crate::trace::TraceSpec;
+
+    fn profile(dist: Distribution) -> TraceProfile {
+        let spec = TraceSpec {
+            distribution: dist,
+            n_tables: 2,
+            rows_per_table: 10_000,
+            batch_size: 64,
+            n_batches: 16,
+            bag_size: 8,
+            seed: 21,
+        };
+        TraceProfile::of(&spec.generate(), 256)
+    }
+
+    #[test]
+    fn zipf_shows_more_skew_than_random() {
+        let z = profile(Distribution::Zipfian { s: 1.05 });
+        let r = profile(Distribution::Random);
+        assert!(z.top1pct_mass > r.top1pct_mass * 2.0, "z={z:?} r={r:?}");
+    }
+
+    #[test]
+    fn metalike_shows_more_reuse_than_random() {
+        let m = profile(Distribution::MetaLike { reuse_frac: 0.35, s: 1.05 });
+        let r = profile(Distribution::Random);
+        assert!(m.near_reuse_frac > r.near_reuse_frac, "m={m:?} r={r:?}");
+        assert!(m.near_reuse_frac > 0.2);
+    }
+
+    #[test]
+    fn uniform_touches_the_most_unique_rows() {
+        let u = profile(Distribution::Uniform);
+        let z = profile(Distribution::Zipfian { s: 1.05 });
+        assert!(u.unique_rows > z.unique_rows);
+    }
+
+    #[test]
+    fn footprint_counts_unique_rows_only() {
+        let p = profile(Distribution::Zipfian { s: 1.05 });
+        assert_eq!(p.touched_bytes, p.unique_rows * 256);
+        assert!(p.lookups >= p.unique_rows);
+    }
+
+    #[test]
+    fn empty_trace_profiles_cleanly() {
+        let t = Trace {
+            n_tables: 1,
+            rows_per_table: 10,
+            batch_size: 1,
+            bag_size: 1,
+            batches: vec![],
+        };
+        let p = TraceProfile::of(&t, 64);
+        assert_eq!(p.lookups, 0);
+        assert_eq!(p.top1pct_mass, 0.0);
+        assert_eq!(p.near_reuse_frac, 0.0);
+    }
+}

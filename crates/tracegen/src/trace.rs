@@ -1,0 +1,205 @@
+//! The trace container and its generator.
+
+use serde::{Deserialize, Serialize};
+use simkit::DetRng;
+
+use crate::dist::{Distribution, Sampler};
+
+/// Row lookups for one table within one batch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableLookups {
+    /// Table index.
+    pub table: u32,
+    /// `batch_size × bag_size` row indices, sample-major.
+    pub indices: Vec<u64>,
+}
+
+/// One inference batch: lookups for every table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Batch {
+    /// Per-table lookup lists (one entry per table).
+    pub tables: Vec<TableLookups>,
+}
+
+/// A complete embedding-access trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Number of tables.
+    pub n_tables: u32,
+    /// Rows per table.
+    pub rows_per_table: u64,
+    /// Samples per batch.
+    pub batch_size: u32,
+    /// Lookups per table per sample.
+    pub bag_size: u32,
+    /// The batches, in arrival order.
+    pub batches: Vec<Batch>,
+}
+
+impl Trace {
+    /// Total row lookups across the whole trace.
+    pub fn total_lookups(&self) -> u64 {
+        self.batches
+            .iter()
+            .map(|b| b.tables.iter().map(|t| t.indices.len() as u64).sum::<u64>())
+            .sum()
+    }
+
+    /// Iterates over `(batch_idx, table, sample, row)` in arrival order.
+    pub fn iter_lookups(&self) -> impl Iterator<Item = (usize, u32, u32, u64)> + '_ {
+        self.batches.iter().enumerate().flat_map(move |(bi, b)| {
+            b.tables.iter().flat_map(move |t| {
+                t.indices.iter().enumerate().map(move |(k, &row)| {
+                    (bi, t.table, k as u32 / self.bag_size, row)
+                })
+            })
+        })
+    }
+
+    /// The bag (row indices) for `(table, sample)` within batch `batch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of range.
+    pub fn bag(&self, batch: usize, table: u32, sample: u32) -> &[u64] {
+        let t = &self.batches[batch].tables[table as usize];
+        let start = sample as usize * self.bag_size as usize;
+        &t.indices[start..start + self.bag_size as usize]
+    }
+}
+
+/// Everything needed to generate a [`Trace`] deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceSpec {
+    /// Index distribution.
+    pub distribution: Distribution,
+    /// Number of tables.
+    pub n_tables: u32,
+    /// Rows per table.
+    pub rows_per_table: u64,
+    /// Samples per batch.
+    pub batch_size: u32,
+    /// Number of batches.
+    pub n_batches: u32,
+    /// Lookups per table per sample.
+    pub bag_size: u32,
+    /// RNG seed; the same spec always yields the same trace.
+    pub seed: u64,
+}
+
+impl TraceSpec {
+    /// Generates the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn generate(&self) -> Trace {
+        assert!(
+            self.n_tables > 0
+                && self.rows_per_table > 0
+                && self.batch_size > 0
+                && self.n_batches > 0
+                && self.bag_size > 0,
+            "all trace dimensions must be positive"
+        );
+        let mut root = DetRng::new(self.seed);
+        // One sampler per table: tables have independent popularity
+        // structure, matching per-table skew in production traces.
+        let mut samplers: Vec<Sampler> = (0..self.n_tables)
+            .map(|_| Sampler::new(self.distribution, self.rows_per_table, root.fork()))
+            .collect();
+        let mut batches = Vec::with_capacity(self.n_batches as usize);
+        for _ in 0..self.n_batches {
+            let tables = samplers
+                .iter_mut()
+                .enumerate()
+                .map(|(t, s)| TableLookups {
+                    table: t as u32,
+                    indices: (0..self.batch_size as u64 * self.bag_size as u64)
+                        .map(|_| s.next_index())
+                        .collect(),
+                })
+                .collect();
+            batches.push(Batch { tables });
+        }
+        Trace {
+            n_tables: self.n_tables,
+            rows_per_table: self.rows_per_table,
+            batch_size: self.batch_size,
+            bag_size: self.bag_size,
+            batches,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> TraceSpec {
+        TraceSpec {
+            distribution: Distribution::Random,
+            n_tables: 3,
+            rows_per_table: 500,
+            batch_size: 8,
+            n_batches: 4,
+            bag_size: 2,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn generation_matches_dimensions() {
+        let t = spec().generate();
+        assert_eq!(t.batches.len(), 4);
+        assert_eq!(t.batches[0].tables.len(), 3);
+        assert_eq!(t.batches[0].tables[0].indices.len(), 16);
+        assert_eq!(t.total_lookups(), 4 * 3 * 16);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(spec().generate(), spec().generate());
+        let mut other = spec();
+        other.seed = 12;
+        assert_ne!(spec().generate(), other.generate());
+    }
+
+    #[test]
+    fn tables_draw_independent_streams() {
+        let t = spec().generate();
+        assert_ne!(
+            t.batches[0].tables[0].indices,
+            t.batches[0].tables[1].indices
+        );
+    }
+
+    #[test]
+    fn bag_slicing_is_consistent_with_iteration() {
+        let t = spec().generate();
+        let bag = t.bag(1, 2, 3);
+        assert_eq!(bag.len(), 2);
+        let collected: Vec<u64> = t
+            .iter_lookups()
+            .filter(|&(b, table, sample, _)| b == 1 && table == 2 && sample == 3)
+            .map(|(_, _, _, row)| row)
+            .collect();
+        assert_eq!(collected, bag);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = spec().generate();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_batches_rejected() {
+        let mut s = spec();
+        s.n_batches = 0;
+        let _ = s.generate();
+    }
+}

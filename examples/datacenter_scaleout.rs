@@ -1,0 +1,59 @@
+//! Scale-out study: multi-host and multi-switch fabrics (§IV-C).
+//!
+//! Sweeps hosts 1→8 on a single switch, then fully connected fabrics of
+//! 2→16 switches with one host + one device each, printing how makespan
+//! scales — the Fig 13(c)/Fig 14 experiment at example scale.
+//!
+//! ```bash
+//! cargo run --release --example datacenter_scaleout
+//! ```
+
+use pifs_rec::prelude::*;
+
+fn main() {
+    let model = ModelConfig::rmc2().scaled_down(16);
+    let trace = TraceSpec {
+        distribution: Distribution::MetaLike { reuse_frac: 0.35, s: 1.05 },
+        n_tables: model.n_tables,
+        rows_per_table: model.emb_num,
+        batch_size: 32,
+        n_batches: 8,
+        bag_size: model.bag_size,
+        seed: 17,
+    }
+    .generate();
+
+    println!("-- multi-host scaling (one switch, 8 devices) --");
+    let mut base = None;
+    for hosts in [1u16, 2, 4, 8] {
+        let mut cfg = SystemConfig::pifs_rec(model.clone());
+        cfg.n_hosts = hosts;
+        let m = SlsSystem::new(cfg).run_trace(&trace);
+        let baseline = *base.get_or_insert(m.total_ns as f64);
+        println!(
+            "  {hosts} host(s): {:>10} ns  speedup {:.2}x",
+            m.total_ns,
+            baseline / m.total_ns as f64
+        );
+    }
+
+    println!();
+    println!("-- multi-switch scaling (one host + one device per switch) --");
+    let mut base = None;
+    for switches in [1u16, 2, 4, 8, 16] {
+        let mut cfg = SystemConfig::pifs_rec(model.clone());
+        cfg.n_switches = switches;
+        cfg.n_hosts = switches;
+        cfg.n_devices = switches.max(8);
+        let m = SlsSystem::new(cfg).run_trace(&trace);
+        let baseline = *base.get_or_insert(m.total_ns as f64);
+        println!(
+            "  {switches:>2} switch(es): {:>10} ns  speedup {:.2}x",
+            m.total_ns,
+            baseline / m.total_ns as f64
+        );
+    }
+    println!();
+    println!("Multi-layer instruction forwarding accumulates rows on the");
+    println!("switch nearest each device; only sub-results cross the fabric.");
+}

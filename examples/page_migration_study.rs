@@ -1,0 +1,74 @@
+//! Page-management deep dive (§IV-B): watch the tiered-memory software
+//! learn the hot set, balance device load, and pay (or avoid) migration
+//! overheads.
+//!
+//! ```bash
+//! cargo run --release --example page_migration_study
+//! ```
+
+use pagemgmt::MigrationGranularity;
+use pifs_rec::prelude::*;
+use pifs_rec::PmConfig;
+
+fn main() {
+    let model = ModelConfig::rmc3().scaled_down(32);
+    let trace = TraceSpec {
+        distribution: Distribution::MetaLike { reuse_frac: 0.35, s: 1.05 },
+        n_tables: model.n_tables,
+        rows_per_table: model.emb_num,
+        batch_size: 32,
+        n_batches: 16,
+        bag_size: model.bag_size,
+        seed: 23,
+    }
+    .generate();
+
+    println!("-- migration granularity (Fig 13a's red vs green) --");
+    for (label, gran) in [
+        ("page-block (OS default)", MigrationGranularity::PageBlock),
+        ("cache-line block (PIFS MC)", MigrationGranularity::CacheLineBlock),
+    ] {
+        let mut cfg = SystemConfig::pifs_rec(model.clone());
+        cfg.warmup_batches = 6; // measure steady state, not the cold boot
+        cfg.page_mgmt = Some(PmConfig {
+            granularity: gran,
+            ..PmConfig::default()
+        });
+        let m = SlsSystem::new(cfg).run_trace(&trace);
+        println!(
+            "  {label:<28} total {:>10} ns  migrations {:>5}  cost {:.2}% of latency",
+            m.total_ns,
+            m.migrations,
+            m.migration_cost_frac() * 100.0
+        );
+    }
+
+    println!();
+    println!("-- what management buys: lookup placement --");
+    for (label, managed) in [("static 80/20 interleave", false), ("PM-managed", true)] {
+        let mut cfg = SystemConfig::pifs_rec(model.clone());
+        cfg.warmup_batches = 6;
+        if !managed {
+            cfg.page_mgmt = None;
+        }
+        let m = SlsSystem::new(cfg).run_trace(&trace);
+        println!(
+            "  {label:<28} local {:>5.1}%  cxl {:>5.1}%  total {:>10} ns",
+            m.local_lookups as f64 / m.lookups as f64 * 100.0,
+            m.cxl_lookups as f64 / m.lookups as f64 * 100.0,
+            m.total_ns
+        );
+    }
+
+    println!();
+    println!("-- device balance (Fig 13b) --");
+    let mut cfg = SystemConfig::pifs_rec(model);
+    cfg.warmup_batches = 6;
+    cfg.n_devices = 8;
+    let m = SlsSystem::new(cfg).run_trace(&trace);
+    let max = *m.device_accesses.iter().max().unwrap_or(&1) as f64;
+    for (d, &c) in m.device_accesses.iter().enumerate() {
+        let bar = "#".repeat((c as f64 / max * 40.0) as usize);
+        println!("  device {d}: {c:>7} accesses  {bar}");
+    }
+}
