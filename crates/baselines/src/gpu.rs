@@ -129,7 +129,10 @@ mod tests {
         let pifs = pifs_throughput_samples_per_us(&m, PIFS_EFFECTIVE_SLS_GBPS);
         let ratio = pifs / gpu;
         assert!(ratio > 1.2, "ratio={ratio:.2}");
-        assert!(ratio < 2.5, "ratio={ratio:.2} should stay near the paper's 1.6×");
+        assert!(
+            ratio < 2.5,
+            "ratio={ratio:.2} should stay near the paper's 1.6×"
+        );
     }
 
     #[test]

@@ -10,7 +10,10 @@ use tracegen::{Distribution, TraceSpec};
 fn bench_e2e(c: &mut Criterion) {
     let model = ModelConfig::rmc1().scaled_down(16);
     let trace = TraceSpec {
-        distribution: Distribution::MetaLike { reuse_frac: 0.35, s: 1.05 },
+        distribution: Distribution::MetaLike {
+            reuse_frac: 0.35,
+            s: 1.05,
+        },
         n_tables: model.n_tables,
         rows_per_table: model.emb_num,
         batch_size: 16,

@@ -8,7 +8,9 @@ fn bench_codec(c: &mut Criterion) {
     let bits = req.encode();
     let mut g = c.benchmark_group("instr_codec");
     g.bench_function("encode", |b| b.iter(|| black_box(&req).encode()));
-    g.bench_function("decode", |b| b.iter(|| M2sReq::decode(black_box(bits)).unwrap()));
+    g.bench_function("decode", |b| {
+        b.iter(|| M2sReq::decode(black_box(bits)).unwrap())
+    });
     g.bench_function("repack", |b| {
         b.iter(|| black_box(&req).repack_for_device(500, 7))
     });

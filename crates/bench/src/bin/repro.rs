@@ -74,16 +74,34 @@ fn table2() {
     let local = memsim::DramConfig::ddr5_4800_local();
     let cxl = memsim::DramConfig::ddr4_cxl_expander();
     let params = cxlsim::CxlParams::default();
+    let dram_json = |cfg: &memsim::DramConfig| {
+        json!({
+            "timings": json!({
+                "cl": cfg.timings.cl, "rcd": cfg.timings.rcd, "rp": cfg.timings.rp,
+                "ras": cfg.timings.ras, "rc": cfg.timings.rc, "wr": cfg.timings.wr,
+                "rtp": cfg.timings.rtp, "cwl": cfg.timings.cwl, "rfc": cfg.timings.rfc,
+                "faw": cfg.timings.faw, "rrd": cfg.timings.rrd,
+                "burst_length": cfg.timings.burst_length,
+                "refi_ns": cfg.timings.refi_ns, "tck_ps": cfg.timings.tck_ps,
+            }),
+            "org": json!({
+                "channels": cfg.org.channels, "ranks": cfg.org.ranks,
+                "banks": cfg.org.banks, "row_bytes": cfg.org.row_bytes,
+                "bus_bytes": cfg.org.bus_bytes, "capacity_bytes": cfg.org.capacity_bytes,
+            }),
+            "peak_gbps": cfg.peak_bandwidth_gbps(),
+        })
+    };
     emit(
         "table2",
         "Hardware configuration (Table II)",
         &json!({
-            "dram_local": { "timings": local.timings, "org": local.org,
-                             "peak_gbps": local.peak_bandwidth_gbps() },
-            "dram_cxl_expander": { "timings": cxl.timings, "org": cxl.org,
-                                    "peak_gbps": cxl.peak_bandwidth_gbps() },
-            "cxl": { "downstream_port_gbps": params.link_gbps,
-                      "round_trip_penalty_ns": params.round_trip_ns() },
+            "dram_local": dram_json(&local),
+            "dram_cxl_expander": dram_json(&cxl),
+            "cxl": json!({
+                "downstream_port_gbps": params.link_gbps,
+                "round_trip_penalty_ns": params.round_trip_ns(),
+            }),
         }),
     );
 }
@@ -115,11 +133,26 @@ fn fig5() {
     let sizes = [1024u64, 2048, 4096, 8192, 16384, 32768, 65536];
     let dims = [16u32, 32, 64, 128];
     let mut out = serde_json::Map::new();
-    for (panel, threading) in [("batch", ThreadingMode::Batch), ("table", ThreadingMode::Table)] {
+    for (panel, threading) in [
+        ("batch", ThreadingMode::Batch),
+        ("table", ThreadingMode::Table),
+    ] {
         for (case, placement, norm_vs_cxl) in [
-            ("remote", InitialPlacement::RemoteFraction { remote_frac: 0.2 }, false),
-            ("cxl", InitialPlacement::CxlFraction { cxl_frac: 0.2 }, false),
-            ("interleave", InitialPlacement::CxlFraction { cxl_frac: 0.2 }, true),
+            (
+                "remote",
+                InitialPlacement::RemoteFraction { remote_frac: 0.2 },
+                false,
+            ),
+            (
+                "cxl",
+                InitialPlacement::CxlFraction { cxl_frac: 0.2 },
+                false,
+            ),
+            (
+                "interleave",
+                InitialPlacement::CxlFraction { cxl_frac: 0.2 },
+                true,
+            ),
         ] {
             let mut series = serde_json::Map::new();
             for dim in dims {
@@ -366,19 +399,25 @@ fn fig13b() {
     let mut base = scale_buffers(SystemConfig::pifs_rec(m.clone()));
     base.n_devices = 16;
     base.page_mgmt = None;
-    base.placement = InitialPlacement::AllCxlBlocked { total_pages: n_pages };
+    base.placement = InitialPlacement::AllCxlBlocked {
+        total_pages: n_pages,
+    };
     base.warmup_batches = 24;
     let before = run_with(base, &trace);
     let mut managed = scale_buffers(SystemConfig::pifs_rec(m));
     managed.n_devices = 16;
-    managed.placement = InitialPlacement::AllCxlBlocked { total_pages: n_pages };
+    managed.placement = InitialPlacement::AllCxlBlocked {
+        total_pages: n_pages,
+    };
     managed.warmup_batches = 24;
     let after = run_with(managed, &trace);
     // The paper plots *relative* access frequency (percent of the
     // busiest device) and quotes the std dev of that series.
     let rel = |v: &Vec<u64>| {
         let max = (*v.iter().max().unwrap_or(&1)).max(1) as f64;
-        v.iter().map(|&x| x as f64 / max * 100.0).collect::<Vec<f64>>()
+        v.iter()
+            .map(|&x| x as f64 / max * 100.0)
+            .collect::<Vec<f64>>()
     };
     // Coefficient of variation (std dev as % of mean): comparable across
     // runs whose total CXL traffic differs (PM also promotes pages away
@@ -386,16 +425,26 @@ fn fig13b() {
     let std_of = |v: &Vec<u64>| {
         let xs: Vec<f64> = v.iter().map(|&x| x as f64).collect();
         let s = simkit::Summary::of(&xs);
-        if s.mean > 0.0 { s.std_dev / s.mean * 100.0 } else { 0.0 }
+        if s.mean > 0.0 {
+            s.std_dev / s.mean * 100.0
+        } else {
+            0.0
+        }
     };
     emit(
         "fig13b",
         "Device access balance before/after PM (Fig 13b; paper std dev 20.6 -> 7.8)",
         &json!({
-            "before": { "accesses": before.device_accesses, "relative": rel(&before.device_accesses),
-                         "cv_percent": std_of(&before.device_accesses) },
-            "after": { "accesses": after.device_accesses, "relative": rel(&after.device_accesses),
-                        "cv_percent": std_of(&after.device_accesses) },
+            "before": json!({
+                "accesses": before.device_accesses.clone(),
+                "relative": rel(&before.device_accesses),
+                "cv_percent": std_of(&before.device_accesses),
+            }),
+            "after": json!({
+                "accesses": after.device_accesses.clone(),
+                "relative": rel(&after.device_accesses),
+                "cv_percent": std_of(&after.device_accesses),
+            }),
         }),
     );
 }
@@ -493,8 +542,7 @@ fn fig14() {
                 // time share on the baseline system (Fig 14 "weighting
                 // the speedup of both SLS and non-SLS operators").
                 let batches_measured = (trace.batches.len() as u32).saturating_sub(4).max(1);
-                let sls_batch_ns =
-                    met.total_ns as f64 / batches_measured as f64 * sls_speedup;
+                let sls_batch_ns = met.total_ns as f64 / batches_measured as f64 * sls_speedup;
                 let f = sls_batch_ns / (sls_batch_ns + dense_batch_ns);
                 let e2e = 1.0 / ((1.0 - f) + f / sls_speedup);
                 speedups.push(e2e);
@@ -599,9 +647,7 @@ fn fig17() {
         let ppw: Vec<f64> = [2u32, 3, 4]
             .iter()
             .map(|&n| vals[(n - 2) as usize] / GpuParameterServer::new(n).power_w())
-            .chain(std::iter::once(
-                pifs / (360.0 + 400.0 + 2048.0 * 0.34),
-            ))
+            .chain(std::iter::once(pifs / (360.0 + 400.0 + 2048.0 * 0.34)))
             .collect();
         rows.push(json!({
             "model": model.name,
@@ -621,14 +667,15 @@ fn fig17() {
 
 fn fig18() {
     let hw = HardwareOverheads::default();
+    let block = |b: &tco::BlockCost| json!({ "name": b.name, "power_mw": b.power_mw, "area_um2": b.area_um2 });
     emit(
         "fig18",
         "Hardware overheads (Fig 18)",
         &json!({
-            "process_core": hw.process_core,
-            "control_logic_registers": hw.control,
-            "on_switch_buffer": hw.buffer,
-            "recnmp_base_x8": hw.recnmp_x8,
+            "process_core": block(&hw.process_core),
+            "control_logic_registers": block(&hw.control),
+            "on_switch_buffer": block(&hw.buffer),
+            "recnmp_base_x8": block(&hw.recnmp_x8),
             "pifs_total_power_mw": hw.pifs_total_power_mw(),
             "power_ratio_vs_recnmp": hw.power_ratio_vs_recnmp(),
             "area_ratio_vs_recnmp": hw.area_ratio_vs_recnmp(),

@@ -69,12 +69,7 @@ pub fn with_warmup(mut cfg: SystemConfig) -> SystemConfig {
 
 /// Runs `cfg` over the standard Meta-like trace.
 pub fn run_std(cfg: SystemConfig) -> RunMetrics {
-    let trace = std_trace(
-        &cfg.model,
-        meta_distribution(),
-        STD_BATCH_SIZE,
-        STD_BATCHES,
-    );
+    let trace = std_trace(&cfg.model, meta_distribution(), STD_BATCH_SIZE, STD_BATCHES);
     SlsSystem::new(with_warmup(cfg)).run_trace(&trace)
 }
 
@@ -87,11 +82,17 @@ pub fn run_with(cfg: SystemConfig, trace: &Trace) -> RunMetrics {
 /// `results/<id>.json` for EXPERIMENTS.md bookkeeping.
 pub fn emit(id: &str, title: &str, value: &serde_json::Value) {
     println!("== {id}: {title} ==");
-    println!("{}", serde_json::to_string_pretty(value).expect("serializable"));
+    println!(
+        "{}",
+        serde_json::to_string_pretty(value).expect("serializable")
+    );
     let dir = std::path::Path::new("results");
     if std::fs::create_dir_all(dir).is_ok() {
         let path = dir.join(format!("{id}.json"));
-        let _ = std::fs::write(&path, serde_json::to_vec_pretty(value).expect("serializable"));
+        let _ = std::fs::write(
+            &path,
+            serde_json::to_vec_pretty(value).expect("serializable"),
+        );
         println!("-> wrote {}", path.display());
     }
     println!();

@@ -16,6 +16,19 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ClusterId(pub u64);
 
+/// Backpressure: the ACR's `CapacityCounter` hit its limit, so a new
+/// cluster cannot be configured until one completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AcrFull;
+
+impl std::fmt::Display for AcrFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ACR at capacity: no free accumulation cluster slot")
+    }
+}
+
+impl std::error::Error for AcrFull {}
+
 /// A finished accumulation ready to return to its host.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompletedCluster {
@@ -79,7 +92,7 @@ impl AccumulateLogic {
     /// Opens a cluster expecting `candidates` rows of `dim` elements,
     /// with the result going to `result_addr`.
     ///
-    /// Returns `Err(())` (a backpressure event) when the ACR is full.
+    /// Returns [`AcrFull`] (a backpressure event) when the ACR is full.
     ///
     /// # Panics
     ///
@@ -91,7 +104,7 @@ impl AccumulateLogic {
         candidates: u32,
         result_addr: u64,
         dim: u32,
-    ) -> Result<(), ()> {
+    ) -> Result<(), AcrFull> {
         assert!(candidates > 0, "a cluster must expect at least one row");
         assert!(dim > 0, "vector dimension must be positive");
         assert!(
@@ -100,7 +113,7 @@ impl AccumulateLogic {
         );
         if self.clusters.len() >= self.capacity {
             self.backpressure_events += 1;
-            return Err(());
+            return Err(AcrFull);
         }
         self.clusters.insert(
             id,

@@ -1,0 +1,222 @@
+//! System configuration: the scheme matrix of the paper's evaluation.
+//!
+//! One configuration type covers every scheme:
+//!
+//! | Scheme | compute | placement | buffer | OoO | page mgmt |
+//! |---|---|---|---|---|---|
+//! | Pond | Host | all-CXL | — | — | — |
+//! | Pond+PM | Host | managed | — | — | yes |
+//! | BEACON-S | Switch | all-CXL | — | in-order | — |
+//! | RecNMP | Dimm | local+spill | DIMM cache | — | — |
+//! | PIFS-Rec | Switch | managed | HTR | OoO | yes |
+
+#![deny(missing_docs)]
+
+use cxlsim::CxlParams;
+use dlrm::{ModelConfig, ThreadingMode};
+use pagemgmt::InitialPlacement;
+
+use crate::buffer::BufferPolicy;
+
+/// Where SLS accumulation executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComputeSite {
+    /// On the host CPU (Pond): every row crosses the fabric to the host.
+    Host,
+    /// In the fabric switch process core (PIFS-Rec, BEACON).
+    Switch,
+    /// In the DIMM (RecNMP) for local rows; CXL rows fall back to host.
+    Dimm,
+}
+
+/// Which page-management policy runs at epoch boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PmStyle {
+    /// This paper's §IV-B design: global hotness, private-hot regions,
+    /// cold-age demotion, embedding spreading.
+    PifsGlobal,
+    /// A TPP-like baseline: promote on re-reference, demote LRU-ish under
+    /// pressure, no global view and no spreading (Fig 13(d)'s "TPP" bar).
+    Tpp,
+}
+
+/// Dynamic page-management knobs (§IV-B).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PmConfig {
+    /// Policy flavour.
+    pub style: PmStyle,
+    /// Fraction of actively-used pages eligible to move per rebalance
+    /// round (Fig 13(a); paper default 35 %).
+    pub migrate_threshold: f64,
+    /// Cold-age demotion threshold for the private hot region
+    /// (Fig 13(d); paper default 20 %, optimum 16 %).
+    pub cold_age_threshold: f64,
+    /// Migration blocking discipline (Fig 13(a) red vs green).
+    pub granularity: pagemgmt::MigrationGranularity,
+}
+
+impl Default for PmConfig {
+    fn default() -> Self {
+        PmConfig {
+            style: PmStyle::PifsGlobal,
+            migrate_threshold: 0.35,
+            cold_age_threshold: 0.16,
+            granularity: pagemgmt::MigrationGranularity::CacheLineBlock,
+        }
+    }
+}
+
+/// On-switch (or on-DIMM) buffer knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferConfig {
+    /// Replacement policy.
+    pub policy: BufferPolicy,
+    /// SRAM capacity in bytes (Fig 15 sweeps 64 KB–1 MB; default 512 KB).
+    pub capacity_bytes: u64,
+}
+
+impl Default for BufferConfig {
+    fn default() -> Self {
+        BufferConfig {
+            policy: BufferPolicy::Htr,
+            capacity_bytes: 512 * 1024,
+        }
+    }
+}
+
+/// Complete configuration of one simulated system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// The DLRM being served (usually a scaled-down Table I model).
+    pub model: ModelConfig,
+    /// CXL Type 3 devices in the pool.
+    pub n_devices: u16,
+    /// Hosts issuing queries.
+    pub n_hosts: u16,
+    /// Fabric switches (devices and hosts are spread round-robin).
+    pub n_switches: u16,
+    /// CPU cores per host running the lookup stage.
+    pub cores_per_host: u32,
+    /// Outstanding memory requests per core (MLP window).
+    pub outstanding: usize,
+    /// Where accumulation happens.
+    pub compute: ComputeSite,
+    /// Initial page placement.
+    pub placement: InitialPlacement,
+    /// Local-DRAM capacity as a fraction of the embedding working set
+    /// (the scaled stand-in for the paper's fixed 128 GB).
+    pub local_capacity_frac: f64,
+    /// Dynamic page management, if enabled.
+    pub page_mgmt: Option<PmConfig>,
+    /// On-switch buffer (PIFS) or DIMM cache (RecNMP), if present.
+    pub buffer: Option<BufferConfig>,
+    /// Out-of-order accumulation in the switch engine.
+    pub ooo: bool,
+    /// Extra per-row address-translation latency in the switch (BEACON's
+    /// added translation logic, §II-B2), ns.
+    pub translation_ns: u64,
+    /// Lookup-stage threading strategy.
+    pub threading: ThreadingMode,
+    /// Fabric latency/bandwidth parameters.
+    pub cxl: CxlParams,
+    /// Batches excluded from measurement: they run first to warm the
+    /// page placement, buffers and hotness state, modeling a system
+    /// measured in steady state rather than from a cold boot. Their
+    /// traffic and migration charges do not appear in
+    /// [`RunMetrics`](crate::system::RunMetrics).
+    pub warmup_batches: u32,
+    /// RNG/workload seed echoed into metrics for provenance.
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    fn base(model: ModelConfig) -> Self {
+        SystemConfig {
+            model,
+            n_devices: 8,
+            n_hosts: 1,
+            n_switches: 1,
+            cores_per_host: 8,
+            outstanding: 16,
+            compute: ComputeSite::Host,
+            placement: InitialPlacement::AllCxl,
+            local_capacity_frac: 0.2,
+            page_mgmt: None,
+            buffer: None,
+            ooo: false,
+            translation_ns: 0,
+            threading: ThreadingMode::Batch,
+            cxl: CxlParams::default(),
+            warmup_batches: 0,
+            seed: 0,
+        }
+    }
+
+    /// Pond (§VI-B): CXL memory pooling, host-side compute, no
+    /// management.
+    pub fn pond(model: ModelConfig) -> Self {
+        Self::base(model)
+    }
+
+    /// Pond plus this paper's page-management software (the "Pond + PM"
+    /// baseline).
+    pub fn pond_pm(model: ModelConfig) -> Self {
+        SystemConfig {
+            placement: InitialPlacement::CxlFraction { cxl_frac: 0.8 },
+            page_mgmt: Some(PmConfig::default()),
+            ..Self::base(model)
+        }
+    }
+
+    /// BEACON-S (§VI-B): in-switch compute, CXL-only memory, added
+    /// translation logic, in-order accumulation, no locality buffer.
+    pub fn beacon(model: ModelConfig) -> Self {
+        SystemConfig {
+            compute: ComputeSite::Switch,
+            translation_ns: 25,
+            ..Self::base(model)
+        }
+    }
+
+    /// RecNMP (§VI-B): DIMM-side accumulation with bank-level parallelism
+    /// and a DIMM cache; fixed local DRAM with CXL spill handled by the
+    /// host.
+    pub fn recnmp(model: ModelConfig, local_frac: f64) -> Self {
+        SystemConfig {
+            compute: ComputeSite::Dimm,
+            placement: InitialPlacement::AllLocal, // spills to CXL when full
+            local_capacity_frac: local_frac,
+            buffer: Some(BufferConfig::default()),
+            ..Self::base(model)
+        }
+    }
+
+    /// PIFS-Rec: in-switch compute, managed tiered placement, HTR
+    /// buffer, out-of-order accumulation.
+    pub fn pifs_rec(model: ModelConfig) -> Self {
+        SystemConfig {
+            compute: ComputeSite::Switch,
+            placement: InitialPlacement::CxlFraction { cxl_frac: 0.8 },
+            page_mgmt: Some(PmConfig::default()),
+            buffer: Some(BufferConfig::default()),
+            ooo: true,
+            ..Self::base(model)
+        }
+    }
+
+    /// PIFS-Rec on a laptop-scale RMC1 — the quickstart configuration.
+    pub fn pifs_rec_default() -> Self {
+        Self::pifs_rec(ModelConfig::rmc1().scaled_down(4))
+    }
+
+    /// Total embedding pages for this model.
+    pub fn n_pages(&self) -> u64 {
+        let table_bytes = page_align(self.model.emb_num * self.model.row_bytes());
+        (table_bytes / pagemgmt::PAGE_BYTES) * self.model.n_tables as u64
+    }
+}
+
+/// Rounds `bytes` up to a whole number of pages.
+pub(crate) fn page_align(bytes: u64) -> u64 {
+    bytes.div_ceil(pagemgmt::PAGE_BYTES) * pagemgmt::PAGE_BYTES
+}

@@ -1,0 +1,29 @@
+//! The layered execution engine behind [`SlsSystem`](crate::system::SlsSystem).
+//!
+//! The full-system simulator is decomposed into five layers, each its
+//! own module, so that scaling work (sharding, batching, async issue,
+//! alternative backends) can replace one layer without touching the
+//! others:
+//!
+//! * [`config`] — the scheme matrix: [`SystemConfig`](config::SystemConfig)
+//!   and the Pond / BEACON / RecNMP / PIFS-Rec constructors;
+//! * [`topology`] — the physical plant (hosts, switches, devices,
+//!   remote socket) and its construction from a config;
+//! * [`pipeline`] — the per-query request→forward→DRAM→accumulate path
+//!   as explicit stages behind a small `Stage` trait;
+//! * [`pagemgmt_epoch`] — epoch-boundary page management (§IV-B) and
+//!   the TPP baseline;
+//! * [`metrics`] — [`RunMetrics`](metrics::RunMetrics) and the warmup
+//!   counter-offset bookkeeping.
+//!
+//! The [`system`](crate::system) module composes these into the public
+//! façade; its API (`SlsSystem`, `SystemConfig`, `RunMetrics`, the
+//! scheme constructors) is unchanged by the layering.
+
+#![deny(missing_docs)]
+
+pub mod config;
+pub mod metrics;
+pub mod pagemgmt_epoch;
+pub mod pipeline;
+pub mod topology;

@@ -1,0 +1,275 @@
+//! Epoch-boundary page management: the paper's §IV-B global policy
+//! (hot-page promotion with claim-&-swap, cold-age demotion, embedding
+//! spreading) and the TPP-like baseline, applied between batches.
+
+#![deny(missing_docs)]
+
+use std::collections::HashMap;
+
+use cxlsim::Type3Device;
+use pagemgmt::{
+    DeviceLoad, GlobalHotness, MigrationCostModel, PageId, PageTable, SpreadConfig, Tier,
+};
+use simkit::SimDuration;
+
+use super::config::{PmStyle, SystemConfig};
+use super::metrics::RunMetrics;
+
+/// Mutable view over the state an epoch touches: placement, hotness,
+/// per-device access counts, and the run metrics being charged.
+pub(crate) struct EpochCtx<'a> {
+    /// The run configuration.
+    pub cfg: &'a SystemConfig,
+    /// Page placement being rewritten.
+    pub page_table: &'a mut PageTable,
+    /// Cross-host page-hotness state.
+    pub hotness: &'a mut GlobalHotness,
+    /// Per-device page-access counts within this epoch.
+    pub epoch_dev_pages: &'a mut [HashMap<PageId, u64>],
+    /// Devices (read-only: load statistics).
+    pub devices: &'a [Type3Device],
+    /// Run metrics under construction.
+    pub metrics: &'a mut RunMetrics,
+    /// Monotonic epoch counter.
+    pub pm_epoch: &'a mut u64,
+}
+
+/// Global (cross-host) heat of `page`.
+fn hotness_count(hotness: &GlobalHotness, page: PageId) -> u64 {
+    (0..hotness.n_hosts())
+        .map(|h| hotness.host(h).count(page))
+        .sum()
+}
+
+fn least_loaded_device(devices: &[Type3Device]) -> u16 {
+    devices
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, d)| d.access_count())
+        .map(|(i, _)| i as u16)
+        .unwrap_or(0)
+}
+
+/// One page-management epoch: global hotness classification, hot-page
+/// promotion with claim-&-swap, cold-age demotion, and embedding
+/// spreading across devices. Returns the exposed overhead.
+pub(crate) fn run_pm_epoch(ctx: &mut EpochCtx<'_>) -> SimDuration {
+    let Some(pm) = ctx.cfg.page_mgmt else {
+        return SimDuration::ZERO;
+    };
+    let cost = match pm.granularity {
+        pagemgmt::MigrationGranularity::PageBlock => MigrationCostModel::page_block(),
+        pagemgmt::MigrationGranularity::CacheLineBlock => MigrationCostModel::cache_line_block(),
+    };
+    let migrations_before = ctx.page_table.migrations();
+
+    if pm.style == PmStyle::Tpp {
+        return run_tpp_epoch(ctx, &cost, migrations_before);
+    }
+
+    // 1. Promote globally hottest pages into local DRAM. Promotion is
+    // budgeted per epoch so migration overhead amortizes over the
+    // run instead of thrashing on the first batch.
+    let hot_capacity = ctx.page_table.capacities().local_pages as usize;
+    // Aggressive promotion while the hot set is being learned, then a
+    // trickle: steady-state churn would otherwise chase Zipf-tail
+    // sampling noise forever.
+    let promote_budget = if *ctx.pm_epoch < 4 {
+        (hot_capacity / 4).max(8) as u64
+    } else {
+        // Steady-state trickle, scaled by the migrate threshold
+        // (Fig 13(a)'s knob: a higher threshold moves more pages).
+        ((pm.migrate_threshold * 48.0) as u64).max(4)
+    };
+    let classes = ctx.hotness.classify(hot_capacity);
+    let mut promoted = 0u64;
+    let mut hot_pages: Vec<(u64, PageId)> = classes
+        .iter()
+        .filter(|(_, c)| matches!(c, pagemgmt::PageClass::PrivateHot(_)))
+        .map(|(&p, _)| (hotness_count(ctx.hotness, p), p))
+        // Tail pages with a couple of accesses churn in and out of
+        // the hot set; only promote pages with real heat.
+        .filter(|&(heat, _)| heat >= 4)
+        .collect();
+    // Hottest first, deterministic tie-break.
+    hot_pages.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let hot_pages: Vec<PageId> = hot_pages.into_iter().map(|(_, p)| p).collect();
+    // Current local residents, coldest first, available for swapping.
+    let mut residents: Vec<(PageId, u64)> = ctx
+        .page_table
+        .iter()
+        .filter(|&(_, t)| t == Tier::Local)
+        .map(|(p, _)| (p, hotness_count(ctx.hotness, p)))
+        .collect();
+    residents.sort_unstable_by_key(|&(p, c)| (c, p));
+    let mut resident_cursor = 0usize;
+    for page in hot_pages {
+        if promoted >= promote_budget {
+            break;
+        }
+        if ctx.page_table.tier_of(page) == Some(Tier::Local) {
+            continue;
+        }
+        if ctx.page_table.move_page(page, Tier::Local).is_ok() {
+            promoted += 1;
+            continue;
+        }
+        // Local full: claim & swap with the coldest resident.
+        while resident_cursor < residents.len() {
+            let (victim, victim_heat) = residents[resident_cursor];
+            resident_cursor += 1;
+            if ctx.page_table.tier_of(victim) != Some(Tier::Local) {
+                continue;
+            }
+            // Hysteresis: only displace a resident when the candidate
+            // is clearly hotter, otherwise promotion thrashes.
+            if hotness_count(ctx.hotness, page) < victim_heat.saturating_mul(2).max(4) {
+                break; // residents are comparably hot; stop promoting
+            }
+            ctx.page_table.swap(page, victim);
+            promoted += 1;
+            break;
+        }
+        if resident_cursor >= residents.len() {
+            break;
+        }
+    }
+
+    // 2. Cold-age demotion of stale private-hot pages (bounded per
+    // epoch so demotion churn cannot swamp useful work).
+    let mut demotions = ctx
+        .hotness
+        .demotions(&classes, hot_capacity, pm.cold_age_threshold);
+    demotions.truncate(((pm.migrate_threshold * 24.0) as usize).max(2));
+    for page in demotions {
+        if ctx.page_table.tier_of(page) == Some(Tier::Local) {
+            // Send it to the least-loaded device.
+            let dev = least_loaded_device(ctx.devices);
+            let _ = ctx.page_table.move_page(page, Tier::Cxl(dev));
+        }
+    }
+
+    // 3. Embedding spreading across devices, budgeted by the migrate
+    // threshold (larger threshold ⇒ more pages eligible to move).
+    // Spreading runs periodically — device-level imbalance drifts
+    // slowly, and rebalancing every epoch would re-chase sampling
+    // noise.
+    *ctx.pm_epoch += 1;
+    if !(*ctx.pm_epoch).is_multiple_of(4) {
+        // Epoch bookkeeping still advances below.
+        for m in ctx.epoch_dev_pages.iter_mut() {
+            m.clear();
+        }
+        for h in 0..ctx.hotness.n_hosts() {
+            ctx.hotness.host_mut(h).decay();
+        }
+        let migrated = ctx.page_table.migrations() - migrations_before;
+        ctx.metrics.migrations += migrated;
+        let _ = promoted;
+        let concurrent = migrated * 2;
+        return cost.total_overhead(migrated, concurrent);
+    }
+    let active_pages: usize = ctx.epoch_dev_pages.iter().map(|m| m.len()).sum();
+    // Budget scales with the observed imbalance: balanced traffic
+    // gets a trickle, a Fig 10(b)-style hotspot gets aggressive
+    // redistribution.
+    let dev_totals: Vec<u64> = ctx
+        .epoch_dev_pages
+        .iter()
+        .map(|m| m.values().sum::<u64>())
+        .collect();
+    let avg = (dev_totals.iter().sum::<u64>() as f64 / dev_totals.len().max(1) as f64).max(1.0);
+    let imbalance = dev_totals.iter().copied().max().unwrap_or(0) as f64 / avg;
+    let budget = ((active_pages as f64 * pm.migrate_threshold / 8.0).ceil() as usize).clamp(
+        1,
+        ((pm.migrate_threshold * 192.0 * imbalance) as usize).max(8),
+    );
+    let mut loads: Vec<DeviceLoad> = ctx
+        .epoch_dev_pages
+        .iter()
+        .enumerate()
+        .map(|(d, pages)| DeviceLoad {
+            pages: pages
+                .iter()
+                .filter(|(p, _)| ctx.page_table.tier_of(**p) == Some(Tier::Cxl(d as u16)))
+                .map(|(&p, &c)| (p, c))
+                .collect(),
+            capacity: ctx.page_table.capacities().cxl_pages_per_dev,
+        })
+        .collect();
+    let moves = pagemgmt::rebalance(
+        &mut loads,
+        &SpreadConfig {
+            migrate_threshold: 0.35,
+            max_rounds: budget,
+        },
+    );
+    for m in &moves {
+        let _ = ctx.page_table.move_page(m.page, Tier::Cxl(m.to));
+    }
+
+    // Epoch cleanup.
+    for m in ctx.epoch_dev_pages.iter_mut() {
+        m.clear();
+    }
+    for h in 0..ctx.hotness.n_hosts() {
+        ctx.hotness.host_mut(h).decay();
+    }
+
+    let migrated = ctx.page_table.migrations() - migrations_before;
+    ctx.metrics.migrations += migrated;
+    let _ = promoted;
+    // In-flight lookups colliding with migrating pages: a couple per
+    // moved page at DLRM arrival rates.
+    let concurrent = migrated * 2;
+    cost.total_overhead(migrated, concurrent)
+}
+
+/// TPP-like epoch: promote every page re-referenced this epoch
+/// (heat ≥ 2), evicting the least-recently-promoted page when local
+/// DRAM is full. No spreading, no global coordination.
+fn run_tpp_epoch(
+    ctx: &mut EpochCtx<'_>,
+    cost: &MigrationCostModel,
+    migrations_before: u64,
+) -> SimDuration {
+    let mut candidates: Vec<(u64, PageId)> = Vec::new();
+    for h in 0..ctx.hotness.n_hosts() {
+        for (page, heat) in ctx.hotness.host(h).iter() {
+            if heat >= 2 && ctx.page_table.tier_of(page) != Some(Tier::Local) {
+                candidates.push((heat, page));
+            }
+        }
+    }
+    candidates.sort_unstable_by(|a, b| b.cmp(a));
+    candidates.truncate(64);
+    // Demotion victims: current locals, coldest first.
+    let mut locals: Vec<(u64, PageId)> = ctx
+        .page_table
+        .iter()
+        .filter(|&(_, t)| t == Tier::Local)
+        .map(|(p, _)| (hotness_count(ctx.hotness, p), p))
+        .collect();
+    locals.sort_unstable();
+    let mut victim_cursor = 0usize;
+    for (_, page) in candidates {
+        if ctx.page_table.move_page(page, Tier::Local).is_ok() {
+            continue;
+        }
+        if victim_cursor >= locals.len() {
+            break;
+        }
+        let (_, victim) = locals[victim_cursor];
+        victim_cursor += 1;
+        ctx.page_table.swap(page, victim);
+    }
+    for m in ctx.epoch_dev_pages.iter_mut() {
+        m.clear();
+    }
+    for h in 0..ctx.hotness.n_hosts() {
+        ctx.hotness.host_mut(h).decay();
+    }
+    let migrated = ctx.page_table.migrations() - migrations_before;
+    ctx.metrics.migrations += migrated;
+    cost.total_overhead(migrated, migrated * 2)
+}

@@ -1,0 +1,560 @@
+//! The per-query timing path, decomposed into explicit stages.
+//!
+//! Each SLS bag flows request→forward→DRAM→accumulate through a fixed
+//! sequence of [`Stage`]s operating on a shared [`EngineCtx`]:
+//!
+//! 1. [`ClassifyStage`] — resolve rows to tiers, record hotness;
+//! 2. [`LocalGatherStage`] — host-DRAM rows (DIMM-side fold for RecNMP);
+//! 3. [`RemoteGatherStage`] — remote-socket rows over the socket link;
+//! 4. [`CxlGatherStage`] — pooled-CXL rows, on the host (Pond/RecNMP
+//!    spill) or in the fabric switch (PIFS/BEACON);
+//! 5. [`FinalizeStage`] — fold the functional checksum into the metrics.
+//!
+//! Timing is resource-based: every shared medium (host FlexBus links,
+//! switch transit, device links, DRAM banks/buses, the accumulate unit)
+//! is a stateful resource that serializes contending work, so congestion
+//! and parallelism emerge rather than being assumed.
+
+#![deny(missing_docs)]
+
+use std::collections::{HashMap, VecDeque};
+
+use cxlsim::{M2sReq, SwitchId, Topology, Type3Device};
+use dlrm::EmbeddingTable;
+use memsim::{DramDevice, MemOp};
+use pagemgmt::{GlobalHotness, PageId, PageTable, Tier};
+use simkit::{SimDuration, SimTime};
+
+use super::config::{ComputeSite, SystemConfig};
+use super::metrics::RunMetrics;
+use super::topology::{spread_addr, HostCtx, SwitchCtx};
+use crate::acr::ClusterId;
+use crate::forward::ForwardOutcome;
+
+/// Host-side cost of issuing one instruction (decode + queue into the
+/// CXL controller).
+pub(crate) const ISSUE_NS: u64 = 2;
+/// Host snoop-detection latency once a result lands (§IV-A2's
+/// CXL.cache-based monitoring).
+pub(crate) const SNOOP_NS: u64 = 10;
+/// Process-core instruction decode occupancy per instruction.
+pub(crate) const DECODE_NS: u64 = 1;
+
+/// Mutable view over the system state a pipeline stage may touch.
+///
+/// The fields are split borrows of [`SlsSystem`](crate::system::SlsSystem)
+/// so stages can contend on hosts, switches and devices independently,
+/// exactly as the monolithic implementation did.
+pub(crate) struct EngineCtx<'a> {
+    /// The run configuration.
+    pub cfg: &'a SystemConfig,
+    /// Host/switch/device adjacency.
+    pub topo: &'a Topology,
+    /// All switches (process cores, buffers, ACR/IIR/FC state).
+    pub switches: &'a mut [SwitchCtx],
+    /// All CXL Type 3 devices.
+    pub devices: &'a mut [Type3Device],
+    /// All hosts (cores, links, local DRAM).
+    pub hosts: &'a mut [HostCtx],
+    /// Link to the remote socket.
+    pub remote_link: &'a mut cxlsim::FlexBusLink,
+    /// Remote-socket DRAM.
+    pub remote_dram: &'a mut DramDevice,
+    /// Page placement (read-only during query processing).
+    pub page_table: &'a PageTable,
+    /// Embedding tables (functional values).
+    pub tables: &'a [EmbeddingTable],
+    /// Cross-host page-hotness state.
+    pub hotness: &'a mut GlobalHotness,
+    /// Per-device page-access counts within the current PM epoch.
+    pub epoch_dev_pages: &'a mut [HashMap<PageId, u64>],
+    /// Run metrics under construction.
+    pub metrics: &'a mut RunMetrics,
+    /// Next ACR cluster id.
+    pub next_cluster: &'a mut u64,
+}
+
+impl EngineCtx<'_> {
+    fn tier_of_addr(&self, addr: u64) -> Tier {
+        self.page_table
+            .tier_of(PageId::of_addr(addr))
+            .expect("every embedding page is placed at construction")
+    }
+}
+
+/// One in-flight SLS bag moving through the pipeline.
+pub(crate) struct BagState<'r> {
+    /// Issuing host.
+    pub host_idx: usize,
+    /// Core-issue time.
+    pub issue: SimTime,
+    /// Embedding table index.
+    pub table: u32,
+    /// Row indices of the bag.
+    pub rows: &'r [u64],
+    /// Per-element fold latency, ns.
+    pub acc_ns: u64,
+    /// Rows resolved to local DRAM: `(row, addr)`.
+    pub local: Vec<(u64, u64)>,
+    /// Rows resolved to the remote socket: `(row, addr)`.
+    pub remote: Vec<(u64, u64)>,
+    /// Rows resolved to pooled CXL: `(device, row, addr)`.
+    pub cxl: Vec<(u16, u64, u64)>,
+    /// The functional accumulator.
+    pub acc: Vec<f32>,
+    /// Completion time of everything observed so far.
+    pub done: SimTime,
+    /// Time the issuing core is next free.
+    pub core_busy: SimTime,
+}
+
+impl<'r> BagState<'r> {
+    fn new(
+        cfg: &SystemConfig,
+        host_idx: usize,
+        issue: SimTime,
+        table: u32,
+        rows: &'r [u64],
+    ) -> Self {
+        let dim = cfg.model.emb_dim as usize;
+        BagState {
+            host_idx,
+            issue,
+            table,
+            rows,
+            acc_ns: (dim as u64).div_ceil(16).max(1),
+            local: Vec::new(),
+            remote: Vec::new(),
+            cxl: Vec::new(),
+            acc: vec![0.0f32; dim],
+            done: issue,
+            core_busy: issue,
+        }
+    }
+}
+
+/// One step of the per-bag request→forward→DRAM→accumulate path.
+///
+/// Stages run in a fixed order over a shared [`EngineCtx`]; each advances
+/// the bag's timing (`done`, `core_busy`) and functional state (`acc`).
+pub(crate) trait Stage: Sync {
+    /// Short stage name for diagnostics.
+    fn name(&self) -> &'static str;
+    /// Advances `bag` through this stage.
+    fn run(&self, ctx: &mut EngineCtx<'_>, bag: &mut BagState<'_>);
+}
+
+/// The standard five-stage bag pipeline, in execution order.
+pub(crate) const STAGES: &[&dyn Stage] = &[
+    &ClassifyStage,
+    &LocalGatherStage,
+    &RemoteGatherStage,
+    &CxlGatherStage,
+    &FinalizeStage,
+];
+
+/// Names of the standard stages, in execution order.
+pub(crate) fn stage_names() -> Vec<&'static str> {
+    STAGES.iter().map(|s| s.name()).collect()
+}
+
+/// Processes one bag through [`STAGES`]; returns
+/// `(completion_time, core_free_time)`.
+pub(crate) fn process_bag(
+    ctx: &mut EngineCtx<'_>,
+    host_idx: usize,
+    issue: SimTime,
+    table: u32,
+    rows: &[u64],
+) -> (SimTime, SimTime) {
+    let mut bag = BagState::new(ctx.cfg, host_idx, issue, table, rows);
+    for stage in STAGES {
+        stage.run(ctx, &mut bag);
+    }
+    (bag.done, bag.core_busy.max(bag.issue))
+}
+
+/// Resolves each row to its tier, records page hotness, and charges the
+/// per-tier lookup counters.
+pub(crate) struct ClassifyStage;
+
+impl Stage for ClassifyStage {
+    fn name(&self) -> &'static str {
+        "classify"
+    }
+
+    fn run(&self, ctx: &mut EngineCtx<'_>, bag: &mut BagState<'_>) {
+        ctx.metrics.lookups += bag.rows.len() as u64;
+        for &row in bag.rows {
+            let addr = ctx.tables[bag.table as usize].row_addr(row);
+            let page = PageId::of_addr(addr);
+            ctx.hotness.host_mut(bag.host_idx).record(page);
+            match ctx.tier_of_addr(addr) {
+                Tier::Local => bag.local.push((row, addr)),
+                Tier::Remote => bag.remote.push((row, addr)),
+                Tier::Cxl(d) => {
+                    let d = d % ctx.cfg.n_devices;
+                    ctx.epoch_dev_pages[d as usize]
+                        .entry(page)
+                        .and_modify(|c| *c += 1)
+                        .or_insert(1);
+                    bag.cxl.push((d, row, addr));
+                }
+            }
+        }
+        ctx.metrics.local_lookups += bag.local.len() as u64;
+        ctx.metrics.remote_lookups += bag.remote.len() as u64;
+        ctx.metrics.cxl_lookups += bag.cxl.len() as u64;
+    }
+}
+
+/// Local rows: host-compute everywhere except RecNMP, which folds in
+/// the DIMM using bank-level parallelism and its DIMM cache.
+pub(crate) struct LocalGatherStage;
+
+impl Stage for LocalGatherStage {
+    fn name(&self) -> &'static str {
+        "local-gather"
+    }
+
+    fn run(&self, ctx: &mut EngineCtx<'_>, bag: &mut BagState<'_>) {
+        if bag.local.is_empty() {
+            return;
+        }
+        let row_bytes = ctx.cfg.model.row_bytes();
+        let is_nmp = ctx.cfg.compute == ComputeSite::Dimm;
+        let start = bag.core_busy;
+        let mut window: VecDeque<SimTime> = VecDeque::new();
+        let mut t = start;
+        let mut last = start;
+        for &(row, addr) in &bag.local {
+            if !is_nmp && window.len() >= ctx.cfg.outstanding {
+                t = t.max(window.pop_front().expect("window non-empty"));
+            }
+            let host = &mut ctx.hosts[bag.host_idx];
+            let mut served_from_cache = false;
+            if is_nmp {
+                if let Some(cache) = host.dimm_cache.as_mut() {
+                    served_from_cache = cache.access(addr);
+                }
+            }
+            let data = if served_from_cache {
+                let lat = host
+                    .dimm_cache
+                    .as_ref()
+                    .expect("cache present")
+                    .access_latency();
+                t + lat
+            } else {
+                host.dram
+                    .access_span(t, spread_addr(addr), row_bytes, MemOp::Read)
+            };
+            // RecNMP gathers with bank-level parallelism inside the DIMM:
+            // the whole bag is issued at once and folds pipeline behind
+            // the data (§VI-C1: "the latter performs data fetch with
+            // bank-level parallelism"). Hosts fold on the core with a
+            // bounded MLP window.
+            let fold_done =
+                data + SimDuration::from_ns(if is_nmp { bag.acc_ns / 2 } else { bag.acc_ns });
+            dlrm::sls::accumulate_row(&mut bag.acc, &ctx.tables[bag.table as usize], row, 1.0);
+            window.push_back(fold_done);
+            t += SimDuration::from_ns(if is_nmp { 1 } else { ISSUE_NS });
+            last = last.max(fold_done);
+        }
+        // Local gathers are software-pipelined across bags (prefetch
+        // hides local DRAM latency — the CPU optimizations of the
+        // paper's [8]); the core is free once the loads are in flight.
+        // RecNMP likewise returns asynchronously with its pooled result.
+        bag.done = bag.done.max(last);
+        bag.core_busy = t;
+    }
+}
+
+/// Remote-socket rows: a bounded MLP window over the socket link and the
+/// partially-populated remote DRAM; synchronous on the issuing core.
+pub(crate) struct RemoteGatherStage;
+
+impl Stage for RemoteGatherStage {
+    fn name(&self) -> &'static str {
+        "remote-gather"
+    }
+
+    fn run(&self, ctx: &mut EngineCtx<'_>, bag: &mut BagState<'_>) {
+        if bag.remote.is_empty() {
+            return;
+        }
+        let row_bytes = ctx.cfg.model.row_bytes();
+        let mut window: VecDeque<SimTime> = VecDeque::new();
+        let mut t = bag.core_busy;
+        let mut last = bag.core_busy;
+        for &(row, addr) in &bag.remote {
+            if window.len() >= ctx.cfg.outstanding {
+                t = t.max(window.pop_front().expect("window non-empty"));
+            }
+            let sent = ctx.remote_link.transfer(t, 16);
+            let data = ctx
+                .remote_dram
+                .access_span(sent, spread_addr(addr), row_bytes, MemOp::Read);
+            let back = ctx.remote_link.transfer(data, row_bytes);
+            let fold_done = back + SimDuration::from_ns(bag.acc_ns);
+            dlrm::sls::accumulate_row(&mut bag.acc, &ctx.tables[bag.table as usize], row, 1.0);
+            window.push_back(fold_done);
+            t += SimDuration::from_ns(ISSUE_NS);
+            last = last.max(fold_done);
+        }
+        bag.done = bag.done.max(last);
+        bag.core_busy = bag.core_busy.max(last); // synchronous on the core
+    }
+}
+
+/// Pooled-CXL rows: dispatches to host-side folding (Pond, RecNMP
+/// spill) or in-switch accumulation (PIFS, BEACON) per the configured
+/// compute site.
+pub(crate) struct CxlGatherStage;
+
+impl Stage for CxlGatherStage {
+    fn name(&self) -> &'static str {
+        "cxl-gather"
+    }
+
+    fn run(&self, ctx: &mut EngineCtx<'_>, bag: &mut BagState<'_>) {
+        if bag.cxl.is_empty() {
+            return;
+        }
+        let (cxl_done, core_after) = match ctx.cfg.compute {
+            ComputeSite::Host | ComputeSite::Dimm => cxl_rows_host_compute(ctx, bag),
+            ComputeSite::Switch => cxl_rows_switch_compute(ctx, bag),
+        };
+        bag.done = bag.done.max(cxl_done);
+        bag.core_busy = core_after;
+    }
+}
+
+/// Folds the bag's functional checksum into the run metrics.
+pub(crate) struct FinalizeStage;
+
+impl Stage for FinalizeStage {
+    fn name(&self) -> &'static str {
+        "finalize"
+    }
+
+    fn run(&self, ctx: &mut EngineCtx<'_>, bag: &mut BagState<'_>) {
+        ctx.metrics.checksum += bag.acc.iter().map(|&x| x as f64).sum::<f64>();
+    }
+}
+
+/// Rows of one bag homed on one switch, as indices into `BagState::cxl`.
+type SwitchGroup = (SwitchId, Vec<usize>);
+
+/// Pond-style CXL handling: each row crosses the whole fabric to the
+/// host, which folds it on a core.
+fn cxl_rows_host_compute(ctx: &mut EngineCtx<'_>, bag: &mut BagState<'_>) -> (SimTime, SimTime) {
+    let row_bytes = ctx.cfg.model.row_bytes();
+    let host_switch = ctx.topo.host_switch(bag.host_idx);
+    let start = bag.core_busy;
+    let mut window: VecDeque<SimTime> = VecDeque::new();
+    let mut t = start;
+    let mut last = start;
+    for &(dev, row, addr) in &bag.cxl {
+        if window.len() >= ctx.cfg.outstanding {
+            t = t.max(window.pop_front().expect("window non-empty"));
+        }
+        let sent = ctx.hosts[bag.host_idx]
+            .req_link
+            .transfer(t, M2sReq::WIRE_BYTES);
+        let dev_switch = ctx.topo.device_switch(dev as usize);
+        let hop = ctx.topo.hop_latency(host_switch, dev_switch);
+        let at_switch = ctx.switches[dev_switch.0 as usize].sw.transit(sent) + hop;
+        let data_at_switch =
+            ctx.devices[dev as usize].read(at_switch, spread_addr(addr), row_bytes);
+        let back_at_host_switch = data_at_switch + hop;
+        let at_host = ctx.hosts[bag.host_idx]
+            .rsp_link
+            .transfer(back_at_host_switch, row_bytes + M2sReq::WIRE_BYTES);
+        let fold_done = at_host + SimDuration::from_ns(bag.acc_ns);
+        dlrm::sls::accumulate_row(&mut bag.acc, &ctx.tables[bag.table as usize], row, 1.0);
+        window.push_back(fold_done);
+        t += SimDuration::from_ns(ISSUE_NS);
+        last = last.max(fold_done);
+    }
+    // The gather loop is software-pipelined across bags; the run is
+    // bound by fabric bandwidth (every row crosses the host link,
+    // which is Pond's structural handicap), not by one bag's RTT.
+    (last, t)
+}
+
+/// PIFS/BEACON CXL handling: the host streams `Configuration` +
+/// `DataFetch` instructions and goes on with its life; the switch
+/// fetches, accumulates and pushes the result back for the snooping
+/// host.
+fn cxl_rows_switch_compute(ctx: &mut EngineCtx<'_>, bag: &mut BagState<'_>) -> (SimTime, SimTime) {
+    let row_bytes = ctx.cfg.model.row_bytes();
+    let dim = ctx.cfg.model.emb_dim;
+    let host_idx = bag.host_idx;
+    let table = bag.table;
+    let host_switch = ctx.topo.host_switch(host_idx);
+    let local_sw_idx = host_switch.0 as usize;
+    let cluster = ClusterId(*ctx.next_cluster);
+    *ctx.next_cluster += 1;
+
+    // Group rows by the switch homing their device.
+    let mut by_switch: Vec<SwitchGroup> = Vec::new();
+    for (i, &(dev, _, _)) in bag.cxl.iter().enumerate() {
+        let s = ctx.topo.device_switch(dev as usize);
+        match by_switch.iter_mut().find(|(sid, _)| *sid == s) {
+            Some((_, v)) => v.push(i),
+            None => by_switch.push((s, vec![i])),
+        }
+    }
+
+    // Host issues Configuration + one DataFetch per row on its
+    // request link, then is free (asynchronous communication).
+    let chunks = (row_bytes.div_ceil(16)).min(8) as u8;
+    let config_req = M2sReq::configuration(
+        0xF000_0000,
+        (cluster.0 & 0x1FF) as u16,
+        bag.cxl.len() as u16,
+        host_idx as u16,
+    );
+    debug_assert_eq!(config_req.opcode, cxlsim::MemOpcode::Configuration);
+    let mut t = bag.core_busy;
+    // Arrival time of each DataFetch at its switch, indexed by the row's
+    // position in `bag.cxl` (positional, so duplicate rows in one bag
+    // keep their own serialized issue/arrival times).
+    let mut instr_arrivals: Vec<SimTime> = Vec::with_capacity(bag.cxl.len());
+    let config_arrival = {
+        let sent = ctx.hosts[host_idx].req_link.transfer(t, M2sReq::WIRE_BYTES);
+        t += SimDuration::from_ns(ISSUE_NS);
+        ctx.switches[local_sw_idx].sw.transit(sent)
+    };
+    for &(dev, _row, addr) in &bag.cxl {
+        let req = M2sReq::data_fetch(addr, (cluster.0 & 0x1FF) as u16, chunks, host_idx as u16);
+        debug_assert!(crate::instrflow::check_memopcode(&req) == crate::InstrRoute::ProcessCore);
+        let sent = ctx.hosts[host_idx].req_link.transfer(t, M2sReq::WIRE_BYTES);
+        t += SimDuration::from_ns(ISSUE_NS);
+        let s = ctx.topo.device_switch(dev as usize);
+        let hop = ctx.topo.hop_latency(host_switch, s);
+        instr_arrivals.push(ctx.switches[local_sw_idx].sw.transit(sent) + hop);
+    }
+    let core_free = t;
+
+    // The local ACR opens the cluster when the Configuration lands.
+    let _ = config_arrival;
+    ctx.switches[local_sw_idx]
+        .acr
+        .configure(cluster, bag.cxl.len() as u32, 0xF000_0000, dim)
+        .unwrap_or_else(|_| panic!("ACR backpressure not modeled as fatal: raise ACR_CAPACITY"));
+    ctx.switches[local_sw_idx]
+        .fc
+        .open(cluster, by_switch.len() as u32, dim);
+
+    // Each switch group accumulates its sub-cluster.
+    let mut final_done = config_arrival;
+    let mut merged_acc: Option<Vec<f32>> = None;
+    for (sid, group) in &by_switch {
+        // §IV-C2 versatility: a remote switch without a process core
+        // (CNV = 0) cannot accumulate — the local switch does all the
+        // work and raw rows stream across the inter-switch fabric.
+        let remote_cnv = ctx.switches[sid.0 as usize].sw.cnv();
+        let s_idx = if remote_cnv {
+            sid.0 as usize
+        } else {
+            local_sw_idx
+        };
+        let mut sub_acc = vec![0.0f32; dim as usize];
+        let mut sub_last = SimTime::ZERO;
+        for &i in group {
+            let (dev, row, addr) = bag.cxl[i];
+            let arrival = instr_arrivals[i];
+            // Decode (+ BEACON's translation logic) serializes in the PC.
+            let sw = &mut ctx.switches[s_idx];
+            let decode_start = arrival.max(sw.decode_free);
+            sw.decode_free = decode_start + SimDuration::from_ns(DECODE_NS);
+            let decoded = sw.decode_free + SimDuration::from_ns(ctx.cfg.translation_ns);
+
+            // Register in the IIR, repack and fetch (buffer first).
+            let fetch_req =
+                M2sReq::data_fetch(addr, (cluster.0 & 0x1FF) as u16, chunks, host_idx as u16);
+            let _ = sw.iir.register(fetch_req);
+            let hit = sw.buffer.as_mut().map(|b| b.access(addr)).unwrap_or(false);
+            let mut data_ready = if hit {
+                let lat = sw.buffer.as_ref().expect("buffer present").access_latency();
+                decoded + lat
+            } else {
+                ctx.devices[dev as usize].read(decoded, spread_addr(addr), row_bytes)
+            };
+            if !remote_cnv {
+                // Raw row crosses to the computing (local) switch.
+                data_ready = data_ready
+                    + ctx.topo.hop_latency(*sid, host_switch)
+                    + SimDuration::from_ns(row_bytes / ctx.cfg.cxl.link_gbps.max(1) + 1);
+            }
+            let sw = &mut ctx.switches[s_idx];
+            sw.iir.match_return(addr);
+            let folded = sw.engine.process_row(data_ready, cluster);
+            dlrm::sls::accumulate_row(&mut sub_acc, &ctx.tables[table as usize], row, 1.0);
+            sub_last = sub_last.max(folded);
+        }
+        ctx.switches[s_idx].engine.complete_cluster(cluster);
+
+        // Ship the sub-result to the local switch (free when the
+        // accumulation already happened locally).
+        let hop = if remote_cnv {
+            ctx.topo.hop_latency(*sid, host_switch)
+        } else {
+            SimDuration::ZERO
+        };
+        let sub_at_local = sub_last + hop;
+        match ctx.switches[local_sw_idx]
+            .fc
+            .on_sub_result(cluster, &sub_acc, sub_at_local)
+        {
+            ForwardOutcome::Waiting => {}
+            ForwardOutcome::Complete(vec, at) => {
+                merged_acc = Some(vec);
+                final_done = final_done.max(at);
+            }
+        }
+    }
+
+    // Retire the cluster in the ACR by feeding the merged result as
+    // bookkeeping (counts were tracked per arrival by the engine; the
+    // ACR holds the canonical counter).
+    let merged = merged_acc.expect("all sub-clusters reported");
+    for _ in 0..bag.cxl.len() {
+        // Drain the SumCandidateCounter.
+        let zero = vec![0.0f32; dim as usize];
+        let _ = ctx.switches[local_sw_idx].acr.on_row(cluster, &zero, 1.0);
+    }
+    for (a, &v) in bag.acc.iter_mut().zip(&merged) {
+        *a += v;
+    }
+
+    // Result returns to the reserved host address via CXL.cache D2H;
+    // the host's snooping daemon notices shortly after.
+    let at_host = ctx.hosts[host_idx]
+        .rsp_link
+        .transfer(final_done, row_bytes + M2sReq::WIRE_BYTES);
+    let visible = at_host + SimDuration::from_ns(SNOOP_NS);
+    (visible, core_free)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_run_in_request_to_accumulate_order() {
+        let names: Vec<&str> = STAGES.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "classify",
+                "local-gather",
+                "remote-gather",
+                "cxl-gather",
+                "finalize"
+            ]
+        );
+    }
+}

@@ -49,13 +49,14 @@
 
 pub mod acr;
 pub mod buffer;
+pub mod engine;
 pub mod forward;
 pub mod iir;
 pub mod instrflow;
 pub mod ooo;
 pub mod system;
 
-pub use acr::{AccumulateLogic, ClusterId};
+pub use acr::{AccumulateLogic, AcrFull, ClusterId};
 pub use buffer::{BufferPolicy, OnSwitchBuffer};
 pub use forward::{ForwardController, ForwardOutcome};
 pub use iir::IngressRegistry;

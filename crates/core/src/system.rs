@@ -1,7 +1,11 @@
-//! The full-system model: hosts, fabric switches, CXL devices, tiered
+//! The full-system façade: hosts, fabric switches, CXL devices, tiered
 //! pages, and the DLRM SLS workload running across them.
 //!
-//! [`SlsSystem`] composes every substrate in the workspace and executes a
+//! [`SlsSystem`] composes the [`engine`](crate::engine) layers —
+//! [`config`](crate::engine::config), [`topology`](crate::engine::topology),
+//! [`pipeline`](crate::engine::pipeline),
+//! [`pagemgmt_epoch`](crate::engine::pagemgmt_epoch) and
+//! [`metrics`](crate::engine::metrics) — and executes a
 //! [`tracegen::Trace`], producing the latency/bandwidth/occupancy metrics
 //! each figure harness reports. One configuration type covers every
 //! scheme in the paper's evaluation:
@@ -13,356 +17,28 @@
 //! | BEACON-S | Switch | all-CXL | — | in-order | — |
 //! | RecNMP | Dimm | local+spill | DIMM cache | — | — |
 //! | PIFS-Rec | Switch | managed | HTR | OoO | yes |
-//!
-//! Timing is resource-based: every shared medium (host FlexBus links,
-//! switch transit, device links, DRAM banks/buses, the accumulate unit)
-//! is a stateful resource that serializes contending work, so congestion
-//! and parallelism emerge rather than being assumed.
 
-use std::collections::VecDeque;
+use std::collections::HashMap;
 
-use cxlsim::{CxlParams, FabricSwitch, FlexBusLink, M2sReq, PortId, SwitchId, Topology, Type3Device};
-use dlrm::{query, EmbeddingTable, ModelConfig, ThreadingMode};
-use memsim::{DramConfig, DramDevice, MemOp};
-use pagemgmt::{
-    DeviceLoad, GlobalHotness, InitialPlacement, MigrationCostModel, PageId, PageTable, Tier,
-    TierCapacities, SpreadConfig,
-};
-use simkit::{SimDuration, SimTime};
+use dlrm::{query, EmbeddingTable};
+use pagemgmt::{GlobalHotness, PageId, PageTable, TierCapacities};
+use simkit::SimTime;
 use tracegen::Trace;
 
-use crate::acr::{AccumulateLogic, ClusterId};
-use crate::buffer::{BufferPolicy, OnSwitchBuffer};
-use crate::forward::{ForwardController, ForwardOutcome};
-use crate::iir::IngressRegistry;
-use crate::ooo::AccumEngine;
+use crate::engine::config::page_align;
+use crate::engine::metrics::CounterOffsets;
+use crate::engine::pagemgmt_epoch::{run_pm_epoch, EpochCtx};
+use crate::engine::pipeline::{self, process_bag, EngineCtx};
+use crate::engine::topology::Plant;
 
-/// Where SLS accumulation executes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ComputeSite {
-    /// On the host CPU (Pond): every row crosses the fabric to the host.
-    Host,
-    /// In the fabric switch process core (PIFS-Rec, BEACON).
-    Switch,
-    /// In the DIMM (RecNMP) for local rows; CXL rows fall back to host.
-    Dimm,
-}
+pub use crate::engine::config::{BufferConfig, ComputeSite, PmConfig, PmStyle, SystemConfig};
+pub use crate::engine::metrics::RunMetrics;
 
-/// Which page-management policy runs at epoch boundaries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum PmStyle {
-    /// This paper's §IV-B design: global hotness, private-hot regions,
-    /// cold-age demotion, embedding spreading.
-    PifsGlobal,
-    /// A TPP-like baseline: promote on re-reference, demote LRU-ish under
-    /// pressure, no global view and no spreading (Fig 13(d)'s "TPP" bar).
-    Tpp,
-}
-
-/// Dynamic page-management knobs (§IV-B).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct PmConfig {
-    /// Policy flavour.
-    pub style: PmStyle,
-    /// Fraction of actively-used pages eligible to move per rebalance
-    /// round (Fig 13(a); paper default 35 %).
-    pub migrate_threshold: f64,
-    /// Cold-age demotion threshold for the private hot region
-    /// (Fig 13(d); paper default 20 %, optimum 16 %).
-    pub cold_age_threshold: f64,
-    /// Migration blocking discipline (Fig 13(a) red vs green).
-    pub granularity: pagemgmt::MigrationGranularity,
-}
-
-impl Default for PmConfig {
-    fn default() -> Self {
-        PmConfig {
-            style: PmStyle::PifsGlobal,
-            migrate_threshold: 0.35,
-            cold_age_threshold: 0.16,
-            granularity: pagemgmt::MigrationGranularity::CacheLineBlock,
-        }
-    }
-}
-
-/// On-switch (or on-DIMM) buffer knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct BufferConfig {
-    /// Replacement policy.
-    pub policy: BufferPolicy,
-    /// SRAM capacity in bytes (Fig 15 sweeps 64 KB–1 MB; default 512 KB).
-    pub capacity_bytes: u64,
-}
-
-impl Default for BufferConfig {
-    fn default() -> Self {
-        BufferConfig {
-            policy: BufferPolicy::Htr,
-            capacity_bytes: 512 * 1024,
-        }
-    }
-}
-
-/// Complete configuration of one simulated system.
-#[derive(Debug, Clone)]
-pub struct SystemConfig {
-    /// The DLRM being served (usually a scaled-down Table I model).
-    pub model: ModelConfig,
-    /// CXL Type 3 devices in the pool.
-    pub n_devices: u16,
-    /// Hosts issuing queries.
-    pub n_hosts: u16,
-    /// Fabric switches (devices and hosts are spread round-robin).
-    pub n_switches: u16,
-    /// CPU cores per host running the lookup stage.
-    pub cores_per_host: u32,
-    /// Outstanding memory requests per core (MLP window).
-    pub outstanding: usize,
-    /// Where accumulation happens.
-    pub compute: ComputeSite,
-    /// Initial page placement.
-    pub placement: InitialPlacement,
-    /// Local-DRAM capacity as a fraction of the embedding working set
-    /// (the scaled stand-in for the paper's fixed 128 GB).
-    pub local_capacity_frac: f64,
-    /// Dynamic page management, if enabled.
-    pub page_mgmt: Option<PmConfig>,
-    /// On-switch buffer (PIFS) or DIMM cache (RecNMP), if present.
-    pub buffer: Option<BufferConfig>,
-    /// Out-of-order accumulation in the switch engine.
-    pub ooo: bool,
-    /// Extra per-row address-translation latency in the switch (BEACON's
-    /// added translation logic, §II-B2), ns.
-    pub translation_ns: u64,
-    /// Lookup-stage threading strategy.
-    pub threading: ThreadingMode,
-    /// Fabric latency/bandwidth parameters.
-    pub cxl: CxlParams,
-    /// Batches excluded from measurement: they run first to warm the
-    /// page placement, buffers and hotness state, modeling a system
-    /// measured in steady state rather than from a cold boot. Their
-    /// traffic and migration charges do not appear in [`RunMetrics`].
-    pub warmup_batches: u32,
-    /// RNG/workload seed echoed into metrics for provenance.
-    pub seed: u64,
-}
-
-impl SystemConfig {
-    fn base(model: ModelConfig) -> Self {
-        SystemConfig {
-            model,
-            n_devices: 8,
-            n_hosts: 1,
-            n_switches: 1,
-            cores_per_host: 8,
-            outstanding: 16,
-            compute: ComputeSite::Host,
-            placement: InitialPlacement::AllCxl,
-            local_capacity_frac: 0.2,
-            page_mgmt: None,
-            buffer: None,
-            ooo: false,
-            translation_ns: 0,
-            threading: ThreadingMode::Batch,
-            cxl: CxlParams::default(),
-            warmup_batches: 0,
-            seed: 0,
-        }
-    }
-
-    /// Pond (§VI-B): CXL memory pooling, host-side compute, no
-    /// management.
-    pub fn pond(model: ModelConfig) -> Self {
-        Self::base(model)
-    }
-
-    /// Pond plus this paper's page-management software (the "Pond + PM"
-    /// baseline).
-    pub fn pond_pm(model: ModelConfig) -> Self {
-        SystemConfig {
-            placement: InitialPlacement::CxlFraction { cxl_frac: 0.8 },
-            page_mgmt: Some(PmConfig::default()),
-            ..Self::base(model)
-        }
-    }
-
-    /// BEACON-S (§VI-B): in-switch compute, CXL-only memory, added
-    /// translation logic, in-order accumulation, no locality buffer.
-    pub fn beacon(model: ModelConfig) -> Self {
-        SystemConfig {
-            compute: ComputeSite::Switch,
-            translation_ns: 25,
-            ..Self::base(model)
-        }
-    }
-
-    /// RecNMP (§VI-B): DIMM-side accumulation with bank-level parallelism
-    /// and a DIMM cache; fixed local DRAM with CXL spill handled by the
-    /// host.
-    pub fn recnmp(model: ModelConfig, local_frac: f64) -> Self {
-        SystemConfig {
-            compute: ComputeSite::Dimm,
-            placement: InitialPlacement::AllLocal, // spills to CXL when full
-            local_capacity_frac: local_frac,
-            buffer: Some(BufferConfig::default()),
-            ..Self::base(model)
-        }
-    }
-
-    /// PIFS-Rec: in-switch compute, managed tiered placement, HTR
-    /// buffer, out-of-order accumulation.
-    pub fn pifs_rec(model: ModelConfig) -> Self {
-        SystemConfig {
-            compute: ComputeSite::Switch,
-            placement: InitialPlacement::CxlFraction { cxl_frac: 0.8 },
-            page_mgmt: Some(PmConfig::default()),
-            buffer: Some(BufferConfig::default()),
-            ooo: true,
-            ..Self::base(model)
-        }
-    }
-
-    /// PIFS-Rec on a laptop-scale RMC1 — the quickstart configuration.
-    pub fn pifs_rec_default() -> Self {
-        Self::pifs_rec(ModelConfig::rmc1().scaled_down(4))
-    }
-
-    /// Total embedding pages for this model.
-    pub fn n_pages(&self) -> u64 {
-        let table_bytes = page_align(self.model.emb_num * self.model.row_bytes());
-        (table_bytes / pagemgmt::PAGE_BYTES) * self.model.n_tables as u64
-    }
-}
-
-/// Everything a run measures.
-#[derive(Debug, Clone, Default)]
-pub struct RunMetrics {
-    /// End-to-end makespan of the trace (including exposed migration
-    /// overhead), ns.
-    pub total_ns: u64,
-    /// SLS bags processed.
-    pub bags: u64,
-    /// Row lookups performed.
-    pub lookups: u64,
-    /// Lookups served from local DRAM.
-    pub local_lookups: u64,
-    /// Lookups served from the remote socket.
-    pub remote_lookups: u64,
-    /// Lookups served over CXL.
-    pub cxl_lookups: u64,
-    /// On-switch buffer hits (0 when no buffer).
-    pub buffer_hits: u64,
-    /// On-switch buffer misses.
-    pub buffer_misses: u64,
-    /// Per-device access counts (Fig 13(b)).
-    pub device_accesses: Vec<u64>,
-    /// Page migrations performed.
-    pub migrations: u64,
-    /// Exposed migration overhead, ns.
-    pub migration_ns: u64,
-    /// In-order accumulation stalls.
-    pub ooo_stalls: u64,
-    /// Swap-register spills to SRAM.
-    pub sram_spills: u64,
-    /// Bytes over the host↔switch links.
-    pub host_link_bytes: u64,
-    /// Functional checksum of every bag result (placement-independent up
-    /// to FP32 reassociation).
-    pub checksum: f64,
-    /// Mean bag latency, ns.
-    pub mean_bag_ns: f64,
-}
-
-impl RunMetrics {
-    /// Application bandwidth: embedding bytes touched per wall-clock
-    /// second, in GB/s (the Fig 5/6 y-axis before normalization).
-    pub fn app_bandwidth_gbps(&self, row_bytes: u64) -> f64 {
-        if self.total_ns == 0 {
-            0.0
-        } else {
-            (self.lookups * row_bytes) as f64 / self.total_ns as f64
-        }
-    }
-
-    /// Buffer hit ratio.
-    pub fn buffer_hit_ratio(&self) -> f64 {
-        let t = self.buffer_hits + self.buffer_misses;
-        if t == 0 {
-            0.0
-        } else {
-            self.buffer_hits as f64 / t as f64
-        }
-    }
-
-    /// Migration overhead as a fraction of total latency (Fig 13(a)
-    /// right axis).
-    pub fn migration_cost_frac(&self) -> f64 {
-        if self.total_ns == 0 {
-            0.0
-        } else {
-            self.migration_ns as f64 / self.total_ns as f64
-        }
-    }
-}
-
-fn page_align(bytes: u64) -> u64 {
-    bytes.div_ceil(pagemgmt::PAGE_BYTES) * pagemgmt::PAGE_BYTES
-}
-
-/// Spreads a (scaled-down) embedding address across the full physical
-/// address space of a memory device. Scaled tables occupy a few MB,
-/// which would alias onto a handful of DRAM bank-rows and serialize on
-/// tRC — an artifact real multi-GB tables do not have. Hashing the
-/// 256 B-aligned block index preserves intra-row locality while spreading
-/// blocks over all banks, matching the bank-utilization of full-size
-/// tables.
-fn spread_addr(addr: u64) -> u64 {
-    let block = addr / 256;
-    let offset = addr % 256;
-    let mut h = block.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    h ^= h >> 31;
-    (h % (1 << 34)) / 256 * 256 + offset
-}
-
-#[derive(Debug, Default, Clone)]
-struct CounterOffsets {
-    stalls: u64,
-    spills: u64,
-    hits: u64,
-    misses: u64,
-    link_bytes: u64,
-}
-
-struct HostCtx {
-    cores: Vec<SimTime>,
-    req_link: FlexBusLink,
-    rsp_link: FlexBusLink,
-    dram: DramDevice,
-    dimm_cache: Option<OnSwitchBuffer>,
-    next_free: SimTime,
-}
-
-struct SwitchCtx {
-    #[allow(dead_code)]
-    sw: FabricSwitch,
-    engine: AccumEngine,
-    buffer: Option<OnSwitchBuffer>,
-    iir: IngressRegistry,
-    acr: AccumulateLogic,
-    fc: ForwardController,
-    /// Instruction decode pipeline occupancy.
-    decode_free: SimTime,
-}
-
-/// The composed system.
+/// The composed system: the hardware [`Plant`], the embedding layout and
+/// page placement, and the workload-visible run state.
 pub struct SlsSystem {
     cfg: SystemConfig,
-    topo: Topology,
-    switches: Vec<SwitchCtx>,
-    devices: Vec<Type3Device>,
-    hosts: Vec<HostCtx>,
-    remote_link: FlexBusLink,
-    remote_dram: DramDevice,
+    plant: Plant,
     page_table: PageTable,
     tables: Vec<EmbeddingTable>,
     hotness: GlobalHotness,
@@ -370,23 +46,8 @@ pub struct SlsSystem {
     pm_epoch: u64,
     metrics: RunMetrics,
     /// Per-device page-access counts within the current PM epoch.
-    epoch_dev_pages: Vec<std::collections::HashMap<PageId, u64>>,
+    epoch_dev_pages: Vec<HashMap<PageId, u64>>,
 }
-
-/// Host-side cost of issuing one instruction (decode + queue into the
-/// CXL controller).
-const ISSUE_NS: u64 = 2;
-/// Host snoop-detection latency once a result lands (§IV-A2's
-/// CXL.cache-based monitoring).
-const SNOOP_NS: u64 = 10;
-/// Process-core instruction decode occupancy per instruction.
-const DECODE_NS: u64 = 1;
-/// ACR concurrent-cluster capacity.
-const ACR_CAPACITY: usize = 128;
-/// IIR in-flight capacity.
-const IIR_CAPACITY: usize = 512;
-/// Swap registers in the OoO engine.
-const SWAP_REGS: usize = 8;
 
 impl SlsSystem {
     /// Builds an idle system from `cfg`, laying out the model's embedding
@@ -397,84 +58,18 @@ impl SlsSystem {
     /// Panics if the configuration is degenerate (no devices for a CXL
     /// placement, zero hosts, etc.).
     pub fn new(cfg: SystemConfig) -> Self {
-        assert!(cfg.n_hosts >= 1, "need at least one host");
-        assert!(cfg.n_devices >= 1, "need at least one device");
-        assert!(cfg.n_switches >= 1, "need at least one switch");
-
-        let topo = if cfg.n_switches == 1 {
-            Topology::single_switch(cfg.n_devices as usize, cfg.n_hosts as usize, cfg.cxl)
-        } else {
-            Topology::custom(
-                cfg.n_switches,
-                (0..cfg.n_devices)
-                    .map(|d| SwitchId(d % cfg.n_switches))
-                    .collect(),
-                (0..cfg.n_hosts)
-                    .map(|h| SwitchId(h % cfg.n_switches))
-                    .collect(),
-                cfg.cxl,
-            )
-        };
-
-        let dim = cfg.model.emb_dim;
-        let switches = (0..cfg.n_switches)
-            .map(|s| {
-                let mut sw = FabricSwitch::new(s, cfg.n_hosts as usize, cfg.cxl);
-                for d in topo.devices_on(SwitchId(s)) {
-                    sw.bind_device(PortId(d as u16));
-                }
-                SwitchCtx {
-                    sw,
-                    engine: AccumEngine::new(cfg.ooo, dim, SWAP_REGS),
-                    buffer: if cfg.compute == ComputeSite::Switch {
-                        cfg.buffer.map(|b| {
-                            OnSwitchBuffer::new(b.policy, b.capacity_bytes, cfg.model.row_bytes())
-                        })
-                    } else {
-                        None
-                    },
-                    iir: IngressRegistry::new(IIR_CAPACITY),
-                    acr: AccumulateLogic::new(ACR_CAPACITY),
-                    fc: ForwardController::new(),
-                    decode_free: SimTime::ZERO,
-                }
-            })
-            .collect();
-
-        let devices = (0..cfg.n_devices)
-            .map(|d| Type3Device::new(d, cfg.cxl))
-            .collect();
-
-        let hosts = (0..cfg.n_hosts)
-            .map(|_| HostCtx {
-                cores: vec![SimTime::ZERO; cfg.cores_per_host as usize],
-                req_link: FlexBusLink::new(&cfg.cxl),
-                rsp_link: FlexBusLink::new(&cfg.cxl),
-                // The characterization host populates 12 DDR5 channels
-                // per socket (§III); the scaled host keeps that width.
-                dram: DramDevice::new(DramConfig {
-                    org: memsim::DramOrg {
-                        channels: 12,
-                        ..memsim::DramOrg::table2_local()
-                    },
-                    ..DramConfig::ddr5_4800_local()
-                }),
-                dimm_cache: if cfg.compute == ComputeSite::Dimm {
-                    cfg.buffer.map(|b| {
-                        OnSwitchBuffer::new(b.policy, b.capacity_bytes, cfg.model.row_bytes())
-                    })
-                } else {
-                    None
-                },
-                next_free: SimTime::ZERO,
-            })
-            .collect();
+        let plant = Plant::build(&cfg);
 
         // Embedding layout: page-aligned contiguous tables.
         let table_bytes = page_align(cfg.model.emb_num * cfg.model.row_bytes());
         let tables: Vec<EmbeddingTable> = (0..cfg.model.n_tables)
             .map(|t| {
-                EmbeddingTable::new(t, cfg.model.emb_num, cfg.model.emb_dim, t as u64 * table_bytes)
+                EmbeddingTable::new(
+                    t,
+                    cfg.model.emb_num,
+                    cfg.model.emb_dim,
+                    t as u64 * table_bytes,
+                )
             })
             .collect();
 
@@ -495,32 +90,14 @@ impl SlsSystem {
         let n_devices = cfg.n_devices as usize;
         SlsSystem {
             cfg,
-            topo,
-            switches,
-            devices,
-            hosts,
-            remote_link: FlexBusLink::new(&CxlParams {
-                link_gbps: 32,
-                port_latency_ns: 60,
-                ..CxlParams::default()
-            }),
-            // Partial channel population: the §III observation that
-            // accessing a slice of a remote socket's memory yields poor
-            // effective bandwidth.
-            remote_dram: DramDevice::new(DramConfig {
-                org: memsim::DramOrg {
-                    channels: 1,
-                    ..memsim::DramOrg::table2_local()
-                },
-                ..DramConfig::ddr5_4800_local()
-            }),
+            plant,
             page_table,
             tables,
             hotness: GlobalHotness::new(n_hosts),
             next_cluster: 0,
             pm_epoch: 0,
             metrics: RunMetrics::default(),
-            epoch_dev_pages: vec![std::collections::HashMap::new(); n_devices],
+            epoch_dev_pages: vec![HashMap::new(); n_devices],
         }
     }
 
@@ -534,6 +111,12 @@ impl SlsSystem {
         &self.page_table
     }
 
+    /// The per-bag pipeline stages, in execution order (introspection
+    /// for harnesses and diagnostics).
+    pub fn pipeline_stages(&self) -> Vec<&'static str> {
+        pipeline::stage_names()
+    }
+
     /// Removes the process core from switch `idx` (CNV = 0), forcing the
     /// §IV-C2 fallback where the host-local switch accumulates on its
     /// behalf.
@@ -542,17 +125,7 @@ impl SlsSystem {
     ///
     /// Panics if `idx` is out of range.
     pub fn disable_process_core(&mut self, idx: usize) {
-        self.switches[idx].sw.set_process_core(false);
-    }
-
-    fn row_addr(&self, table: u32, row: u64) -> u64 {
-        self.tables[table as usize].row_addr(row)
-    }
-
-    fn tier_of_addr(&self, addr: u64) -> Tier {
-        self.page_table
-            .tier_of(PageId::of_addr(addr))
-            .expect("every embedding page is placed at construction")
+        self.plant.switches[idx].sw.set_process_core(false);
     }
 
     /// Runs `trace` to completion and returns the metrics.
@@ -573,11 +146,11 @@ impl SlsSystem {
         self.metrics = RunMetrics::default();
         let mut bag_latency_sum = 0u128;
         let warmup = (self.cfg.warmup_batches as usize).min(trace.batches.len().saturating_sub(1));
-        let mut measure_from: Vec<SimTime> = self.hosts.iter().map(|h| h.next_free).collect();
-        let mut dev_offset: Vec<u64> = vec![0; self.devices.len()];
+        let mut measure_from: Vec<SimTime> = self.plant.hosts.iter().map(|h| h.next_free).collect();
+        let mut dev_offset: Vec<u64> = vec![0; self.plant.devices.len()];
         let mut counter_offsets = CounterOffsets::default();
         if warmup == 0 {
-            self.snapshot_counters(&mut dev_offset, &mut counter_offsets);
+            counter_offsets = self.snapshot_counters(&mut dev_offset);
         }
 
         let parts = query::partition(
@@ -589,18 +162,18 @@ impl SlsSystem {
 
         for (bi, _batch) in trace.batches.iter().enumerate() {
             let host_idx = bi % self.cfg.n_hosts as usize;
-            let batch_start = self.hosts[host_idx].next_free;
+            let batch_start = self.plant.hosts[host_idx].next_free;
             let mut batch_done = batch_start;
 
             for (core_idx, items) in parts.iter().enumerate() {
-                self.hosts[host_idx].cores[core_idx] = batch_start;
+                self.plant.hosts[host_idx].cores[core_idx] = batch_start;
                 for item in items {
                     for sample in item.sample_begin..item.sample_end {
                         let bag: Vec<u64> = trace.bag(bi, item.table, sample).to_vec();
-                        let issue = self.hosts[host_idx].cores[core_idx];
+                        let issue = self.plant.hosts[host_idx].cores[core_idx];
                         let (done, core_free) =
-                            self.process_bag(host_idx, issue, item.table, &bag);
-                        self.hosts[host_idx].cores[core_idx] = core_free;
+                            process_bag(&mut self.engine_ctx(), host_idx, issue, item.table, &bag);
+                        self.plant.hosts[host_idx].cores[core_idx] = core_free;
                         batch_done = batch_done.max(done);
                         bag_latency_sum += done.saturating_since(issue).as_ns() as u128;
                         self.metrics.bags += 1;
@@ -610,22 +183,23 @@ impl SlsSystem {
 
             // Page-management epoch at the batch boundary.
             if self.cfg.page_mgmt.is_some() {
-                let overhead = self.run_pm_epoch(host_idx);
+                let overhead = run_pm_epoch(&mut self.epoch_ctx());
                 batch_done += overhead;
                 self.metrics.migration_ns += overhead.as_ns();
             }
-            self.hosts[host_idx].next_free = batch_done;
+            self.plant.hosts[host_idx].next_free = batch_done;
 
             if bi + 1 == warmup {
                 // Steady state reached: reset every measured quantity.
                 self.metrics = RunMetrics::default();
                 bag_latency_sum = 0;
-                measure_from = self.hosts.iter().map(|h| h.next_free).collect();
-                self.snapshot_counters(&mut dev_offset, &mut counter_offsets);
+                measure_from = self.plant.hosts.iter().map(|h| h.next_free).collect();
+                counter_offsets = self.snapshot_counters(&mut dev_offset);
             }
         }
 
         self.metrics.total_ns = self
+            .plant
             .hosts
             .iter()
             .zip(&measure_from)
@@ -633,31 +207,13 @@ impl SlsSystem {
             .max()
             .unwrap_or(0);
         self.metrics.device_accesses = self
+            .plant
             .devices
             .iter()
             .zip(&dev_offset)
             .map(|(d, &off)| d.access_count() - off)
             .collect();
-        for s in &self.switches {
-            self.metrics.ooo_stalls += s.engine.stalls;
-            self.metrics.sram_spills += s.engine.sram_spills;
-            if let Some(b) = &s.buffer {
-                self.metrics.buffer_hits += b.hits();
-                self.metrics.buffer_misses += b.misses();
-            }
-        }
-        for h in &self.hosts {
-            if let Some(b) = &h.dimm_cache {
-                self.metrics.buffer_hits += b.hits();
-                self.metrics.buffer_misses += b.misses();
-            }
-            self.metrics.host_link_bytes += h.req_link.total_bytes() + h.rsp_link.total_bytes();
-        }
-        self.metrics.ooo_stalls -= counter_offsets.stalls;
-        self.metrics.sram_spills -= counter_offsets.spills;
-        self.metrics.buffer_hits -= counter_offsets.hits;
-        self.metrics.buffer_misses -= counter_offsets.misses;
-        self.metrics.host_link_bytes -= counter_offsets.link_bytes;
+        counter_offsets.finish(&self.plant.switches, &self.plant.hosts, &mut self.metrics);
         self.metrics.mean_bag_ns = if self.metrics.bags == 0 {
             0.0
         } else {
@@ -668,792 +224,42 @@ impl SlsSystem {
 
     /// Records current cumulative counters so the measured window can
     /// subtract everything that happened during warmup.
-    fn snapshot_counters(&self, dev_offset: &mut [u64], off: &mut CounterOffsets) {
-        for (slot, d) in dev_offset.iter_mut().zip(&self.devices) {
+    fn snapshot_counters(&self, dev_offset: &mut [u64]) -> CounterOffsets {
+        for (slot, d) in dev_offset.iter_mut().zip(&self.plant.devices) {
             *slot = d.access_count();
         }
-        *off = CounterOffsets::default();
-        for s in &self.switches {
-            off.stalls += s.engine.stalls;
-            off.spills += s.engine.sram_spills;
-            if let Some(b) = &s.buffer {
-                off.hits += b.hits();
-                off.misses += b.misses();
-            }
-        }
-        for h in &self.hosts {
-            if let Some(b) = &h.dimm_cache {
-                off.hits += b.hits();
-                off.misses += b.misses();
-            }
-            off.link_bytes += h.req_link.total_bytes() + h.rsp_link.total_bytes();
+        CounterOffsets::capture(&self.plant.switches, &self.plant.hosts)
+    }
+
+    /// A split-borrow view for the per-bag pipeline stages.
+    fn engine_ctx(&mut self) -> EngineCtx<'_> {
+        EngineCtx {
+            cfg: &self.cfg,
+            topo: &self.plant.topo,
+            switches: &mut self.plant.switches,
+            devices: &mut self.plant.devices,
+            hosts: &mut self.plant.hosts,
+            remote_link: &mut self.plant.remote_link,
+            remote_dram: &mut self.plant.remote_dram,
+            page_table: &self.page_table,
+            tables: &self.tables,
+            hotness: &mut self.hotness,
+            epoch_dev_pages: &mut self.epoch_dev_pages,
+            metrics: &mut self.metrics,
+            next_cluster: &mut self.next_cluster,
         }
     }
 
-    /// Processes one bag; returns `(completion_time, core_free_time)`.
-    fn process_bag(
-        &mut self,
-        host_idx: usize,
-        issue: SimTime,
-        table: u32,
-        rows: &[u64],
-    ) -> (SimTime, SimTime) {
-        self.metrics.lookups += rows.len() as u64;
-        let dim = self.cfg.model.emb_dim as usize;
-        let row_bytes = self.cfg.model.row_bytes();
-        let acc_ns = (dim as u64).div_ceil(16).max(1);
-
-        // Classify rows by tier; record hotness.
-        let mut local = Vec::new();
-        let mut remote = Vec::new();
-        let mut cxl: Vec<(u16, u64, u64)> = Vec::new(); // (device, row, addr)
-        for &row in rows {
-            let addr = self.row_addr(table, row);
-            let page = PageId::of_addr(addr);
-            self.hotness.host_mut(host_idx).record(page);
-            match self.tier_of_addr(addr) {
-                Tier::Local => local.push((row, addr)),
-                Tier::Remote => remote.push((row, addr)),
-                Tier::Cxl(d) => {
-                    let d = d % self.cfg.n_devices;
-                    self.epoch_dev_pages[d as usize]
-                        .entry(page)
-                        .and_modify(|c| *c += 1)
-                        .or_insert(1);
-                    cxl.push((d, row, addr));
-                }
-            }
+    /// A split-borrow view for the epoch-boundary page manager.
+    fn epoch_ctx(&mut self) -> EpochCtx<'_> {
+        EpochCtx {
+            cfg: &self.cfg,
+            page_table: &mut self.page_table,
+            hotness: &mut self.hotness,
+            epoch_dev_pages: &mut self.epoch_dev_pages,
+            devices: &self.plant.devices,
+            metrics: &mut self.metrics,
+            pm_epoch: &mut self.pm_epoch,
         }
-        self.metrics.local_lookups += local.len() as u64;
-        self.metrics.remote_lookups += remote.len() as u64;
-        self.metrics.cxl_lookups += cxl.len() as u64;
-
-        let mut acc = vec![0.0f32; dim];
-        let mut core_busy = issue;
-        let mut done = issue;
-
-        // --- Local rows -------------------------------------------------
-        if !local.is_empty() {
-            let (local_done, core_after) =
-                self.process_local_rows(host_idx, core_busy, table, &local, &mut acc, acc_ns);
-            done = done.max(local_done);
-            core_busy = core_after;
-        }
-
-        // --- Remote-socket rows ------------------------------------------
-        if !remote.is_empty() {
-            let mut window: VecDeque<SimTime> = VecDeque::new();
-            let mut t = core_busy;
-            let mut last = core_busy;
-            for &(row, addr) in &remote {
-                if window.len() >= self.cfg.outstanding {
-                    t = t.max(window.pop_front().expect("window non-empty"));
-                }
-                let sent = self.remote_link.transfer(t, 16);
-                let data =
-                    self.remote_dram
-                        .access_span(sent, spread_addr(addr), row_bytes, MemOp::Read);
-                let back = self.remote_link.transfer(data, row_bytes);
-                let fold_done = back + SimDuration::from_ns(acc_ns);
-                dlrm::sls::accumulate_row(&mut acc, &self.tables[table as usize], row, 1.0);
-                window.push_back(fold_done);
-                t += SimDuration::from_ns(ISSUE_NS);
-                last = last.max(fold_done);
-            }
-            done = done.max(last);
-            core_busy = core_busy.max(last); // synchronous on the core
-        }
-
-        // --- CXL rows -----------------------------------------------------
-        if !cxl.is_empty() {
-            let (cxl_done, core_after) = match self.cfg.compute {
-                ComputeSite::Host | ComputeSite::Dimm => {
-                    self.cxl_rows_host_compute(host_idx, core_busy, table, &cxl, &mut acc, acc_ns)
-                }
-                ComputeSite::Switch => {
-                    self.cxl_rows_switch_compute(host_idx, core_busy, table, &cxl, &mut acc)
-                }
-            };
-            done = done.max(cxl_done);
-            core_busy = core_after;
-        }
-
-        self.metrics.checksum += acc.iter().map(|&x| x as f64).sum::<f64>();
-        (done, core_busy.max(issue))
-    }
-
-    /// Local rows: host-compute everywhere except RecNMP, which folds in
-    /// the DIMM using bank-level parallelism and its DIMM cache.
-    fn process_local_rows(
-        &mut self,
-        host_idx: usize,
-        start: SimTime,
-        table: u32,
-        rows: &[(u64, u64)],
-        acc: &mut [f32],
-        acc_ns: u64,
-    ) -> (SimTime, SimTime) {
-        let row_bytes = self.cfg.model.row_bytes();
-        let is_nmp = self.cfg.compute == ComputeSite::Dimm;
-        let mut window: VecDeque<SimTime> = VecDeque::new();
-        let mut t = start;
-        let mut last = start;
-        for &(row, addr) in rows {
-            if !is_nmp && window.len() >= self.cfg.outstanding {
-                t = t.max(window.pop_front().expect("window non-empty"));
-            }
-            let host = &mut self.hosts[host_idx];
-            let mut served_from_cache = false;
-            if is_nmp {
-                if let Some(cache) = host.dimm_cache.as_mut() {
-                    served_from_cache = cache.access(addr);
-                }
-            }
-            let data = if served_from_cache {
-                let lat = host
-                    .dimm_cache
-                    .as_ref()
-                    .expect("cache present")
-                    .access_latency();
-                t + lat
-            } else {
-                host.dram
-                    .access_span(t, spread_addr(addr), row_bytes, MemOp::Read)
-            };
-            // RecNMP gathers with bank-level parallelism inside the DIMM:
-            // the whole bag is issued at once and folds pipeline behind
-            // the data (§VI-C1: "the latter performs data fetch with
-            // bank-level parallelism"). Hosts fold on the core with a
-            // bounded MLP window.
-            let fold_done = data + SimDuration::from_ns(if is_nmp { acc_ns / 2 } else { acc_ns });
-            dlrm::sls::accumulate_row(acc, &self.tables[table as usize], row, 1.0);
-            window.push_back(fold_done);
-            t += SimDuration::from_ns(if is_nmp { 1 } else { ISSUE_NS });
-            last = last.max(fold_done);
-        }
-        // Local gathers are software-pipelined across bags (prefetch
-        // hides local DRAM latency — the CPU optimizations of the
-        // paper's [8]); the core is free once the loads are in flight.
-        // RecNMP likewise returns asynchronously with its pooled result.
-        (last, t)
-    }
-
-    /// Pond-style CXL handling: each row crosses the whole fabric to the
-    /// host, which folds it on a core.
-    fn cxl_rows_host_compute(
-        &mut self,
-        host_idx: usize,
-        start: SimTime,
-        table: u32,
-        rows: &[(u16, u64, u64)],
-        acc: &mut [f32],
-        acc_ns: u64,
-    ) -> (SimTime, SimTime) {
-        let row_bytes = self.cfg.model.row_bytes();
-        let host_switch = self.topo.host_switch(host_idx);
-        let mut window: VecDeque<SimTime> = VecDeque::new();
-        let mut t = start;
-        let mut last = start;
-        for &(dev, row, addr) in rows {
-            if window.len() >= self.cfg.outstanding {
-                t = t.max(window.pop_front().expect("window non-empty"));
-            }
-            let sent = self.hosts[host_idx]
-                .req_link
-                .transfer(t, M2sReq::WIRE_BYTES);
-            let dev_switch = self.topo.device_switch(dev as usize);
-            let hop = self.topo.hop_latency(host_switch, dev_switch);
-            let at_switch = self.switches[dev_switch.0 as usize].sw.transit(sent) + hop;
-            let data_at_switch =
-                self.devices[dev as usize].read(at_switch, spread_addr(addr), row_bytes);
-            let back_at_host_switch = data_at_switch + hop;
-            let at_host = self.hosts[host_idx]
-                .rsp_link
-                .transfer(back_at_host_switch, row_bytes + M2sReq::WIRE_BYTES);
-            let fold_done = at_host + SimDuration::from_ns(acc_ns);
-            dlrm::sls::accumulate_row(acc, &self.tables[table as usize], row, 1.0);
-            window.push_back(fold_done);
-            t += SimDuration::from_ns(ISSUE_NS);
-            last = last.max(fold_done);
-        }
-        // The gather loop is software-pipelined across bags; the run is
-        // bound by fabric bandwidth (every row crosses the host link,
-        // which is Pond's structural handicap), not by one bag's RTT.
-        (last, t)
-    }
-
-    /// PIFS/BEACON CXL handling: the host streams `Configuration` +
-    /// `DataFetch` instructions and goes on with its life; the switch
-    /// fetches, accumulates and pushes the result back for the snooping
-    /// host.
-    fn cxl_rows_switch_compute(
-        &mut self,
-        host_idx: usize,
-        start: SimTime,
-        table: u32,
-        rows: &[(u16, u64, u64)],
-        acc: &mut [f32],
-    ) -> (SimTime, SimTime) {
-        let row_bytes = self.cfg.model.row_bytes();
-        let dim = self.cfg.model.emb_dim;
-        let host_switch = self.topo.host_switch(host_idx);
-        let local_sw_idx = host_switch.0 as usize;
-        let cluster = ClusterId(self.next_cluster);
-        self.next_cluster += 1;
-
-        // Group rows by the switch homing their device.
-        let mut by_switch: Vec<(SwitchId, Vec<(u16, u64, u64)>)> = Vec::new();
-        for &(dev, row, addr) in rows {
-            let s = self.topo.device_switch(dev as usize);
-            match by_switch.iter_mut().find(|(sid, _)| *sid == s) {
-                Some((_, v)) => v.push((dev, row, addr)),
-                None => by_switch.push((s, vec![(dev, row, addr)])),
-            }
-        }
-
-        // Host issues Configuration + one DataFetch per row on its
-        // request link, then is free (asynchronous communication).
-        let chunks = (row_bytes.div_ceil(16)).min(8) as u8;
-        let config_req = M2sReq::configuration(0xF000_0000, (cluster.0 & 0x1FF) as u16, rows.len() as u16, host_idx as u16);
-        debug_assert_eq!(config_req.opcode, cxlsim::MemOpcode::Configuration);
-        let mut t = start;
-        let mut instr_arrivals: Vec<(SwitchId, u16, u64, u64, SimTime)> = Vec::new();
-        let config_arrival = {
-            let sent = self.hosts[host_idx].req_link.transfer(t, M2sReq::WIRE_BYTES);
-            t += SimDuration::from_ns(ISSUE_NS);
-            self.switches[local_sw_idx].sw.transit(sent)
-        };
-        for &(dev, row, addr) in rows {
-            let req = M2sReq::data_fetch(addr, (cluster.0 & 0x1FF) as u16, chunks, host_idx as u16);
-            debug_assert!(crate::instrflow::check_memopcode(&req) == crate::InstrRoute::ProcessCore);
-            let sent = self.hosts[host_idx].req_link.transfer(t, M2sReq::WIRE_BYTES);
-            t += SimDuration::from_ns(ISSUE_NS);
-            let s = self.topo.device_switch(dev as usize);
-            let hop = self.topo.hop_latency(host_switch, s);
-            let arrival = self.switches[local_sw_idx].sw.transit(sent) + hop;
-            instr_arrivals.push((s, dev, row, addr, arrival));
-        }
-        let core_free = t;
-
-        // The local ACR opens the cluster when the Configuration lands.
-        let _ = config_arrival;
-        self.switches[local_sw_idx]
-            .acr
-            .configure(cluster, rows.len() as u32, 0xF000_0000, dim)
-            .unwrap_or_else(|_| panic!("ACR backpressure not modeled as fatal: raise ACR_CAPACITY"));
-        self.switches[local_sw_idx]
-            .fc
-            .open(cluster, by_switch.len() as u32, dim);
-
-        // Each switch group accumulates its sub-cluster.
-        let mut final_done = config_arrival;
-        let mut merged_acc: Option<Vec<f32>> = None;
-        for (sid, group) in &by_switch {
-            // §IV-C2 versatility: a remote switch without a process core
-            // (CNV = 0) cannot accumulate — the local switch does all the
-            // work and raw rows stream across the inter-switch fabric.
-            let remote_cnv = self.switches[sid.0 as usize].sw.cnv();
-            let s_idx = if remote_cnv { sid.0 as usize } else { local_sw_idx };
-            let mut sub_acc = vec![0.0f32; dim as usize];
-            let mut sub_last = SimTime::ZERO;
-            for &(dev, row, addr) in group {
-                // Locate this instruction's arrival at the switch.
-                let arrival = instr_arrivals
-                    .iter()
-                    .find(|(s2, d2, r2, a2, _)| s2 == sid && *d2 == dev && *r2 == row && *a2 == addr)
-                    .map(|&(_, _, _, _, at)| at)
-                    .expect("instruction recorded");
-                // Decode (+ BEACON's translation logic) serializes in the PC.
-                let sw = &mut self.switches[s_idx];
-                let decode_start = arrival.max(sw.decode_free);
-                sw.decode_free = decode_start + SimDuration::from_ns(DECODE_NS);
-                let decoded =
-                    sw.decode_free + SimDuration::from_ns(self.cfg.translation_ns);
-
-                // Register in the IIR, repack and fetch (buffer first).
-                let fetch_req = M2sReq::data_fetch(addr, (cluster.0 & 0x1FF) as u16, chunks, host_idx as u16);
-                let _ = sw.iir.register(fetch_req);
-                let hit = sw.buffer.as_mut().map(|b| b.access(addr)).unwrap_or(false);
-                let mut data_ready = if hit {
-                    let lat = sw.buffer.as_ref().expect("buffer present").access_latency();
-                    decoded + lat
-                } else {
-                    self.devices[dev as usize]
-                        .read(decoded, spread_addr(addr), row_bytes)
-                };
-                if !remote_cnv {
-                    // Raw row crosses to the computing (local) switch.
-                    data_ready = data_ready
-                        + self.topo.hop_latency(*sid, host_switch)
-                        + SimDuration::from_ns(row_bytes / self.cfg.cxl.link_gbps.max(1) + 1);
-                }
-                let sw = &mut self.switches[s_idx];
-                sw.iir.match_return(addr);
-                let folded = sw.engine.process_row(data_ready, cluster);
-                dlrm::sls::accumulate_row(&mut sub_acc, &self.tables[table as usize], row, 1.0);
-                sub_last = sub_last.max(folded);
-            }
-            self.switches[s_idx].engine.complete_cluster(cluster);
-
-            // Ship the sub-result to the local switch (free when the
-            // accumulation already happened locally).
-            let hop = if remote_cnv {
-                self.topo.hop_latency(*sid, host_switch)
-            } else {
-                simkit::SimDuration::ZERO
-            };
-            let sub_at_local = sub_last + hop;
-            match self.switches[local_sw_idx]
-                .fc
-                .on_sub_result(cluster, &sub_acc, sub_at_local)
-            {
-                ForwardOutcome::Waiting => {}
-                ForwardOutcome::Complete(vec, at) => {
-                    merged_acc = Some(vec);
-                    final_done = final_done.max(at);
-                }
-            }
-        }
-
-        // Retire the cluster in the ACR by feeding the merged result as
-        // bookkeeping (counts were tracked per arrival by the engine; the
-        // ACR holds the canonical counter).
-        let merged = merged_acc.expect("all sub-clusters reported");
-        for _ in 0..rows.len() {
-            // Drain the SumCandidateCounter.
-            let zero = vec![0.0f32; dim as usize];
-            let _ = self.switches[local_sw_idx].acr.on_row(cluster, &zero, 1.0);
-        }
-        for (a, &v) in acc.iter_mut().zip(&merged) {
-            *a += v;
-        }
-
-        // Result returns to the reserved host address via CXL.cache D2H;
-        // the host's snooping daemon notices shortly after.
-        let at_host = self.hosts[host_idx]
-            .rsp_link
-            .transfer(final_done, row_bytes + M2sReq::WIRE_BYTES);
-        let visible = at_host + SimDuration::from_ns(SNOOP_NS);
-        (visible, core_free)
-    }
-
-    /// One page-management epoch: global hotness classification,
-    /// hot-page promotion with claim-&-swap, cold-age demotion, and
-    /// embedding spreading across devices. Returns the exposed overhead.
-    fn run_pm_epoch(&mut self, host_idx: usize) -> SimDuration {
-        let Some(pm) = self.cfg.page_mgmt else {
-            return SimDuration::ZERO;
-        };
-        let cost = match pm.granularity {
-            pagemgmt::MigrationGranularity::PageBlock => MigrationCostModel::page_block(),
-            pagemgmt::MigrationGranularity::CacheLineBlock => {
-                MigrationCostModel::cache_line_block()
-            }
-        };
-        let migrations_before = self.page_table.migrations();
-
-        if pm.style == PmStyle::Tpp {
-            return self.run_tpp_epoch(&cost, migrations_before);
-        }
-
-        // 1. Promote globally hottest pages into local DRAM. Promotion is
-        // budgeted per epoch so migration overhead amortizes over the
-        // run instead of thrashing on the first batch.
-        let hot_capacity = self.page_table.capacities().local_pages as usize;
-        // Aggressive promotion while the hot set is being learned, then a
-        // trickle: steady-state churn would otherwise chase Zipf-tail
-        // sampling noise forever.
-        let promote_budget = if self.pm_epoch < 4 {
-            (hot_capacity / 4).max(8) as u64
-        } else {
-            // Steady-state trickle, scaled by the migrate threshold
-            // (Fig 13(a)'s knob: a higher threshold moves more pages).
-            ((pm.migrate_threshold * 48.0) as u64).max(4)
-        };
-        let classes = self.hotness.classify(hot_capacity);
-        let mut promoted = 0u64;
-        let mut hot_pages: Vec<(u64, PageId)> = classes
-            .iter()
-            .filter(|(_, c)| matches!(c, pagemgmt::PageClass::PrivateHot(_)))
-            .map(|(&p, _)| (self.hotness_count(host_idx, p), p))
-            // Tail pages with a couple of accesses churn in and out of
-            // the hot set; only promote pages with real heat.
-            .filter(|&(heat, _)| heat >= 4)
-            .collect();
-        // Hottest first, deterministic tie-break.
-        hot_pages.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
-        let hot_pages: Vec<PageId> = hot_pages.into_iter().map(|(_, p)| p).collect();
-        // Current local residents, coldest first, available for swapping.
-        let mut residents: Vec<(PageId, u64)> = self
-            .page_table
-            .iter()
-            .filter(|&(_, t)| t == Tier::Local)
-            .map(|(p, _)| (p, self.hotness_count(host_idx, p)))
-            .collect();
-        residents.sort_unstable_by_key(|&(p, c)| (c, p));
-        let mut resident_cursor = 0usize;
-        for page in hot_pages {
-            if promoted >= promote_budget {
-                break;
-            }
-            if self.page_table.tier_of(page) == Some(Tier::Local) {
-                continue;
-            }
-            if self.page_table.move_page(page, Tier::Local).is_ok() {
-                promoted += 1;
-                continue;
-            }
-            // Local full: claim & swap with the coldest resident.
-            while resident_cursor < residents.len() {
-                let (victim, victim_heat) = residents[resident_cursor];
-                resident_cursor += 1;
-                if self.page_table.tier_of(victim) != Some(Tier::Local) {
-                    continue;
-                }
-                // Hysteresis: only displace a resident when the candidate
-                // is clearly hotter, otherwise promotion thrashes.
-                if self.hotness_count(host_idx, page) < victim_heat.saturating_mul(2).max(4) {
-                    break; // residents are comparably hot; stop promoting
-                }
-                self.page_table.swap(page, victim);
-                promoted += 1;
-                break;
-            }
-            if resident_cursor >= residents.len() {
-                break;
-            }
-        }
-
-        // 2. Cold-age demotion of stale private-hot pages (bounded per
-        // epoch so demotion churn cannot swamp useful work).
-        let mut demotions = self
-            .hotness
-            .demotions(&classes, hot_capacity, pm.cold_age_threshold);
-        demotions.truncate(((pm.migrate_threshold * 24.0) as usize).max(2));
-        for page in demotions {
-            if self.page_table.tier_of(page) == Some(Tier::Local) {
-                // Send it to the least-loaded device.
-                let dev = self.least_loaded_device();
-                let _ = self.page_table.move_page(page, Tier::Cxl(dev));
-            }
-        }
-
-        // 3. Embedding spreading across devices, budgeted by the migrate
-        // threshold (larger threshold ⇒ more pages eligible to move).
-        // Spreading runs periodically — device-level imbalance drifts
-        // slowly, and rebalancing every epoch would re-chase sampling
-        // noise.
-        self.pm_epoch += 1;
-        if self.pm_epoch % 4 != 0 {
-            // Epoch bookkeeping still advances below.
-            for m in &mut self.epoch_dev_pages {
-                m.clear();
-            }
-            for h in 0..self.hotness.n_hosts() {
-                self.hotness.host_mut(h).decay();
-            }
-            let migrated = self.page_table.migrations() - migrations_before;
-            self.metrics.migrations += migrated;
-            let _ = promoted;
-            let concurrent = migrated * 2;
-            return cost.total_overhead(migrated, concurrent);
-        }
-        let active_pages: usize = self.epoch_dev_pages.iter().map(|m| m.len()).sum();
-        // Budget scales with the observed imbalance: balanced traffic
-        // gets a trickle, a Fig 10(b)-style hotspot gets aggressive
-        // redistribution.
-        let dev_totals: Vec<u64> = self
-            .epoch_dev_pages
-            .iter()
-            .map(|m| m.values().sum::<u64>())
-            .collect();
-        let avg = (dev_totals.iter().sum::<u64>() as f64 / dev_totals.len().max(1) as f64).max(1.0);
-        let imbalance = dev_totals.iter().copied().max().unwrap_or(0) as f64 / avg;
-        let budget = ((active_pages as f64 * pm.migrate_threshold / 8.0).ceil() as usize)
-            .clamp(1, ((pm.migrate_threshold * 192.0 * imbalance) as usize).max(8));
-        let mut loads: Vec<DeviceLoad> = self
-            .epoch_dev_pages
-            .iter()
-            .enumerate()
-            .map(|(d, pages)| DeviceLoad {
-                pages: pages
-                    .iter()
-                    .filter(|(p, _)| self.page_table.tier_of(**p) == Some(Tier::Cxl(d as u16)))
-                    .map(|(&p, &c)| (p, c))
-                    .collect(),
-                capacity: self.page_table.capacities().cxl_pages_per_dev,
-            })
-            .collect();
-        let moves = pagemgmt::rebalance(
-            &mut loads,
-            &SpreadConfig {
-                migrate_threshold: 0.35,
-                max_rounds: budget,
-            },
-        );
-        for m in &moves {
-            let _ = self.page_table.move_page(m.page, Tier::Cxl(m.to));
-        }
-
-        // Epoch cleanup.
-        for m in &mut self.epoch_dev_pages {
-            m.clear();
-        }
-        for h in 0..self.hotness.n_hosts() {
-            self.hotness.host_mut(h).decay();
-        }
-
-        let migrated = self.page_table.migrations() - migrations_before;
-        self.metrics.migrations += migrated;
-        let _ = promoted;
-        // In-flight lookups colliding with migrating pages: a couple per
-        // moved page at DLRM arrival rates.
-        let concurrent = migrated * 2;
-        cost.total_overhead(migrated, concurrent)
-    }
-
-    /// TPP-like epoch: promote every page re-referenced this epoch
-    /// (heat ≥ 2), evicting the least-recently-promoted page when local
-    /// DRAM is full. No spreading, no global coordination.
-    fn run_tpp_epoch(
-        &mut self,
-        cost: &MigrationCostModel,
-        migrations_before: u64,
-    ) -> SimDuration {
-        let mut candidates: Vec<(u64, PageId)> = Vec::new();
-        for h in 0..self.hotness.n_hosts() {
-            for (page, heat) in self.hotness.host(h).iter() {
-                if heat >= 2 && self.page_table.tier_of(page) != Some(Tier::Local) {
-                    candidates.push((heat, page));
-                }
-            }
-        }
-        candidates.sort_unstable_by(|a, b| b.cmp(a));
-        candidates.truncate(64);
-        // Demotion victims: current locals, coldest first.
-        let mut locals: Vec<(u64, PageId)> = self
-            .page_table
-            .iter()
-            .filter(|&(_, t)| t == Tier::Local)
-            .map(|(p, _)| (self.hotness_count(0, p), p))
-            .collect();
-        locals.sort_unstable();
-        let mut victim_cursor = 0usize;
-        for (_, page) in candidates {
-            if self.page_table.move_page(page, Tier::Local).is_ok() {
-                continue;
-            }
-            if victim_cursor >= locals.len() {
-                break;
-            }
-            let (_, victim) = locals[victim_cursor];
-            victim_cursor += 1;
-            self.page_table.swap(page, victim);
-        }
-        for m in &mut self.epoch_dev_pages {
-            m.clear();
-        }
-        for h in 0..self.hotness.n_hosts() {
-            self.hotness.host_mut(h).decay();
-        }
-        let migrated = self.page_table.migrations() - migrations_before;
-        self.metrics.migrations += migrated;
-        cost.total_overhead(migrated, migrated * 2)
-    }
-
-    /// Global (cross-host) heat of `page`.
-    fn hotness_count(&self, _host_idx: usize, page: PageId) -> u64 {
-        (0..self.hotness.n_hosts())
-            .map(|h| self.hotness.host(h).count(page))
-            .sum()
-    }
-
-    fn least_loaded_device(&self) -> u16 {
-        self.devices
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, d)| d.access_count())
-            .map(|(i, _)| i as u16)
-            .unwrap_or(0)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use tracegen::{Distribution, TraceSpec};
-
-    fn small_model() -> ModelConfig {
-        ModelConfig {
-            emb_num: 4096,
-            ..ModelConfig::rmc1()
-        }
-    }
-
-    fn trace_for(model: &ModelConfig, batches: u32, batch: u32, seed: u64) -> Trace {
-        TraceSpec {
-            distribution: Distribution::MetaLike { reuse_frac: 0.35, s: 1.05 },
-            n_tables: model.n_tables,
-            rows_per_table: model.emb_num,
-            batch_size: batch,
-            n_batches: batches,
-            bag_size: model.bag_size,
-            seed,
-        }
-        .generate()
-    }
-
-    fn run(cfg: SystemConfig, seed: u64) -> RunMetrics {
-        run_batches(cfg, seed, 6)
-    }
-
-    fn run_batches(cfg: SystemConfig, seed: u64, batches: u32) -> RunMetrics {
-        let trace = trace_for(&cfg.model.clone(), batches, 16, seed);
-        SlsSystem::new(cfg).run_trace(&trace)
-    }
-
-    fn assert_close(a: f64, b: f64) {
-        let tol = (a.abs() + b.abs()) * 1e-5 + 1e-6;
-        assert!((a - b).abs() <= tol, "checksums differ: {a} vs {b}");
-    }
-
-    #[test]
-    fn every_lookup_is_accounted_for() {
-        let m = run_batches(SystemConfig::pifs_rec(small_model()), 3, 2);
-        assert_eq!(
-            m.lookups,
-            m.local_lookups + m.remote_lookups + m.cxl_lookups
-        );
-        assert_eq!(m.bags, 2 * 16 * 8);
-        assert_eq!(m.lookups, m.bags * 8);
-    }
-
-    #[test]
-    fn runs_are_deterministic() {
-        let a = run(SystemConfig::pifs_rec(small_model()), 3);
-        let b = run(SystemConfig::pifs_rec(small_model()), 3);
-        assert_eq!(a.total_ns, b.total_ns);
-        assert_eq!(a.checksum, b.checksum);
-        assert_eq!(a.device_accesses, b.device_accesses);
-    }
-
-    #[test]
-    fn checksum_is_placement_independent() {
-        // The functional SLS result must not depend on where rows live or
-        // where accumulation happens (up to FP32 reassociation; the
-        // per-bag fold order here is identical, so it is exact).
-        let pond = run(SystemConfig::pond(small_model()), 7);
-        let beacon = run(SystemConfig::beacon(small_model()), 7);
-        let pifs = run(SystemConfig::pifs_rec(small_model()), 7);
-        let recnmp = run(SystemConfig::recnmp(small_model(), 0.5), 7);
-        assert_close(pond.checksum, beacon.checksum);
-        assert_close(pond.checksum, pifs.checksum);
-        assert_close(pond.checksum, recnmp.checksum);
-    }
-
-    #[test]
-    fn pifs_beats_beacon_beats_pond() {
-        let pond = run(SystemConfig::pond(small_model()), 5);
-        let beacon = run(SystemConfig::beacon(small_model()), 5);
-        let pifs = run(SystemConfig::pifs_rec(small_model()), 5);
-        assert!(
-            pifs.total_ns < beacon.total_ns,
-            "pifs={} beacon={}",
-            pifs.total_ns,
-            beacon.total_ns
-        );
-        assert!(
-            beacon.total_ns < pond.total_ns,
-            "beacon={} pond={}",
-            beacon.total_ns,
-            pond.total_ns
-        );
-    }
-
-    #[test]
-    fn page_management_helps_pond() {
-        let pond = run(SystemConfig::pond(small_model()), 9);
-        let pond_pm = run(SystemConfig::pond_pm(small_model()), 9);
-        assert!(
-            pond_pm.total_ns < pond.total_ns,
-            "pond_pm={} pond={}",
-            pond_pm.total_ns,
-            pond.total_ns
-        );
-        assert!(pond_pm.local_lookups > 0);
-    }
-
-    #[test]
-    fn buffer_hits_occur_on_skewed_traffic() {
-        let m = run(SystemConfig::pifs_rec(small_model()), 11);
-        assert!(m.buffer_hits > 0, "HTR buffer should hit on a Meta-like trace");
-        assert!(m.buffer_hit_ratio() > 0.05);
-    }
-
-    #[test]
-    fn ooo_reduces_stalls_to_zero() {
-        let mut cfg = SystemConfig::beacon(small_model());
-        cfg.ooo = false;
-        let in_order = run(cfg.clone(), 13);
-        cfg.ooo = true;
-        let ooo = run(cfg, 13);
-        assert!(in_order.ooo_stalls > 0);
-        assert_eq!(ooo.ooo_stalls, 0);
-        assert!(ooo.total_ns <= in_order.total_ns);
-    }
-
-    #[test]
-    fn multi_host_improves_makespan() {
-        let mut cfg = SystemConfig::pifs_rec(small_model());
-        cfg.n_hosts = 1;
-        let trace = trace_for(&cfg.model.clone(), 4, 16, 17);
-        let one = SlsSystem::new(cfg.clone()).run_trace(&trace);
-        cfg.n_hosts = 4;
-        let four = SlsSystem::new(cfg).run_trace(&trace);
-        assert!(
-            four.total_ns < one.total_ns,
-            "four hosts {} vs one {}",
-            four.total_ns,
-            one.total_ns
-        );
-    }
-
-    #[test]
-    fn multi_switch_runs_and_stays_correct() {
-        let mut cfg = SystemConfig::pifs_rec(small_model());
-        cfg.n_switches = 4;
-        cfg.n_devices = 8;
-        let trace = trace_for(&cfg.model.clone(), 2, 8, 19);
-        let multi = SlsSystem::new(cfg.clone()).run_trace(&trace);
-        cfg.n_switches = 1;
-        let single = SlsSystem::new(cfg).run_trace(&trace);
-        assert_close(multi.checksum, single.checksum);
-        assert!(multi.total_ns > 0);
-    }
-
-    #[test]
-    fn device_accesses_cover_all_devices_under_spreading() {
-        let m = run(SystemConfig::pifs_rec(small_model()), 23);
-        assert_eq!(m.device_accesses.len(), 8);
-        let active = m.device_accesses.iter().filter(|&&c| c > 0).count();
-        assert!(active >= 6, "spreading should use most devices: {:?}", m.device_accesses);
-    }
-
-    #[test]
-    fn migration_overhead_is_tracked_when_pm_enabled() {
-        let pifs = run(SystemConfig::pifs_rec(small_model()), 29);
-        assert!(pifs.migrations > 0, "PM should migrate on a skewed trace");
-        assert!(pifs.migration_ns > 0);
-        let pond = run(SystemConfig::pond(small_model()), 29);
-        assert_eq!(pond.migrations, 0);
-        assert_eq!(pond.migration_ns, 0);
-    }
-
-    #[test]
-    fn app_bandwidth_is_positive_and_bounded() {
-        let m = run(SystemConfig::pifs_rec(small_model()), 31);
-        let bw = m.app_bandwidth_gbps(small_model().row_bytes());
-        assert!(bw > 0.0);
-        assert!(bw < 10_000.0, "bandwidth {bw} GB/s is implausible");
     }
 }

@@ -1,0 +1,192 @@
+//! End-to-end behavior of the composed system across every scheme:
+//! conservation, determinism, placement-independent checksums, and the
+//! paper's headline orderings. These exercise the whole engine stack
+//! through the public façade only.
+
+use dlrm::ModelConfig;
+use pifs_core::system::{RunMetrics, SlsSystem, SystemConfig};
+use tracegen::{Distribution, Trace, TraceSpec};
+
+fn small_model() -> ModelConfig {
+    ModelConfig {
+        emb_num: 4096,
+        ..ModelConfig::rmc1()
+    }
+}
+
+fn trace_for(model: &ModelConfig, batches: u32, batch: u32, seed: u64) -> Trace {
+    TraceSpec {
+        distribution: Distribution::MetaLike {
+            reuse_frac: 0.35,
+            s: 1.05,
+        },
+        n_tables: model.n_tables,
+        rows_per_table: model.emb_num,
+        batch_size: batch,
+        n_batches: batches,
+        bag_size: model.bag_size,
+        seed,
+    }
+    .generate()
+}
+
+fn run(cfg: SystemConfig, seed: u64) -> RunMetrics {
+    run_batches(cfg, seed, 6)
+}
+
+fn run_batches(cfg: SystemConfig, seed: u64, batches: u32) -> RunMetrics {
+    let trace = trace_for(&cfg.model.clone(), batches, 16, seed);
+    SlsSystem::new(cfg).run_trace(&trace)
+}
+
+fn assert_close(a: f64, b: f64) {
+    let tol = (a.abs() + b.abs()) * 1e-5 + 1e-6;
+    assert!((a - b).abs() <= tol, "checksums differ: {a} vs {b}");
+}
+
+#[test]
+fn every_lookup_is_accounted_for() {
+    let m = run_batches(SystemConfig::pifs_rec(small_model()), 3, 2);
+    assert_eq!(
+        m.lookups,
+        m.local_lookups + m.remote_lookups + m.cxl_lookups
+    );
+    assert_eq!(m.bags, 2 * 16 * 8);
+    assert_eq!(m.lookups, m.bags * 8);
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let a = run(SystemConfig::pifs_rec(small_model()), 3);
+    let b = run(SystemConfig::pifs_rec(small_model()), 3);
+    assert_eq!(a.total_ns, b.total_ns);
+    assert_eq!(a.checksum, b.checksum);
+    assert_eq!(a.device_accesses, b.device_accesses);
+}
+
+#[test]
+fn checksum_is_placement_independent() {
+    // The functional SLS result must not depend on where rows live or
+    // where accumulation happens (up to FP32 reassociation; the
+    // per-bag fold order here is identical, so it is exact).
+    let pond = run(SystemConfig::pond(small_model()), 7);
+    let beacon = run(SystemConfig::beacon(small_model()), 7);
+    let pifs = run(SystemConfig::pifs_rec(small_model()), 7);
+    let recnmp = run(SystemConfig::recnmp(small_model(), 0.5), 7);
+    assert_close(pond.checksum, beacon.checksum);
+    assert_close(pond.checksum, pifs.checksum);
+    assert_close(pond.checksum, recnmp.checksum);
+}
+
+#[test]
+fn pifs_beats_beacon_beats_pond() {
+    let pond = run(SystemConfig::pond(small_model()), 5);
+    let beacon = run(SystemConfig::beacon(small_model()), 5);
+    let pifs = run(SystemConfig::pifs_rec(small_model()), 5);
+    assert!(
+        pifs.total_ns < beacon.total_ns,
+        "pifs={} beacon={}",
+        pifs.total_ns,
+        beacon.total_ns
+    );
+    assert!(
+        beacon.total_ns < pond.total_ns,
+        "beacon={} pond={}",
+        beacon.total_ns,
+        pond.total_ns
+    );
+}
+
+#[test]
+fn page_management_helps_pond() {
+    let pond = run(SystemConfig::pond(small_model()), 9);
+    let pond_pm = run(SystemConfig::pond_pm(small_model()), 9);
+    assert!(
+        pond_pm.total_ns < pond.total_ns,
+        "pond_pm={} pond={}",
+        pond_pm.total_ns,
+        pond.total_ns
+    );
+    assert!(pond_pm.local_lookups > 0);
+}
+
+#[test]
+fn buffer_hits_occur_on_skewed_traffic() {
+    let m = run(SystemConfig::pifs_rec(small_model()), 11);
+    assert!(
+        m.buffer_hits > 0,
+        "HTR buffer should hit on a Meta-like trace"
+    );
+    assert!(m.buffer_hit_ratio() > 0.05);
+}
+
+#[test]
+fn ooo_reduces_stalls_to_zero() {
+    let mut cfg = SystemConfig::beacon(small_model());
+    cfg.ooo = false;
+    let in_order = run(cfg.clone(), 13);
+    cfg.ooo = true;
+    let ooo = run(cfg, 13);
+    assert!(in_order.ooo_stalls > 0);
+    assert_eq!(ooo.ooo_stalls, 0);
+    assert!(ooo.total_ns <= in_order.total_ns);
+}
+
+#[test]
+fn multi_host_improves_makespan() {
+    let mut cfg = SystemConfig::pifs_rec(small_model());
+    cfg.n_hosts = 1;
+    let trace = trace_for(&cfg.model.clone(), 4, 16, 17);
+    let one = SlsSystem::new(cfg.clone()).run_trace(&trace);
+    cfg.n_hosts = 4;
+    let four = SlsSystem::new(cfg).run_trace(&trace);
+    assert!(
+        four.total_ns < one.total_ns,
+        "four hosts {} vs one {}",
+        four.total_ns,
+        one.total_ns
+    );
+}
+
+#[test]
+fn multi_switch_runs_and_stays_correct() {
+    let mut cfg = SystemConfig::pifs_rec(small_model());
+    cfg.n_switches = 4;
+    cfg.n_devices = 8;
+    let trace = trace_for(&cfg.model.clone(), 2, 8, 19);
+    let multi = SlsSystem::new(cfg.clone()).run_trace(&trace);
+    cfg.n_switches = 1;
+    let single = SlsSystem::new(cfg).run_trace(&trace);
+    assert_close(multi.checksum, single.checksum);
+    assert!(multi.total_ns > 0);
+}
+
+#[test]
+fn device_accesses_cover_all_devices_under_spreading() {
+    let m = run(SystemConfig::pifs_rec(small_model()), 23);
+    assert_eq!(m.device_accesses.len(), 8);
+    let active = m.device_accesses.iter().filter(|&&c| c > 0).count();
+    assert!(
+        active >= 6,
+        "spreading should use most devices: {:?}",
+        m.device_accesses
+    );
+}
+
+#[test]
+fn migration_overhead_is_tracked_when_pm_enabled() {
+    let pifs = run(SystemConfig::pifs_rec(small_model()), 29);
+    assert!(pifs.migrations > 0, "PM should migrate on a skewed trace");
+    assert!(pifs.migration_ns > 0);
+    let pond = run(SystemConfig::pond(small_model()), 29);
+    assert_eq!(pond.migrations, 0);
+    assert_eq!(pond.migration_ns, 0);
+}
+
+#[test]
+fn app_bandwidth_is_positive_and_bounded() {
+    let m = run(SystemConfig::pifs_rec(small_model()), 31);
+    let bw = m.app_bandwidth_gbps(small_model().row_bytes());
+    assert!(bw > 0.0);
+    assert!(bw < 10_000.0, "bandwidth {bw} GB/s is implausible");
+}

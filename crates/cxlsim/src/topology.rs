@@ -72,7 +72,10 @@ impl Topology {
         params: CxlParams,
     ) -> Self {
         assert!(
-            device_home.iter().chain(&host_home).all(|s| s.0 < n_switches),
+            device_home
+                .iter()
+                .chain(&host_home)
+                .all(|s| s.0 < n_switches),
             "assignment references a nonexistent switch"
         );
         Topology {

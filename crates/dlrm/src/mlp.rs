@@ -108,9 +108,6 @@ mod tests {
 
     #[test]
     fn zero_work_costs_zero() {
-        assert_eq!(
-            CostModel::a100().latency(0, 0),
-            SimDuration::ZERO
-        );
+        assert_eq!(CostModel::a100().latency(0, 0), SimDuration::ZERO);
     }
 }

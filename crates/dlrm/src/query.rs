@@ -53,7 +53,10 @@ pub fn partition(
     n_cores: u32,
     mode: ThreadingMode,
 ) -> Vec<Vec<WorkItem>> {
-    assert!(n_tables > 0 && batch > 0 && n_cores > 0, "arguments must be positive");
+    assert!(
+        n_tables > 0 && batch > 0 && n_cores > 0,
+        "arguments must be positive"
+    );
     let mut per_core: Vec<Vec<WorkItem>> = vec![Vec::new(); n_cores as usize];
     match mode {
         ThreadingMode::Batch => {

@@ -170,13 +170,7 @@ impl Channel {
 
     /// Schedules one 64 B access arriving at `now`; returns the instant the
     /// data burst completes on the bus.
-    pub fn access(
-        &mut self,
-        now: SimTime,
-        loc: &Location,
-        op: MemOp,
-        t: &DramTimings,
-    ) -> SimTime {
+    pub fn access(&mut self, now: SimTime, loc: &Location, op: MemOp, t: &DramTimings) -> SimTime {
         if self.apply_refresh(now, loc.rank, t) {
             self.stats.refresh_stalls += 1;
         }
@@ -302,10 +296,7 @@ mod tests {
     #[test]
     fn tfaw_throttles_a_fifth_activate() {
         let tt = t();
-        let mut ch = Channel::new(DramOrg {
-            banks: 8,
-            ..org()
-        });
+        let mut ch = Channel::new(DramOrg { banks: 8, ..org() });
         let mut last = SimTime::ZERO;
         for bank in 0..5 {
             last = ch.access(SimTime::ZERO, &loc(bank, 1), MemOp::Read, &tt);
@@ -321,9 +312,8 @@ mod tests {
         let tt = t();
         let mut ch = Channel::new(org());
         // Walk time far past several tREFI intervals.
-        let mut now = SimTime::ZERO;
         for i in 0..100u64 {
-            now = SimTime::from_ns(i * 1000);
+            let now = SimTime::from_ns(i * 1000);
             ch.access(now, &loc(0, i), MemOp::Read, &tt);
         }
         // Refresh bookkeeping advanced past `now`.

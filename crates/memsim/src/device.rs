@@ -69,7 +69,9 @@ impl DramStats {
 impl DramDevice {
     /// Creates an idle device from `cfg`.
     pub fn new(cfg: DramConfig) -> Self {
-        let channels = (0..cfg.org.channels).map(|_| Channel::new(cfg.org)).collect();
+        let channels = (0..cfg.org.channels)
+            .map(|_| Channel::new(cfg.org))
+            .collect();
         DramDevice { cfg, channels }
     }
 
@@ -138,7 +140,10 @@ mod tests {
             done = done.max(dev2.access(SimTime::ZERO, i * 64, MemOp::Read));
         }
         let serial_estimate = SimTime::from_ns(single.as_ns() * 3);
-        assert!(done < serial_estimate, "done={done} serial≈{serial_estimate}");
+        assert!(
+            done < serial_estimate,
+            "done={done} serial≈{serial_estimate}"
+        );
     }
 
     #[test]
@@ -174,7 +179,10 @@ mod tests {
             gbps > peak * 0.5,
             "sequential stream should exceed 50% of peak: {gbps:.1} vs {peak:.1}"
         );
-        assert!(gbps <= peak * 1.05, "cannot beat the bus: {gbps:.1} vs {peak:.1}");
+        assert!(
+            gbps <= peak * 1.05,
+            "cannot beat the bus: {gbps:.1} vs {peak:.1}"
+        );
     }
 
     #[test]
@@ -191,7 +199,9 @@ mod tests {
         let mut x = 0x12345u64;
         for _ in 0..lines {
             // Simple LCG over a wide range to defeat row locality.
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             rnd_done = rnd_done.max(rnd.access(SimTime::ZERO, (x % (1 << 32)) & !63, MemOp::Read));
         }
         assert!(

@@ -83,8 +83,7 @@ pub fn rebalance(devices: &mut [DeviceLoad], cfg: &SpreadConfig) -> Vec<Migratio
             .enumerate()
             .max_by_key(|&(i, &t)| (t, usize::MAX - i))
             .expect("at least two devices");
-        let others_avg: f64 =
-            (totals.iter().sum::<u64>() - hot_total) as f64 / (n as f64 - 1.0);
+        let others_avg: f64 = (totals.iter().sum::<u64>() - hot_total) as f64 / (n as f64 - 1.0);
         if (hot_total as f64) <= others_avg * (1.0 + cfg.migrate_threshold) || hot_total == 0 {
             break; // balanced enough
         }

@@ -136,6 +136,27 @@ mod tests {
     }
 
     #[test]
+    fn fifo_tie_break_survives_interleaved_timestamps() {
+        // Ties must pop in insertion order even when pushes at other
+        // instants land between them and churn the heap's internal
+        // layout — the property the per-entry sequence number exists
+        // to guarantee.
+        let mut q = EventQueue::new();
+        let tie = SimTime::from_ns(50);
+        q.push(tie, "tie-0");
+        q.push(SimTime::from_ns(10), "early");
+        q.push(tie, "tie-1");
+        q.push(SimTime::from_ns(99), "late");
+        q.push(tie, "tie-2");
+        q.push(SimTime::from_ns(10), "early-second");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(
+            order,
+            ["early", "early-second", "tie-0", "tie-1", "tie-2", "late"]
+        );
+    }
+
+    #[test]
     fn peek_does_not_consume() {
         let mut q = EventQueue::new();
         q.push(SimTime::from_ns(4), ());

@@ -102,6 +102,28 @@ mod tests {
     }
 
     #[test]
+    fn stream_matches_golden_values_across_runs() {
+        // Cross-run (and cross-machine) determinism: the first outputs
+        // of seed 2024 are pinned, so any change to the generator's
+        // algorithm — which would silently re-time every experiment in
+        // the workspace — fails loudly here.
+        let mut rng = DetRng::new(2024);
+        let observed: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            observed,
+            [
+                0x9F6D_8FEC_F88E_ECD5,
+                0x18E4_30BB_1511_F2D2,
+                0x4C6F_7CBF_58DB_A57F,
+                0x1DBE_69E0_AE9B_B859,
+            ]
+        );
+        // Restarting from the same seed replays the identical prefix.
+        let mut replay = DetRng::new(2024);
+        assert_eq!(replay.next_u64(), observed[0]);
+    }
+
+    #[test]
     fn different_seeds_diverge() {
         let mut a = DetRng::new(1);
         let mut b = DetRng::new(2);

@@ -139,16 +139,15 @@ mod tests {
         let pifs = SystemBom::pifs_rec(410, 1638).tco();
         let gpu = SystemBom::gpu_server(4, 2048).tco();
         let saving = gpu.opex_usd - pifs.opex_usd;
-        assert!(
-            (1_500.0..3_500.0).contains(&saving),
-            "saving={saving}"
-        );
+        assert!((1_500.0..3_500.0).contains(&saving), "saving={saving}");
     }
 
     #[test]
     fn gpu_capex_scales_with_gpu_count() {
         let one = SystemBom::gpu_server(1, 2048).capex_usd;
         let four = SystemBom::gpu_server(4, 2048).capex_usd;
-        assert!((four - one - 3.0 * (parts::GPU_A100.price_usd + parts::NIC.price_usd)).abs() < 1.0);
+        assert!(
+            (four - one - 3.0 * (parts::GPU_A100.price_usd + parts::NIC.price_usd)).abs() < 1.0
+        );
     }
 }

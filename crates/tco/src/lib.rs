@@ -13,4 +13,4 @@ pub mod power;
 pub use capex::{SystemBom, TcoReport};
 pub use energy::EnergyModel;
 pub use parts::Part;
-pub use power::HardwareOverheads;
+pub use power::{BlockCost, HardwareOverheads};

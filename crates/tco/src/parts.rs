@@ -91,7 +91,8 @@ mod tests {
         assert_eq!(GPU_A100.price_usd, 18_900.0);
         assert_eq!(FABRIC_SWITCH.tdp_w, 400.0);
         assert_eq!(DDR5_PER_GB.price_usd, 11.25);
-        assert!(DDR4_PER_GB.price_usd < DDR5_PER_GB.price_usd);
+        let (ddr4, ddr5) = (DDR4_PER_GB.price_usd, DDR5_PER_GB.price_usd);
+        assert!(ddr4 < ddr5);
     }
 
     #[test]

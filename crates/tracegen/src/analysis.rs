@@ -103,7 +103,10 @@ mod tests {
 
     #[test]
     fn metalike_shows_more_reuse_than_random() {
-        let m = profile(Distribution::MetaLike { reuse_frac: 0.35, s: 1.05 });
+        let m = profile(Distribution::MetaLike {
+            reuse_frac: 0.35,
+            s: 1.05,
+        });
         let r = profile(Distribution::Random);
         assert!(m.near_reuse_frac > r.near_reuse_frac, "m={m:?} r={r:?}");
         assert!(m.near_reuse_frac > 0.2);

@@ -45,7 +45,13 @@ impl Distribution {
     /// The paper's Fig 12(b) trace families, in plot order.
     pub fn fig12b_suite() -> Vec<(&'static str, Distribution)> {
         vec![
-            ("Meta", Distribution::MetaLike { reuse_frac: 0.35, s: 1.05 }),
+            (
+                "Meta",
+                Distribution::MetaLike {
+                    reuse_frac: 0.35,
+                    s: 1.05,
+                },
+            ),
             ("ZF", Distribution::Zipfian { s: 1.05 }),
             ("NoL", Distribution::Normal { sigma_frac: 0.125 }),
             ("Um", Distribution::Uniform),
@@ -226,7 +232,10 @@ mod tests {
             Distribution::Normal { sigma_frac: 0.125 },
             Distribution::Uniform,
             Distribution::Random,
-            Distribution::MetaLike { reuse_frac: 0.3, s: 1.0 },
+            Distribution::MetaLike {
+                reuse_frac: 0.3,
+                s: 1.0,
+            },
             Distribution::ZipfianHead { s: 1.0 },
         ] {
             let mut s = Sampler::new(dist, 100, DetRng::new(1));
@@ -300,7 +309,10 @@ mod tests {
             }
             near
         };
-        let meta = reuse(Distribution::MetaLike { reuse_frac: 0.35, s: 1.05 });
+        let meta = reuse(Distribution::MetaLike {
+            reuse_frac: 0.35,
+            s: 1.05,
+        });
         let zipf = reuse(Distribution::Zipfian { s: 1.05 });
         assert!(meta > zipf, "meta={meta} zipf={zipf}");
     }

@@ -12,7 +12,10 @@ use pifs_rec::{BufferConfig, BufferPolicy};
 fn main() {
     let model = ModelConfig::rmc4().scaled_down(64);
     let trace = TraceSpec {
-        distribution: Distribution::MetaLike { reuse_frac: 0.35, s: 1.05 },
+        distribution: Distribution::MetaLike {
+            reuse_frac: 0.35,
+            s: 1.05,
+        },
         n_tables: model.n_tables,
         rows_per_table: model.emb_num,
         batch_size: 32,
@@ -27,7 +30,10 @@ fn main() {
     no_buf.buffer = None;
     let base = SlsSystem::new(no_buf).run_trace(&trace).total_ns as f64;
     println!("no buffer: {base:>10} ns (baseline)\n");
-    println!("{:>9} {:>7} {:>10} {:>9} {:>8}", "capacity", "policy", "total ns", "speedup", "hits");
+    println!(
+        "{:>9} {:>7} {:>10} {:>9} {:>8}",
+        "capacity", "policy", "total ns", "speedup", "hits"
+    );
 
     for cap_kb in [16u64, 32, 64, 128, 256] {
         for (label, policy) in [

@@ -13,7 +13,10 @@ use pifs_rec::prelude::*;
 fn main() {
     let model = ModelConfig::rmc2().scaled_down(16);
     let trace = TraceSpec {
-        distribution: Distribution::MetaLike { reuse_frac: 0.35, s: 1.05 },
+        distribution: Distribution::MetaLike {
+            reuse_frac: 0.35,
+            s: 1.05,
+        },
         n_tables: model.n_tables,
         rows_per_table: model.emb_num,
         batch_size: 32,

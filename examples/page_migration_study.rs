@@ -13,7 +13,10 @@ use pifs_rec::PmConfig;
 fn main() {
     let model = ModelConfig::rmc3().scaled_down(32);
     let trace = TraceSpec {
-        distribution: Distribution::MetaLike { reuse_frac: 0.35, s: 1.05 },
+        distribution: Distribution::MetaLike {
+            reuse_frac: 0.35,
+            s: 1.05,
+        },
         n_tables: model.n_tables,
         rows_per_table: model.emb_num,
         batch_size: 32,
@@ -26,7 +29,10 @@ fn main() {
     println!("-- migration granularity (Fig 13a's red vs green) --");
     for (label, gran) in [
         ("page-block (OS default)", MigrationGranularity::PageBlock),
-        ("cache-line block (PIFS MC)", MigrationGranularity::CacheLineBlock),
+        (
+            "cache-line block (PIFS MC)",
+            MigrationGranularity::CacheLineBlock,
+        ),
     ] {
         let mut cfg = SystemConfig::pifs_rec(model.clone());
         cfg.warmup_batches = 6; // measure steady state, not the cold boot

@@ -14,7 +14,10 @@ fn main() {
     // A Meta-like embedding access trace: Zipfian popularity plus
     // short-range reuse, the pattern the on-switch buffer exploits.
     let trace = TraceSpec {
-        distribution: Distribution::MetaLike { reuse_frac: 0.35, s: 1.05 },
+        distribution: Distribution::MetaLike {
+            reuse_frac: 0.35,
+            s: 1.05,
+        },
         n_tables: model.n_tables,
         rows_per_table: model.emb_num,
         batch_size: 32,
@@ -24,7 +27,11 @@ fn main() {
     }
     .generate();
 
-    println!("workload: {} lookups over {} tables", trace.total_lookups(), trace.n_tables);
+    println!(
+        "workload: {} lookups over {} tables",
+        trace.total_lookups(),
+        trace.n_tables
+    );
 
     // PIFS-Rec: in-switch accumulation, tiered pages, HTR buffer, OoO.
     let pifs = SlsSystem::new(SystemConfig::pifs_rec(model.clone())).run_trace(&trace);
@@ -32,13 +39,20 @@ fn main() {
     let pond = SlsSystem::new(SystemConfig::pond(model.clone())).run_trace(&trace);
 
     println!();
-    println!("PIFS-Rec : {:>12} ns  (buffer hit ratio {:.1}%)",
-        pifs.total_ns, pifs.buffer_hit_ratio() * 100.0);
+    println!(
+        "PIFS-Rec : {:>12} ns  (buffer hit ratio {:.1}%)",
+        pifs.total_ns,
+        pifs.buffer_hit_ratio() * 100.0
+    );
     println!("Pond     : {:>12} ns", pond.total_ns);
     println!();
-    println!("speedup  : {:.2}x (paper reports 3.89x at full scale)",
-        pond.total_ns as f64 / pifs.total_ns as f64);
-    assert!((pifs.checksum - pond.checksum).abs() < pifs.checksum.abs() * 1e-4 + 1e-6,
-        "both placements must compute the same SLS results");
+    println!(
+        "speedup  : {:.2}x (paper reports 3.89x at full scale)",
+        pond.total_ns as f64 / pifs.total_ns as f64
+    );
+    assert!(
+        (pifs.checksum - pond.checksum).abs() < pifs.checksum.abs() * 1e-4 + 1e-6,
+        "both placements must compute the same SLS results"
+    );
     println!("functional check: both systems produced identical SLS sums ✓");
 }

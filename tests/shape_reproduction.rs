@@ -12,7 +12,10 @@ fn model() -> ModelConfig {
 fn trace(batch: u32, seed: u64) -> tracegen::Trace {
     let m = model();
     TraceSpec {
-        distribution: Distribution::MetaLike { reuse_frac: 0.35, s: 1.05 },
+        distribution: Distribution::MetaLike {
+            reuse_frac: 0.35,
+            s: 1.05,
+        },
         n_tables: m.n_tables,
         rows_per_table: m.emb_num,
         batch_size: batch,
@@ -141,7 +144,10 @@ fn fig14_multi_host_scales_throughput() {
     let m = model();
     let run = |hosts: u16| {
         let t = TraceSpec {
-            distribution: Distribution::MetaLike { reuse_frac: 0.35, s: 1.05 },
+            distribution: Distribution::MetaLike {
+                reuse_frac: 0.35,
+                s: 1.05,
+            },
             n_tables: m.n_tables,
             rows_per_table: m.emb_num,
             batch_size: 64,

@@ -1,0 +1,133 @@
+//! Minimal in-tree stand-in for the subset of the `criterion` bench
+//! harness this workspace uses, so that a fully offline build needs no
+//! crates.io access. It times each benchmark with `std::time::Instant`
+//! and prints a mean ns/iter — no statistics, plots, or baselines.
+//!
+//! If the build environment gains network access, this crate can be
+//! deleted and the workspace pointed back at the real `criterion`
+//! without any source changes.
+
+#![deny(missing_docs)]
+
+use std::time::Instant;
+
+/// Opaque-to-the-optimizer identity, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-benchmark timing driver handed to `bench_function` closures.
+pub struct Bencher {
+    samples: usize,
+}
+
+impl Bencher {
+    /// Times `f` over a fixed number of iterations (after one warmup
+    /// iteration) and records the mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warmup
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        let per_iter = elapsed.as_nanos() / self.samples.max(1) as u128;
+        println!("    {per_iter} ns/iter ({} iters)", self.samples);
+    }
+}
+
+/// Top-level harness state, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Parses command-line configuration (accepted and ignored here, so
+    /// `cargo bench -- <filter>` does not error out).
+    pub fn configure_from_args(mut self) -> Self {
+        self.sample_size = 10;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Self {
+        println!("bench {}", name.as_ref());
+        let mut b = Bencher {
+            samples: self.sample_size.max(1),
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            parent: self,
+            sample_size: None,
+        }
+    }
+
+    /// Final bookkeeping after all groups run (no-op here).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    sample_size: Option<usize>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Overrides the number of timed iterations for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs a named benchmark inside the group.
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Self {
+        println!("  bench {}", name.as_ref());
+        let mut b = Bencher {
+            samples: self.sample_size.unwrap_or(self.parent.sample_size).max(1),
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Closes the group (no-op here).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+/// Declares the bench `main` that runs each group, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

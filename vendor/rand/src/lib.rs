@@ -1,0 +1,44 @@
+//! Minimal in-tree stand-in for the subset of the `rand` crate API this
+//! workspace uses, so that a fully offline build needs no crates.io
+//! access. Only [`RngCore`] and [`Error`] are provided; all actual
+//! random-number generation in the workspace comes from `simkit::DetRng`,
+//! which implements this trait.
+//!
+//! If the build environment gains network access, this crate can be
+//! deleted and the workspace pointed back at the real `rand` without any
+//! source changes.
+
+#![deny(missing_docs)]
+
+use std::fmt;
+
+/// Error type returned by [`RngCore::try_fill_bytes`].
+///
+/// The deterministic generators in this workspace never fail, so this is
+/// effectively uninhabited in practice; it exists for API compatibility.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core trait every random-number generator implements, mirroring
+/// `rand::RngCore`.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible variant of [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}

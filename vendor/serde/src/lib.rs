@@ -1,0 +1,22 @@
+//! Minimal in-tree stand-in for the subset of `serde` this workspace
+//! uses, so that a fully offline build needs no crates.io access.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its config and
+//! wire-format types as forward-looking API decoration, but nothing in
+//! the workspace is generic over these traits — all JSON emission goes
+//! through `serde_json::Value` built explicitly. The derives here are
+//! therefore no-ops and the traits are empty markers.
+//!
+//! If the build environment gains network access, this crate can be
+//! deleted and the workspace pointed back at the real `serde` without
+//! any source changes.
+
+#![deny(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}

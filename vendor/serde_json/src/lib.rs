@@ -1,0 +1,436 @@
+//! Minimal in-tree stand-in for the subset of `serde_json` this
+//! workspace uses, so that a fully offline build needs no crates.io
+//! access: [`Value`], an insertion-ordered [`Map`], the [`json!`] macro,
+//! and the pretty serializers [`to_string_pretty`] / [`to_vec_pretty`].
+//!
+//! It serializes only [`Value`] trees built explicitly (or via
+//! [`json!`]); it does not serialize arbitrary `Serialize` types, which
+//! the workspace never does. If the build environment gains network
+//! access, this crate can be deleted and the workspace pointed back at
+//! the real `serde_json` without any source changes.
+
+#![deny(missing_docs)]
+
+use std::fmt;
+
+/// A JSON number: unsigned, signed, or floating point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Number {
+    /// An unsigned integer (preserves full `u64` precision).
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::U64(v) => write!(f, "{v}"),
+            Number::I64(v) => write!(f, "{v}"),
+            Number::F64(v) => {
+                if v.is_finite() {
+                    if v.fract() == 0.0 && v.abs() < 1e15 {
+                        write!(f, "{v:.1}")
+                    } else {
+                        write!(f, "{v}")
+                    }
+                } else {
+                    // JSON has no Inf/NaN; mirror serde_json's lossy `null`.
+                    f.write_str("null")
+                }
+            }
+        }
+    }
+}
+
+/// An insertion-ordered string-keyed map of [`Value`]s.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Inserts `value` at `key`, replacing and returning any previous
+    /// value bound to the same key.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+/// A JSON value tree, mirroring `serde_json::Value`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Object(Map),
+}
+
+/// Error type for the serializers (this stand-in never fails).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Number(Number::U64(v as u64))
+            }
+        }
+    )*};
+}
+
+macro_rules! from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Number(Number::I64(v as i64))
+            }
+        }
+    )*};
+}
+
+from_unsigned!(u8, u16, u32, u64, usize);
+from_signed!(i8, i16, i32, i64, isize);
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(Number::F64(v as f64))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::F64(v))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+
+impl From<Map> for Value {
+    fn from(v: Map) -> Value {
+        Value::Object(v)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>, const N: usize> From<[T; N]> for Value {
+    fn from(v: [T; N]) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&Vec<T>> for Value {
+    fn from(v: &Vec<T>) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+/// Borrow-based conversion into [`Value`], mirroring the real `json!`
+/// macro's by-reference serialization (so `json!({ "k": owned })` does
+/// not move `owned` out of its binding).
+pub trait ToValue {
+    /// Converts `self` into a [`Value`] without consuming it.
+    fn to_value(&self) -> Value;
+}
+
+/// Converts any [`ToValue`] into a [`Value`] by reference.
+pub fn to_value<T: ToValue + ?Sized>(v: &T) -> Value {
+    v.to_value()
+}
+
+impl<T: ToValue + ?Sized> ToValue for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! to_value_via_copy {
+    ($($t:ty),*) => {$(
+        impl ToValue for $t {
+            fn to_value(&self) -> Value {
+                Value::from(*self)
+            }
+        }
+    )*};
+}
+
+to_value_via_copy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool);
+
+impl ToValue for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl ToValue for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl ToValue for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl ToValue for Map {
+    fn to_value(&self) -> Value {
+        Value::Object(self.clone())
+    }
+}
+
+impl<T: ToValue> ToValue for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(ToValue::to_value).collect())
+    }
+}
+
+impl<T: ToValue> ToValue for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(ToValue::to_value).collect())
+    }
+}
+
+impl<T: ToValue, const N: usize> ToValue for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(ToValue::to_value).collect())
+    }
+}
+
+impl<T: ToValue> ToValue for Option<T> {
+    fn to_value(&self) -> Value {
+        self.as_ref().map_or(Value::Null, ToValue::to_value)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_pretty(out: &mut String, value: &Value, indent: usize) {
+    const STEP: &str = "  ";
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                out.push_str(&STEP.repeat(indent + 1));
+                write_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&STEP.repeat(indent));
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                out.push_str(&STEP.repeat(indent + 1));
+                escape_into(out, k);
+                out.push_str(": ");
+                write_pretty(out, v, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&STEP.repeat(indent));
+            out.push('}');
+        }
+    }
+}
+
+/// Pretty-prints `value` as a JSON string (2-space indent).
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&mut out, value, 0);
+    Ok(out)
+}
+
+/// Pretty-prints `value` as JSON bytes (2-space indent).
+pub fn to_vec_pretty(value: &Value) -> Result<Vec<u8>, Error> {
+    to_string_pretty(value).map(String::into_bytes)
+}
+
+/// Builds a [`Value`] from a JSON-like literal.
+///
+/// Supports object literals with string-literal keys, array literals,
+/// `null`/`true`/`false`, and arbitrary expressions convertible into
+/// [`Value`] via `From`. Nest literals by nesting `json!` calls
+/// explicitly: `json!({ "outer": json!({ "inner": 1 }) })`.
+///
+/// # Examples
+///
+/// ```
+/// use serde_json::json;
+/// let v = json!({ "a": 1, "b": [1.5, 2.5], "c": json!({ "nested": true }) });
+/// assert!(serde_json::to_string_pretty(&v).unwrap().contains("nested"));
+/// ```
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $( map.insert($key.to_string(), $crate::to_value(&$val)); )*
+        $crate::Value::Object(map)
+    }};
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$elem) ),* ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_shapes_round_trip() {
+        let v = json!({
+            "name": "rmc1",
+            "n": 42u64,
+            "f": 2.5f64,
+            "list": json!([1u32, 2u32]),
+            "nested": json!({ "ok": true }),
+        });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"name\": \"rmc1\""));
+        assert!(s.contains("\"n\": 42"));
+        assert!(s.contains("\"ok\": true"));
+    }
+
+    #[test]
+    fn map_insert_replaces() {
+        let mut m = Map::new();
+        assert!(m.insert("k".into(), json!(1u8)).is_none());
+        assert_eq!(m.insert("k".into(), json!(2u8)), Some(json!(1u8)));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn expressions_convert() {
+        let xs = vec![1.0f64, 2.0];
+        let v = json!(xs);
+        assert_eq!(v, Value::Array(vec![json!(1.0f64), json!(2.0f64)]));
+    }
+}
