@@ -1,709 +1,203 @@
 //! `repro` — regenerates every table and figure of the PIFS-Rec paper.
 //!
-//! Usage: `cargo run --release -p pifs-bench --bin repro -- <id>` where
-//! `<id>` is one of `table1 table2 fig5 fig6 fig12a fig12b fig12c fig12d
-//! fig12e fig13a fig13b fig13c fig13d fig14 fig15 fig16 fig17 fig18
-//! energy all`.
+//! ```text
+//! repro [--threads N] <id> | all          reproduce one figure (or all)
+//! repro [--threads N] sweep <id> --param k=v1,v2,... [--param ...]
+//!                                         run an off-paper grid
+//! repro list                              list scenarios and their axes
+//! ```
+//!
+//! The experiment-id list is generated from the scenario registry
+//! (`pifs_bench::scenario::registry()`), the single source of truth —
+//! run `repro -- list` to see it, together with each scenario's
+//! sweepable parameters. Every figure executes its grid points on a
+//! worker pool (one thread per core by default; `--threads`/
+//! `REPRO_THREADS` override) and emits both raw per-point rows
+//! (`results/<id>.jsonl`) and the summarized figure JSON
+//! (`results/<id>.json`), which is bit-identical for any thread count.
+//! `sweep` reuses a scenario's machinery on a grid the paper never ran:
+//! declared parameters take overridden value lists, and the free-form
+//! `custom` scenario additionally forwards unknown keys to
+//! `SystemConfig::apply_knob` (topology and page-management knobs).
 
-use baselines::{GpuParameterServer, Scheme};
-use dlrm::{CostModel, ModelConfig, ThreadingMode};
-use pagemgmt::{InitialPlacement, MigrationGranularity};
-use pifs_bench::*;
-use pifs_core::system::{ComputeSite, PmConfig, PmStyle, SystemConfig};
-use serde_json::json;
-use tco::{EnergyModel, HardwareOverheads, SystemBom};
-use tracegen::Distribution;
+use pifs_bench::runner::SweepRunner;
+use pifs_bench::scenario::{cartesian_points, registry, ParamSpec, ParamValue, Scenario};
+use pifs_bench::{emit, emit_jsonl};
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
-    let all = [
-        "table1", "table2", "fig5", "fig6", "fig12a", "fig12b", "fig12c", "fig12d", "fig12e",
-        "fig13a", "fig13b", "fig13c", "fig13d", "fig14", "fig15", "fig16", "fig17", "fig18",
-        "energy",
-    ];
-    let targets: Vec<&str> = if arg == "all" {
-        all.to_vec()
-    } else {
-        vec![all
-            .iter()
-            .copied()
-            .find(|t| *t == arg)
-            .unwrap_or_else(|| panic!("unknown experiment id {arg:?}; try one of {all:?}"))]
-    };
-    for t in targets {
-        match t {
-            "table1" => table1(),
-            "table2" => table2(),
-            "fig5" => fig5(),
-            "fig6" => fig6(),
-            "fig12a" => fig12a(),
-            "fig12b" => fig12b(),
-            "fig12c" => fig12c(),
-            "fig12d" => fig12d(),
-            "fig12e" => fig12e(),
-            "fig13a" => fig13a(),
-            "fig13b" => fig13b(),
-            "fig13c" => fig13c(),
-            "fig13d" => fig13d(),
-            "fig14" => fig14(),
-            "fig15" => fig15(),
-            "fig16" => fig16(),
-            "fig17" => fig17(),
-            "fig18" => fig18(),
-            "energy" => energy(),
-            _ => unreachable!(),
-        }
-    }
-}
-
-fn table1() {
-    let rows: Vec<_> = ModelConfig::all()
-        .iter()
-        .map(|m| {
-            json!({
-                "name": m.name, "emb_num": m.emb_num, "emb_dim": m.emb_dim,
-                "bottom_mlp": m.bottom_mlp.0, "top_mlp": m.top_mlp.0,
-                "row_bytes": m.row_bytes(),
-            })
-        })
-        .collect();
-    emit("table1", "Model parameters (Table I)", &json!(rows));
-}
-
-fn table2() {
-    let local = memsim::DramConfig::ddr5_4800_local();
-    let cxl = memsim::DramConfig::ddr4_cxl_expander();
-    let params = cxlsim::CxlParams::default();
-    let dram_json = |cfg: &memsim::DramConfig| {
-        json!({
-            "timings": json!({
-                "cl": cfg.timings.cl, "rcd": cfg.timings.rcd, "rp": cfg.timings.rp,
-                "ras": cfg.timings.ras, "rc": cfg.timings.rc, "wr": cfg.timings.wr,
-                "rtp": cfg.timings.rtp, "cwl": cfg.timings.cwl, "rfc": cfg.timings.rfc,
-                "faw": cfg.timings.faw, "rrd": cfg.timings.rrd,
-                "burst_length": cfg.timings.burst_length,
-                "refi_ns": cfg.timings.refi_ns, "tck_ps": cfg.timings.tck_ps,
-            }),
-            "org": json!({
-                "channels": cfg.org.channels, "ranks": cfg.org.ranks,
-                "banks": cfg.org.banks, "row_bytes": cfg.org.row_bytes,
-                "bus_bytes": cfg.org.bus_bytes, "capacity_bytes": cfg.org.capacity_bytes,
-            }),
-            "peak_gbps": cfg.peak_bandwidth_gbps(),
-        })
-    };
-    emit(
-        "table2",
-        "Hardware configuration (Table II)",
-        &json!({
-            "dram_local": dram_json(&local),
-            "dram_cxl_expander": dram_json(&cxl),
-            "cxl": json!({
-                "downstream_port_gbps": params.link_gbps,
-                "round_trip_penalty_ns": params.round_trip_ns(),
-            }),
-        }),
-    );
-}
-
-/// Characterization base: host-compute lookups over a given placement.
-fn characterization_cfg(
-    emb_dim: u32,
-    rows: u64,
-    placement: InitialPlacement,
-    threading: ThreadingMode,
-) -> SystemConfig {
-    let model = ModelConfig {
-        name: format!("char-{emb_dim}d"),
-        emb_num: rows,
-        emb_dim,
-        n_tables: 8,
-        bag_size: 8,
-        ..ModelConfig::rmc1()
-    };
-    let mut cfg = SystemConfig::pond(model);
-    cfg.placement = placement;
-    cfg.threading = threading;
-    cfg.local_capacity_frac = 1.1; // capacity never binds in Fig 5
-    cfg
-}
-
-fn fig5() {
-    // Scaled table sizes standing in for the paper's 16K–1024K sweep.
-    let sizes = [1024u64, 2048, 4096, 8192, 16384, 32768, 65536];
-    let dims = [16u32, 32, 64, 128];
-    let mut out = serde_json::Map::new();
-    for (panel, threading) in [
-        ("batch", ThreadingMode::Batch),
-        ("table", ThreadingMode::Table),
-    ] {
-        for (case, placement, norm_vs_cxl) in [
-            (
-                "remote",
-                InitialPlacement::RemoteFraction { remote_frac: 0.2 },
-                false,
-            ),
-            (
-                "cxl",
-                InitialPlacement::CxlFraction { cxl_frac: 0.2 },
-                false,
-            ),
-            (
-                "interleave",
-                InitialPlacement::CxlFraction { cxl_frac: 0.2 },
-                true,
-            ),
-        ] {
-            let mut series = serde_json::Map::new();
-            for dim in dims {
-                let mut vals = Vec::new();
-                for &rows in &sizes {
-                    let cfg = characterization_cfg(dim, rows, placement, threading);
-                    let bw = run_small(cfg).app_bandwidth_gbps(4 * dim as u64);
-                    let base_placement = if norm_vs_cxl {
-                        InitialPlacement::AllCxl
-                    } else {
-                        InitialPlacement::AllLocal
-                    };
-                    let base_cfg = characterization_cfg(dim, rows, base_placement, threading);
-                    let base = run_small(base_cfg).app_bandwidth_gbps(4 * dim as u64);
-                    vals.push(if base > 0.0 { bw / base } else { 0.0 });
-                }
-                series.insert(format!("dim{dim}"), json!(vals));
-            }
-            out.insert(format!("{case}_{panel}"), json!(series));
-        }
-    }
-    emit(
-        "fig5",
-        "Normalized app bandwidth vs table size (Fig 5; a-d vs all-local, e-f vs all-CXL)",
-        &json!({ "sizes": sizes, "panels": out }),
-    );
-}
-
-fn run_small(cfg: SystemConfig) -> pifs_core::system::RunMetrics {
-    let trace = std_trace(&cfg.model, meta_distribution(), 16, 4);
-    run_with(cfg, &trace)
-}
-
-fn fig6() {
-    let mut rows = Vec::new();
-    for (cores, dim) in [(4u32, 32u32), (4, 64), (4, 128), (8, 32), (8, 64)] {
-        let model = ModelConfig {
-            name: format!("{cores}c{dim}d"),
-            emb_num: 8192,
-            emb_dim: dim,
-            ..ModelConfig::rmc2()
-        };
-        let mut cfg = SystemConfig::pond(model);
-        cfg.placement = InitialPlacement::CxlFraction { cxl_frac: 0.2 };
-        cfg.cores_per_host = cores;
-        cfg.local_capacity_frac = 1.1;
-        let m = run_small(cfg);
-        let total_bytes = (m.lookups * 4 * dim as u64) as f64;
-        let cxl_frac = m.cxl_lookups as f64 / m.lookups as f64;
-        let bw = total_bytes / m.total_ns as f64;
-        rows.push(json!({
-            "threads_and_dim": format!("{cores}&{dim}"),
-            "dimm_gbps": bw * (1.0 - cxl_frac),
-            "cxl_gbps": bw * cxl_frac,
-        }));
-    }
-    emit("fig6", "CXL bandwidth contribution (Fig 6)", &json!(rows));
-}
-
-fn fig12a() {
-    let mut per_model = serde_json::Map::new();
-    let mut ratios = serde_json::Map::new();
-    for model in ModelConfig::all() {
-        let m = scaled(model);
-        let mut lat = Vec::new();
-        for scheme in Scheme::all() {
-            lat.push(run_std(scale_buffers(scheme.config(m.clone()))).total_ns as f64);
-        }
-        let labels: Vec<_> = Scheme::all().iter().map(|s| s.label()).collect();
-        let norm = by_max(&lat);
-        let pifs = lat[4];
-        ratios.insert(
-            m.name.clone(),
-            json!({
-                "pond_over_pifs": lat[0] / pifs,
-                "pond_pm_over_pifs": lat[1] / pifs,
-                "beacon_over_pifs": lat[2] / pifs,
-                "recnmp_over_pifs": lat[3] / pifs,
-            }),
-        );
-        per_model.insert(
-            m.name.clone(),
-            json!({ "schemes": labels, "latency_ns": lat, "normalized": norm }),
-        );
-    }
-    emit(
-        "fig12a",
-        "Scheme latency per model (Fig 12a; paper: Pond 3.89x, Pond+PM 3.57x, BEACON 2.03x, RecNMP ~1.09x over PIFS-Rec)",
-        &json!({ "models": per_model, "speedups": ratios }),
-    );
-}
-
-fn fig12b() {
-    let m = scaled(ModelConfig::rmc3());
-    let mut rows = Vec::new();
-    for (label, dist) in Distribution::fig12b_suite() {
-        let mut lat = Vec::new();
-        for scheme in Scheme::all() {
-            let trace = std_trace(&m, dist, STD_BATCH_SIZE, STD_BATCHES);
-            lat.push(run_with(scale_buffers(scheme.config(m.clone())), &trace).total_ns as f64);
-        }
-        rows.push(json!({
-            "trace": label,
-            "latency_ns": lat,
-            "normalized": by_max(&lat),
-            "pifs_speedup_vs_pond": lat[0] / lat[4],
-            "pifs_speedup_vs_beacon": lat[2] / lat[4],
-        }));
-    }
-    emit("fig12b", "Trace generality (Fig 12b)", &json!(rows));
-}
-
-fn fig12c() {
-    let m = scaled(ModelConfig::rmc4());
-    let mut rows = Vec::new();
-    for devices in [2u16, 4, 8, 16] {
-        let mut lat = Vec::new();
-        for scheme in Scheme::all() {
-            let mut cfg = scale_buffers(scheme.config(m.clone()));
-            cfg.n_devices = devices;
-            lat.push(run_std(cfg).total_ns as f64);
-        }
-        rows.push(json!({
-            "devices": devices,
-            "latency_ns": lat,
-            "normalized": by_max(&lat),
-            "pifs_speedup_vs_pond": lat[0] / lat[4],
-        }));
-    }
-    emit(
-        "fig12c",
-        "Memory-device scaling (Fig 12c; paper: 12.5x over Pond at 16 devices)",
-        &json!(rows),
-    );
-}
-
-fn fig12d() {
-    let m = scaled(ModelConfig::rmc4());
-    let mut rows = Vec::new();
-    // 128 GB scaled = 0.2 of the working set; X2/X4 double and quadruple.
-    for (label, frac) in [("128GB", 0.2), ("X2", 0.4), ("X4", 0.8)] {
-        let mut lat = Vec::new();
-        for scheme in Scheme::all() {
-            let mut cfg = scale_buffers(scheme.config(m.clone()));
-            cfg.local_capacity_frac = frac;
-            lat.push(run_std(cfg).total_ns as f64);
-        }
-        rows.push(json!({ "dram": label, "latency_ns": lat, "normalized": by_max(&lat) }));
-    }
-    emit(
-        "fig12d",
-        "DRAM capacity sensitivity (Fig 12d; paper: 256GB +4%, 512GB +6%)",
-        &json!(rows),
-    );
-}
-
-fn ablation_ladder(m: &ModelConfig) -> Vec<(&'static str, SystemConfig)> {
-    let pond = SystemConfig::pond(m.clone());
-    let mut pc = SystemConfig::pond(m.clone());
-    pc.compute = ComputeSite::Switch;
-    let mut pc_ooo = pc.clone();
-    pc_ooo.ooo = true;
-    let mut pc_ooo_pm = pc_ooo.clone();
-    pc_ooo_pm.placement = InitialPlacement::CxlFraction { cxl_frac: 0.8 };
-    pc_ooo_pm.page_mgmt = Some(PmConfig::default());
-    let mut full = pc_ooo_pm.clone();
-    full.buffer = Some(Default::default());
-    vec![
-        ("Baseline", pond),
-        ("PC", pc),
-        ("PC/OoO", pc_ooo),
-        ("PC/OoO/PM", pc_ooo_pm),
-        ("PC/OoO/PM/OSB", full),
-    ]
-}
-
-fn fig12e() {
-    let mut per_model = serde_json::Map::new();
-    for model in ModelConfig::all() {
-        let m = scaled(model);
-        let runs: Vec<(String, f64)> = ablation_ladder(&m)
-            .into_iter()
-            .map(|(label, cfg)| (label.to_string(), run_std(cfg).total_ns as f64))
-            .collect();
-        let lat: Vec<f64> = runs.iter().map(|(_, v)| *v).collect();
-        per_model.insert(
-            m.name.clone(),
-            json!({
-                "stages": runs.iter().map(|(l, _)| l.clone()).collect::<Vec<_>>(),
-                "latency_ns": lat,
-                "normalized": by_max(&lat),
-            }),
-        );
-    }
-    emit(
-        "fig12e",
-        "Ablation ladder (Fig 12e; paper deltas: PC +26%, OoO +7.3%, PM +27%, OSB +15%)",
-        &json!(per_model),
-    );
-}
-
-fn fig13a() {
-    let m = scaled(ModelConfig::rmc4());
-    let mut rows = Vec::new();
-    for threshold in [0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50] {
-        let mut row = serde_json::Map::new();
-        row.insert("threshold".into(), json!(threshold));
-        for (label, gran) in [
-            ("cache_line", MigrationGranularity::CacheLineBlock),
-            ("page_block", MigrationGranularity::PageBlock),
-        ] {
-            let mut cfg = SystemConfig::pifs_rec(m.clone());
-            cfg.page_mgmt = Some(PmConfig {
-                migrate_threshold: threshold,
-                granularity: gran,
-                ..PmConfig::default()
-            });
-            let met = run_std(cfg);
-            row.insert(format!("{label}_latency_ns"), json!(met.total_ns));
-            row.insert(
-                format!("{label}_migration_cost"),
-                json!(met.migration_cost_frac()),
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threads: Option<usize> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--threads" {
+            let v = it.next().unwrap_or_else(|| die("--threads needs a value"));
+            threads = Some(
+                v.parse()
+                    .unwrap_or_else(|_| die(&format!("--threads: bad count {v:?}"))),
             );
-        }
-        rows.push(serde_json::Value::Object(row));
-    }
-    emit(
-        "fig13a",
-        "Migrate-threshold sweep (Fig 13a; paper optimum 35%, cache-line up to 5.1x cheaper)",
-        &json!(rows),
-    );
-}
-
-fn fig13b() {
-    let m = scaled(ModelConfig::rmc4());
-    // The "before" system inherits the Fig 10(b) worst case: tables laid
-    // out in contiguous blocks, concentrating the workload's spatial
-    // hotspot (a Normal index distribution) on a few devices.
-    let n_pages = SystemConfig::pifs_rec(m.clone()).n_pages();
-    let dist = Distribution::ZipfianHead { s: 0.8 };
-    // Longer run: the spreading strategy rebalances periodically, so give
-    // it several rebalance rounds before measuring.
-    let trace = std_trace(&m, dist, STD_BATCH_SIZE, 36);
-    let mut base = scale_buffers(SystemConfig::pifs_rec(m.clone()));
-    base.n_devices = 16;
-    base.page_mgmt = None;
-    base.placement = InitialPlacement::AllCxlBlocked {
-        total_pages: n_pages,
-    };
-    base.warmup_batches = 24;
-    let before = run_with(base, &trace);
-    let mut managed = scale_buffers(SystemConfig::pifs_rec(m));
-    managed.n_devices = 16;
-    managed.placement = InitialPlacement::AllCxlBlocked {
-        total_pages: n_pages,
-    };
-    managed.warmup_batches = 24;
-    let after = run_with(managed, &trace);
-    // The paper plots *relative* access frequency (percent of the
-    // busiest device) and quotes the std dev of that series.
-    let rel = |v: &Vec<u64>| {
-        let max = (*v.iter().max().unwrap_or(&1)).max(1) as f64;
-        v.iter()
-            .map(|&x| x as f64 / max * 100.0)
-            .collect::<Vec<f64>>()
-    };
-    // Coefficient of variation (std dev as % of mean): comparable across
-    // runs whose total CXL traffic differs (PM also promotes pages away
-    // from CXL, shrinking the absolute counts).
-    let std_of = |v: &Vec<u64>| {
-        let xs: Vec<f64> = v.iter().map(|&x| x as f64).collect();
-        let s = simkit::Summary::of(&xs);
-        if s.mean > 0.0 {
-            s.std_dev / s.mean * 100.0
         } else {
-            0.0
+            rest.push(arg);
         }
+    }
+    let runner = match threads {
+        Some(n) => SweepRunner::new(n),
+        None => SweepRunner::with_default_threads(),
     };
-    emit(
-        "fig13b",
-        "Device access balance before/after PM (Fig 13b; paper std dev 20.6 -> 7.8)",
-        &json!({
-            "before": json!({
-                "accesses": before.device_accesses.clone(),
-                "relative": rel(&before.device_accesses),
-                "cv_percent": std_of(&before.device_accesses),
-            }),
-            "after": json!({
-                "accesses": after.device_accesses.clone(),
-                "relative": rel(&after.device_accesses),
-                "cv_percent": std_of(&after.device_accesses),
-            }),
-        }),
-    );
-}
 
-fn fig13c() {
-    let m = scaled(ModelConfig::rmc4());
-    let mut rows = Vec::new();
-    for batch in [8u32, 64, 256] {
-        let mut lat = Vec::new();
-        let switch_counts = [1u16, 2, 4, 8, 16, 32];
-        for &switches in &switch_counts {
-            let mut cfg = SystemConfig::pifs_rec(m.clone());
-            cfg.n_switches = switches;
-            cfg.n_devices = switches.max(8);
-            cfg.n_hosts = switches;
-            let trace = std_trace(&m, meta_distribution(), batch, 6);
-            lat.push(run_with(cfg, &trace).total_ns as f64);
-        }
-        rows.push(json!({
-            "batch": batch,
-            "switches": switch_counts,
-            "latency_ns": lat,
-            "normalized": by_max(&lat),
-            "improvement_1_to_32": lat[0] / lat[5],
-        }));
-    }
-    emit(
-        "fig13c",
-        "Fabric-switch scaling (Fig 13c; paper: 1.8-20.8x from 2x to 32x in the largest batch)",
-        &json!(rows),
-    );
-}
-
-fn fig13d() {
-    let m = scaled(ModelConfig::rmc4());
-    let mut rows = Vec::new();
-    // TPP reference point.
-    let mut tpp_cfg = SystemConfig::pifs_rec(m.clone());
-    tpp_cfg.page_mgmt = Some(PmConfig {
-        style: PmStyle::Tpp,
-        ..PmConfig::default()
-    });
-    let tpp = run_std(tpp_cfg);
-    rows.push(json!({
-        "policy": "TPP",
-        "latency_ns": tpp.total_ns,
-        "migration_cost": tpp.migration_cost_frac(),
-    }));
-    for threshold in [0.04, 0.06, 0.08, 0.10, 0.12, 0.14, 0.16, 0.18, 0.20] {
-        let mut cfg = SystemConfig::pifs_rec(m.clone());
-        cfg.page_mgmt = Some(PmConfig {
-            cold_age_threshold: threshold,
-            ..PmConfig::default()
-        });
-        let met = run_std(cfg);
-        rows.push(json!({
-            "policy": format!("{}%", (threshold * 100.0).round() as u32),
-            "latency_ns": met.total_ns,
-            "migration_cost": met.migration_cost_frac(),
-        }));
-    }
-    emit(
-        "fig13d",
-        "Cold-age threshold sweep vs TPP (Fig 13d; paper optimum 16%, 12% below TPP)",
-        &json!(rows),
-    );
-}
-
-fn fig14() {
-    let mut out = Vec::new();
-    for model in [ModelConfig::rmc1(), ModelConfig::rmc2()] {
-        let m = scaled(model);
-        for batch in [8u32, 64, 256] {
-            // Per-batch dense cost; the SLS time share grows with batch
-            // size because the dense stages amortize across samples.
-            let cpu = CostModel::epyc_9654();
-            let dense_batch_ns = cpu
-                .latency(m.dense_flops_per_sample() * batch as u64, 0)
-                .as_ns() as f64;
-            let mut speedups = Vec::new();
-            // Each host carries its own request stream: work scales with
-            // host count, and the figure reports throughput speedup.
-            let base_trace = std_trace(&m, meta_distribution(), batch, 6);
-            let base_cfg = with_warmup(SystemConfig::pond(m.clone()));
-            let base_m = run_with(base_cfg, &base_trace);
-            let base_thru = base_m.lookups as f64 / base_m.total_ns as f64;
-            for hosts in [1u16, 2, 4, 8] {
-                let trace = std_trace(&m, meta_distribution(), batch, 6 * hosts as u32);
-                let mut cfg = with_warmup(SystemConfig::pifs_rec(m.clone()));
-                cfg.n_hosts = hosts;
-                let met = run_with(cfg, &trace);
-                let thru = met.lookups as f64 / met.total_ns as f64;
-                let sls_speedup = thru / base_thru;
-                // End-to-end: weight the SLS speedup by its per-batch
-                // time share on the baseline system (Fig 14 "weighting
-                // the speedup of both SLS and non-SLS operators").
-                let batches_measured = (trace.batches.len() as u32).saturating_sub(4).max(1);
-                let sls_batch_ns = met.total_ns as f64 / batches_measured as f64 * sls_speedup;
-                let f = sls_batch_ns / (sls_batch_ns + dense_batch_ns);
-                let e2e = 1.0 / ((1.0 - f) + f / sls_speedup);
-                speedups.push(e2e);
-            }
-            out.push(json!({
-                "model": m.name, "batch": batch,
-                "hosts": [1, 2, 4, 8],
-                "e2e_speedup": speedups,
-            }));
-        }
-    }
-    emit(
-        "fig14",
-        "Multi-host end-to-end speedup (Fig 14; paper: 1.9-4.7x from 2 to 8 hosts)",
-        &json!(out),
-    );
-}
-
-fn fig15() {
-    use pifs_core::BufferPolicy;
-    let mut out = Vec::new();
-    for model in ModelConfig::all() {
-        let m = scaled(model);
-        let mut no_buffer = SystemConfig::pifs_rec(m.clone());
-        no_buffer.buffer = None;
-        let base = run_std(no_buffer).total_ns as f64;
-        let mut rows = Vec::new();
-        for cap_kb in [64u64, 128, 256, 512, 1024] {
-            for (label, policy) in [
-                ("HTR", BufferPolicy::Htr),
-                ("LRU", BufferPolicy::Lru),
-                ("FIFO", BufferPolicy::Fifo),
-            ] {
-                let mut cfg = SystemConfig::pifs_rec(m.clone());
-                cfg.buffer = Some(pifs_core::system::BufferConfig {
-                    policy,
-                    capacity_bytes: cap_kb * 1024,
-                });
-                let met = run_std(cfg);
-                rows.push(json!({
-                    "capacity_kb": cap_kb, "policy": label,
-                    "speedup_pct": (base / met.total_ns as f64 - 1.0) * 100.0,
-                    "hit_ratio": met.buffer_hit_ratio(),
-                }));
+    match rest.first().map(String::as_str) {
+        None | Some("all") => {
+            for scenario in registry().into_iter().filter(|s| s.in_all()) {
+                reproduce(&runner, scenario);
             }
         }
-        out.push(json!({ "model": m.name, "baseline_ns": base, "points": rows }));
+        Some("list") => print_list(),
+        Some("sweep") => sweep(&runner, &rest[1..]),
+        Some(id) => match pifs_bench::scenario::find(id) {
+            Some(scenario) => reproduce(&runner, scenario),
+            None => die(&format!("unknown experiment id {id:?}\n\n{}", usage())),
+        },
     }
+}
+
+/// Runs one registered scenario's default (paper) grid and emits the raw
+/// rows plus the summarized figure.
+fn reproduce(runner: &SweepRunner, scenario: &dyn Scenario) {
+    let rows = runner.run(scenario);
+    emit_jsonl(scenario.id(), &rows);
+    emit(scenario.id(), scenario.title(), &scenario.summarize(&rows));
+}
+
+/// `repro -- sweep <id> --param k=v1,v2,...`: rebuilds the scenario's
+/// grid with overridden (or, for free-form scenarios, extra) axes and
+/// emits the raw rows without the paper summary.
+fn sweep(runner: &SweepRunner, args: &[String]) {
+    let Some(id) = args.first() else {
+        die(&format!("sweep needs a scenario id\n\n{}", usage()))
+    };
+    let Some(scenario) = pifs_bench::scenario::find(id) else {
+        die(&format!("unknown scenario {id:?}\n\n{}", usage()))
+    };
+    let mut specs = scenario.params();
+    let mut it = args[1..].iter();
+    let mut overridden = false;
+    while let Some(arg) = it.next() {
+        if arg != "--param" {
+            die(&format!("unexpected sweep argument {arg:?}\n\n{}", usage()));
+        }
+        let kv = it
+            .next()
+            .unwrap_or_else(|| die("--param needs k=v1,v2,..."));
+        let (key, vals) = kv
+            .split_once('=')
+            .unwrap_or_else(|| die(&format!("--param {kv:?}: expected k=v1,v2,...")));
+        if vals.split(',').any(str::is_empty) {
+            die(&format!("--param {key}: empty value in {vals:?}"));
+        }
+        let values: Vec<ParamValue> = vals.split(',').map(ParamValue::parse).collect();
+        validate_axis_values(key, &values);
+        overridden = true;
+        if let Some(spec) = specs.iter_mut().find(|s| s.name == key) {
+            spec.values = values;
+        } else if scenario.accepts_free_params() {
+            // Forwarded to SystemConfig::apply_knob by the scenario; leak
+            // the name to satisfy ParamSpec's static lifetime.
+            let name: &'static str = Box::leak(key.to_string().into_boxed_str());
+            specs.push(ParamSpec { name, values });
+        } else {
+            let known: Vec<&str> = specs.iter().map(|s| s.name).collect();
+            die(&format!(
+                "scenario {id} has no parameter {key:?} (axes: {known:?}); \
+                 only the `custom` scenario accepts free-form knobs"
+            ));
+        }
+    }
+    // Without overrides, run the scenario's true default grid (which may
+    // include anchor points outside the cartesian product of its axes);
+    // with overrides, enumerate the product of the overridden axes.
+    let points = if overridden {
+        cartesian_points(&specs)
+    } else {
+        eprintln!("note: no --param overrides; running the default grid of {id}");
+        scenario.points()
+    };
+    println!(
+        "sweep {id}: {} points on {} threads",
+        points.len(),
+        runner.threads
+    );
+    let rows = runner.run_points(scenario, points);
+    let sweep_id = format!("{id}_sweep");
+    emit_jsonl(&sweep_id, &rows);
     emit(
-        "fig15",
-        "On-switch buffer capacity & policy (Fig 15; paper: HTR 7.6-14.8% on RMC4, 1MB degrades)",
-        &json!(out),
+        &sweep_id,
+        &format!("Sweep of {id} ({})", scenario.title()),
+        &scenario_rows_json(&rows),
     );
 }
 
-fn tco_memory_gb(model: &ModelConfig) -> u64 {
-    (GpuParameterServer::deployment_bytes(model) >> 30).max(64)
+/// Generic sweep summary: every row's params and data, in grid order.
+fn scenario_rows_json(rows: &[pifs_bench::scenario::ResultRow]) -> serde_json::Value {
+    use serde_json::{json, Value};
+    Value::Array(
+        rows.iter()
+            .map(|r| json!({ "point": r.index, "params": r.params_json(), "data": r.data }))
+            .collect(),
+    )
 }
 
-fn fig16() {
-    let mut rows = Vec::new();
-    for model in ModelConfig::all() {
-        let mem = tco_memory_gb(&model);
-        let pifs = SystemBom::pifs_rec(mem / 5, mem * 4 / 5).tco();
-        let mut entry = serde_json::Map::new();
-        entry.insert("model".into(), json!(model.name));
-        entry.insert(
-            "pifs".into(),
-            json!({ "capex": pifs.bom.capex_usd, "opex": pifs.opex_usd,
-                     "total": pifs.total_usd() }),
-        );
-        for n in [2u32, 3, 4] {
-            let gpu = SystemBom::gpu_server(n, mem).tco();
-            entry.insert(
-                format!("gpu_x{n}"),
-                json!({ "capex": gpu.bom.capex_usd, "opex": gpu.opex_usd,
-                         "total": gpu.total_usd(),
-                         "pifs_cost_advantage": gpu.total_usd() / pifs.total_usd() }),
-            );
+/// Validates axes whose semantics are shared across scenarios (`model`,
+/// `scheme`, `trace`) before any simulation starts, so typos die with a
+/// clean message instead of panicking inside a worker thread.
+fn validate_axis_values(key: &str, values: &[ParamValue]) {
+    for value in values {
+        let spelled = value.to_string();
+        let ok = match key {
+            "model" => dlrm::ModelConfig::by_name(&spelled).is_some(),
+            "scheme" => baselines::Scheme::all()
+                .iter()
+                .any(|s| s.label().eq_ignore_ascii_case(&spelled)),
+            "trace" => tracegen::Distribution::parse(&spelled).is_some(),
+            _ => true, // scenario-specific; checked by its run function
+        };
+        if !ok {
+            die(&format!("--param {key}: unknown value {spelled:?}"));
         }
-        rows.push(serde_json::Value::Object(entry));
     }
-    emit(
-        "fig16",
-        "TCO vs GPU budgets (Fig 16; paper: 3.38x cheaper on RMC1, 2.53x on RMC4 vs 1 GPU)",
-        &json!(rows),
-    );
 }
 
-fn fig17() {
-    let mut rows = Vec::new();
-    for model in ModelConfig::all() {
-        let pifs = baselines::gpu::pifs_throughput_samples_per_us(
-            &model,
-            baselines::gpu::PIFS_EFFECTIVE_SLS_GBPS,
-        );
-        let mut vals = vec![];
-        for n in [2u32, 3, 4] {
-            vals.push(GpuParameterServer::new(n).throughput_samples_per_us(&model));
-        }
-        vals.push(pifs);
-        let ppw: Vec<f64> = [2u32, 3, 4]
+/// `repro -- list`: the registry as a table of ids, grids, and titles.
+fn print_list() {
+    println!("registered scenarios (sweep axes in brackets):\n");
+    for s in registry() {
+        let axes: Vec<String> = s
+            .params()
             .iter()
-            .map(|&n| vals[(n - 2) as usize] / GpuParameterServer::new(n).power_w())
-            .chain(std::iter::once(pifs / (360.0 + 400.0 + 2048.0 * 0.34)))
+            .map(|p| format!("{}[{}]", p.name, p.values.len()))
             .collect();
-        rows.push(json!({
-            "model": model.name,
-            "series": ["GPUX2", "GPUX3", "GPUX4", "PIFS-Rec"],
-            "throughput_samples_per_us": vals,
-            "normalized": by_max(&vals),
-            "pifs_over_gpux4": vals[3] / vals[2],
-            "performance_per_watt": ppw,
-        }));
+        let n_points = s.points().len();
+        let tag = if s.in_all() { "" } else { "  (sweep-only)" };
+        println!("  {:8} {:3} points  {}{}", s.id(), n_points, s.title(), tag);
+        println!("           axes: {}", axes.join(" "));
     }
-    emit(
-        "fig17",
-        "Serving throughput (Fig 17; paper: GPU wins RMC1, PIFS 1.6x over 4 GPUs on RMC4; PPW 1.22-1.61x)",
-        &json!(rows),
-    );
 }
 
-fn fig18() {
-    let hw = HardwareOverheads::default();
-    let block = |b: &tco::BlockCost| json!({ "name": b.name, "power_mw": b.power_mw, "area_um2": b.area_um2 });
-    emit(
-        "fig18",
-        "Hardware overheads (Fig 18)",
-        &json!({
-            "process_core": block(&hw.process_core),
-            "control_logic_registers": block(&hw.control),
-            "on_switch_buffer": block(&hw.buffer),
-            "recnmp_base_x8": block(&hw.recnmp_x8),
-            "pifs_total_power_mw": hw.pifs_total_power_mw(),
-            "power_ratio_vs_recnmp": hw.power_ratio_vs_recnmp(),
-            "area_ratio_vs_recnmp": hw.area_ratio_vs_recnmp(),
-        }),
-    );
-}
-
-fn energy() {
-    let model = EnergyModel::default();
-    let rows: Vec<_> = ModelConfig::all()
-        .iter()
-        .map(|m| {
-            json!({
-                "model": m.name,
-                "baseline_nj_per_bag": model.baseline_bag_nj(m),
-                "pifs_nj_per_bag": model.pifs_bag_nj(m),
-                "saving_frac": model.saving_frac(m),
-            })
-        })
+/// Usage text, with the id list generated from the registry.
+fn usage() -> String {
+    let ids: Vec<&str> = registry()
+        .into_iter()
+        .filter(|s| s.in_all())
+        .map(|s| s.id())
         .collect();
-    let avg: f64 = ModelConfig::all()
-        .iter()
-        .map(|m| model.saving_frac(m))
-        .sum::<f64>()
-        / 4.0;
-    emit(
-        "energy",
-        "Energy vs DIMM+CPU (§VI-D; paper: -15.3% average)",
-        &json!({ "per_model": rows, "average_saving": avg }),
-    );
+    format!(
+        "usage: repro [--threads N] <id> | all | list\n\
+         \x20      repro [--threads N] sweep <id> --param k=v1,v2,... [--param ...]\n\
+         ids: {} all",
+        ids.join(" ")
+    )
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2)
 }

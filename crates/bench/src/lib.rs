@@ -1,10 +1,24 @@
 //! `pifs-bench` — shared plumbing for the figure-reproduction harness.
 //!
 //! The `repro` binary regenerates every table and figure in the paper's
-//! evaluation; the helpers here define the *scaled standard workload*
-//! every experiment uses (Table I ratios preserved, absolute sizes
-//! shrunk 16× so a laptop regenerates the full suite in minutes) and the
-//! result-emission format recorded in `EXPERIMENTS.md`.
+//! evaluation. Three layers live here:
+//!
+//! * this module — the *scaled standard workload* every experiment uses
+//!   (Table I ratios preserved, absolute sizes shrunk 16× so a laptop
+//!   regenerates the full suite in minutes) and the result-emission
+//!   format recorded in `EXPERIMENTS.md`;
+//! * [`scenario`] / [`scenarios`] — every experiment declared as data: a
+//!   parameter grid, a per-point `run`, and a `summarize` fold (the
+//!   registry is the single source of truth for the experiment-id list);
+//! * [`runner`] — the multi-threaded sweep pool that executes grid
+//!   points across cores with deterministic per-point seeding and
+//!   ordered, thread-count-independent result collection.
+
+#![warn(missing_docs)]
+
+pub mod runner;
+pub mod scenario;
+pub mod scenarios;
 
 use dlrm::ModelConfig;
 use pifs_core::system::{RunMetrics, SlsSystem, SystemConfig};
@@ -96,6 +110,26 @@ pub fn emit(id: &str, title: &str, value: &serde_json::Value) {
         println!("-> wrote {}", path.display());
     }
     println!();
+}
+
+/// Writes one experiment's raw sweep rows as `results/<id>.jsonl` — one
+/// compact JSON object per grid point, in grid order — and announces the
+/// path. The scenario's `summarize` output (via [`emit`]) is derived
+/// from exactly these rows, so the pair documents both the measurements
+/// and the figure built from them.
+pub fn emit_jsonl(id: &str, rows: &[scenario::ResultRow]) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(format!("{id}.jsonl"));
+        let mut out = String::new();
+        for row in rows {
+            out.push_str(&row.to_jsonl());
+            out.push('\n');
+        }
+        if std::fs::write(&path, out).is_ok() {
+            println!("-> wrote {}", path.display());
+        }
+    }
 }
 
 /// Min-max normalization matching the paper's Fig 12 caption.

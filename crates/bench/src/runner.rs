@@ -1,0 +1,149 @@
+//! The parallel sweep runner: executes a scenario's grid points across a
+//! `std::thread` worker pool and collects rows back in grid order.
+//!
+//! Points are independent simulations (each builds its own
+//! `SlsSystem`), so the pool is a plain work-stealing-free design: an
+//! atomic cursor hands out point indices, each worker writes its row
+//! into the slot reserved for that index, and the final row vector is
+//! read out in index order. Because every [`Point`] carries a seed
+//! derived from its index alone, the emitted rows — and therefore the
+//! summarized figure JSON — are bit-identical for any thread count,
+//! which `tests/runner_determinism.rs` asserts.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::scenario::{Point, ResultRow, Scenario};
+
+/// Executes scenario grids on a fixed-size worker pool.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepRunner {
+    /// Worker threads (1 = the serial reference path).
+    pub threads: usize,
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        SweepRunner::with_default_threads()
+    }
+}
+
+impl SweepRunner {
+    /// A runner with an explicit thread count (minimum 1).
+    pub fn new(threads: usize) -> SweepRunner {
+        SweepRunner {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A runner sized to the machine: `REPRO_THREADS` if set, otherwise
+    /// the available hardware parallelism.
+    pub fn with_default_threads() -> SweepRunner {
+        let threads = std::env::var("REPRO_THREADS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            });
+        SweepRunner::new(threads)
+    }
+
+    /// Runs every point of `scenario`'s default grid. Rows come back in
+    /// grid order regardless of which worker finished first.
+    pub fn run(&self, scenario: &dyn Scenario) -> Vec<ResultRow> {
+        self.run_points(scenario, scenario.points())
+    }
+
+    /// Runs an explicit point list (the `sweep` subcommand's override
+    /// grids) through the pool.
+    pub fn run_points(&self, scenario: &dyn Scenario, points: Vec<Point>) -> Vec<ResultRow> {
+        let n = points.len();
+        let slots: Vec<Mutex<Option<ResultRow>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        let workers = self.threads.min(n).max(1);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let point = &points[i];
+                    let row = ResultRow {
+                        index: point.index,
+                        params: point.params().to_vec(),
+                        data: scenario.run(point),
+                    };
+                    *slots[i].lock().expect("runner slot poisoned") = Some(row);
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("runner slot poisoned")
+                    .expect("every point produced a row")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{cartesian_points, ParamSpec};
+    use serde_json::{json, Value};
+
+    struct Doubler;
+    impl Scenario for Doubler {
+        fn id(&self) -> &'static str {
+            "doubler"
+        }
+        fn title(&self) -> &'static str {
+            "test scenario"
+        }
+        fn params(&self) -> Vec<ParamSpec> {
+            vec![ParamSpec::u64s("x", 0..32)]
+        }
+        fn run(&self, point: &Point) -> Value {
+            json!(point.u64("x") * 2)
+        }
+        fn summarize(&self, rows: &[ResultRow]) -> Value {
+            Value::Array(rows.iter().map(|r| r.data.clone()).collect())
+        }
+    }
+
+    #[test]
+    fn rows_come_back_in_grid_order_for_any_thread_count() {
+        let serial = SweepRunner::new(1).run(&Doubler);
+        for threads in [2, 5, 32] {
+            let parallel = SweepRunner::new(threads).run(&Doubler);
+            assert_eq!(serial.len(), parallel.len());
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert_eq!(a.index, b.index);
+                assert_eq!(a.to_jsonl(), b.to_jsonl());
+            }
+        }
+    }
+
+    #[test]
+    fn pool_never_spawns_more_workers_than_points() {
+        // A 1-point grid with 8 requested threads must still complete.
+        let mut points = cartesian_points(&[ParamSpec::u64s("x", [3])]);
+        assert_eq!(points.len(), 1);
+        let rows = SweepRunner::new(8).run_points(&Doubler, std::mem::take(&mut points));
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].data, json!(6u64));
+    }
+
+    #[test]
+    fn thread_env_override_is_respected() {
+        assert_eq!(SweepRunner::new(0).threads, 1);
+        assert!(SweepRunner::with_default_threads().threads >= 1);
+    }
+}

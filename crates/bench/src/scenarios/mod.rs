@@ -1,0 +1,50 @@
+//! The registered experiments: every table and figure of the paper's
+//! evaluation, declared as [`GridScenario`] data, plus the free-form
+//! `custom` sweep scenario.
+//!
+//! Each submodule groups the scenarios of one evaluation section and
+//! owns the helper configuration builders those experiments share. The
+//! porting contract: a scenario's `run` computes exactly what one inner
+//! iteration of the original hand-written experiment loop computed, and
+//! its `summarize` performs all cross-point arithmetic (normalization,
+//! ratios, baseline divisions) on the ordered row sequence — so the
+//! figure JSON is bit-identical to the historical serial harness for
+//! any runner thread count.
+
+use crate::scenario::{GridScenario, Scenario};
+
+pub mod analytic;
+pub mod characterization;
+pub mod custom;
+pub mod pm;
+pub mod scaling;
+pub mod schemes;
+
+/// Every scenario, in the paper's presentation order; `custom`
+/// (sweep-only) comes last.
+pub fn all() -> Vec<&'static dyn Scenario> {
+    ALL.iter().map(|s| *s as &dyn Scenario).collect()
+}
+
+static ALL: [&GridScenario; 20] = [
+    &analytic::TABLE1,
+    &analytic::TABLE2,
+    &characterization::FIG5,
+    &characterization::FIG6,
+    &schemes::FIG12A,
+    &schemes::FIG12B,
+    &schemes::FIG12C,
+    &schemes::FIG12D,
+    &schemes::FIG12E,
+    &pm::FIG13A,
+    &pm::FIG13B,
+    &scaling::FIG13C,
+    &pm::FIG13D,
+    &scaling::FIG14,
+    &scaling::FIG15,
+    &analytic::FIG16,
+    &analytic::FIG17,
+    &analytic::FIG18,
+    &analytic::ENERGY,
+    &custom::CUSTOM,
+];

@@ -209,6 +209,125 @@ impl SystemConfig {
         Self::pifs_rec(ModelConfig::rmc1().scaled_down(4))
     }
 
+    /// Applies one named knob override, `"key" = "value"`, so sweep
+    /// harnesses can vary topology and page-management parameters without
+    /// compiling new configuration code.
+    ///
+    /// Keys mirror the struct fields (`n_devices`, `n_hosts`,
+    /// `n_switches`, `cores_per_host`, `outstanding`, `compute`,
+    /// `local_capacity_frac`, `ooo`, `translation_ns`, `threading`,
+    /// `warmup_batches`, `seed`) plus dotted paths into the optional
+    /// sub-configs: `placement.cxl_frac`, `placement.remote_frac`,
+    /// `placement` (`all_local` / `all_cxl`), `pm.style` (`pifs` /
+    /// `tpp`), `pm.migrate_threshold`, `pm.cold_age_threshold`,
+    /// `pm.granularity` (`cache_line` / `page_block`), `pm` (`off`),
+    /// `buffer.policy` (`htr` / `lru` / `fifo`), `buffer.capacity_kb`,
+    /// and `buffer` (`off`). Setting a `pm.*` or `buffer.*` knob on a
+    /// config where that subsystem is disabled enables it with defaults
+    /// first.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the problem for unknown keys or
+    /// unparseable values; the config is left unchanged in that case.
+    pub fn apply_knob(&mut self, key: &str, value: &str) -> Result<(), String> {
+        fn parse<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, String> {
+            value
+                .parse()
+                .map_err(|_| format!("knob {key}: cannot parse {value:?}"))
+        }
+        match key {
+            "n_devices" => self.n_devices = parse(key, value)?,
+            "n_hosts" => self.n_hosts = parse(key, value)?,
+            "n_switches" => self.n_switches = parse(key, value)?,
+            "cores_per_host" => self.cores_per_host = parse(key, value)?,
+            "outstanding" => self.outstanding = parse(key, value)?,
+            "local_capacity_frac" => self.local_capacity_frac = parse(key, value)?,
+            "ooo" => self.ooo = parse(key, value)?,
+            "translation_ns" => self.translation_ns = parse(key, value)?,
+            "warmup_batches" => self.warmup_batches = parse(key, value)?,
+            "seed" => self.seed = parse(key, value)?,
+            "compute" => {
+                self.compute = match value {
+                    "host" => ComputeSite::Host,
+                    "switch" => ComputeSite::Switch,
+                    "dimm" => ComputeSite::Dimm,
+                    _ => return Err(format!("knob compute: unknown site {value:?}")),
+                }
+            }
+            "threading" => {
+                self.threading = match value {
+                    "batch" => ThreadingMode::Batch,
+                    "table" => ThreadingMode::Table,
+                    _ => return Err(format!("knob threading: unknown mode {value:?}")),
+                }
+            }
+            "placement" => {
+                self.placement = match value {
+                    "all_local" => InitialPlacement::AllLocal,
+                    "all_cxl" => InitialPlacement::AllCxl,
+                    _ => return Err(format!("knob placement: unknown policy {value:?}")),
+                }
+            }
+            "placement.cxl_frac" => {
+                self.placement = InitialPlacement::CxlFraction {
+                    cxl_frac: parse(key, value)?,
+                }
+            }
+            "placement.remote_frac" => {
+                self.placement = InitialPlacement::RemoteFraction {
+                    remote_frac: parse(key, value)?,
+                }
+            }
+            "pm" if value == "off" => self.page_mgmt = None,
+            "pm.style" => {
+                let style = match value {
+                    "pifs" => PmStyle::PifsGlobal,
+                    "tpp" => PmStyle::Tpp,
+                    _ => return Err(format!("knob pm.style: unknown style {value:?}")),
+                };
+                self.page_mgmt.get_or_insert_with(PmConfig::default).style = style;
+            }
+            "pm.migrate_threshold" => {
+                self.page_mgmt
+                    .get_or_insert_with(PmConfig::default)
+                    .migrate_threshold = parse(key, value)?
+            }
+            "pm.cold_age_threshold" => {
+                self.page_mgmt
+                    .get_or_insert_with(PmConfig::default)
+                    .cold_age_threshold = parse(key, value)?
+            }
+            "pm.granularity" => {
+                let granularity = match value {
+                    "cache_line" => pagemgmt::MigrationGranularity::CacheLineBlock,
+                    "page_block" => pagemgmt::MigrationGranularity::PageBlock,
+                    _ => return Err(format!("knob pm.granularity: unknown value {value:?}")),
+                };
+                self.page_mgmt
+                    .get_or_insert_with(PmConfig::default)
+                    .granularity = granularity;
+            }
+            "buffer" if value == "off" => self.buffer = None,
+            "buffer.policy" => {
+                let policy = match value {
+                    "htr" => BufferPolicy::Htr,
+                    "lru" => BufferPolicy::Lru,
+                    "fifo" => BufferPolicy::Fifo,
+                    _ => return Err(format!("knob buffer.policy: unknown policy {value:?}")),
+                };
+                self.buffer.get_or_insert_with(BufferConfig::default).policy = policy;
+            }
+            "buffer.capacity_kb" => {
+                self.buffer
+                    .get_or_insert_with(BufferConfig::default)
+                    .capacity_bytes = parse::<u64>(key, value)? * 1024
+            }
+            _ => return Err(format!("unknown SystemConfig knob {key:?}")),
+        }
+        Ok(())
+    }
+
     /// Total embedding pages for this model.
     pub fn n_pages(&self) -> u64 {
         let table_bytes = page_align(self.model.emb_num * self.model.row_bytes());
@@ -219,4 +338,64 @@ impl SystemConfig {
 /// Rounds `bytes` up to a whole number of pages.
 pub(crate) fn page_align(bytes: u64) -> u64 {
     bytes.div_ceil(pagemgmt::PAGE_BYTES) * pagemgmt::PAGE_BYTES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::pond(ModelConfig::rmc1().scaled_down(16))
+    }
+
+    #[test]
+    fn knobs_cover_topology_and_subsystems() {
+        let mut c = cfg();
+        for (k, v) in [
+            ("n_devices", "16"),
+            ("n_hosts", "2"),
+            ("cores_per_host", "4"),
+            ("compute", "switch"),
+            ("threading", "table"),
+            ("placement.cxl_frac", "0.5"),
+            ("pm.migrate_threshold", "0.25"),
+            ("pm.style", "tpp"),
+            ("buffer.policy", "lru"),
+            ("buffer.capacity_kb", "64"),
+            ("ooo", "true"),
+        ] {
+            c.apply_knob(k, v).unwrap();
+        }
+        assert_eq!(c.n_devices, 16);
+        assert_eq!(c.n_hosts, 2);
+        assert_eq!(c.compute, ComputeSite::Switch);
+        assert_eq!(c.threading, ThreadingMode::Table);
+        assert_eq!(c.placement, InitialPlacement::CxlFraction { cxl_frac: 0.5 });
+        let pm = c.page_mgmt.unwrap();
+        assert_eq!(pm.migrate_threshold, 0.25);
+        assert_eq!(pm.style, PmStyle::Tpp);
+        let b = c.buffer.unwrap();
+        assert_eq!(b.policy, BufferPolicy::Lru);
+        assert_eq!(b.capacity_bytes, 64 * 1024);
+        assert!(c.ooo);
+    }
+
+    #[test]
+    fn bad_knobs_leave_the_config_unchanged() {
+        let mut c = cfg();
+        let before = c.clone();
+        assert!(c.apply_knob("n_devices", "lots").is_err());
+        assert!(c.apply_knob("pm.style", "magic").is_err());
+        assert!(c.apply_knob("no_such_knob", "1").is_err());
+        assert_eq!(c, before);
+    }
+
+    #[test]
+    fn subsystem_off_switches_work() {
+        let mut c = SystemConfig::pifs_rec(ModelConfig::rmc1().scaled_down(16));
+        c.apply_knob("pm", "off").unwrap();
+        c.apply_knob("buffer", "off").unwrap();
+        assert!(c.page_mgmt.is_none());
+        assert!(c.buffer.is_none());
+    }
 }

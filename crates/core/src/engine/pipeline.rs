@@ -1,14 +1,14 @@
 //! The per-query timing path, decomposed into explicit stages.
 //!
 //! Each SLS bag flows request→forward→DRAM→accumulate through a fixed
-//! sequence of [`Stage`]s operating on a shared [`EngineCtx`]:
+//! sequence of `Stage`s operating on a shared `EngineCtx`:
 //!
-//! 1. [`ClassifyStage`] — resolve rows to tiers, record hotness;
-//! 2. [`LocalGatherStage`] — host-DRAM rows (DIMM-side fold for RecNMP);
-//! 3. [`RemoteGatherStage`] — remote-socket rows over the socket link;
-//! 4. [`CxlGatherStage`] — pooled-CXL rows, on the host (Pond/RecNMP
+//! 1. `ClassifyStage` — resolve rows to tiers, record hotness;
+//! 2. `LocalGatherStage` — host-DRAM rows (DIMM-side fold for RecNMP);
+//! 3. `RemoteGatherStage` — remote-socket rows over the socket link;
+//! 4. `CxlGatherStage` — pooled-CXL rows, on the host (Pond/RecNMP
 //!    spill) or in the fabric switch (PIFS/BEACON);
-//! 5. [`FinalizeStage`] — fold the functional checksum into the metrics.
+//! 5. `FinalizeStage` — fold the functional checksum into the metrics.
 //!
 //! Timing is resource-based: every shared medium (host FlexBus links,
 //! switch transit, device links, DRAM banks/buses, the accumulate unit)

@@ -1,9 +1,9 @@
 //! The full-system façade: hosts, fabric switches, CXL devices, tiered
 //! pages, and the DLRM SLS workload running across them.
 //!
-//! [`SlsSystem`] composes the [`engine`](crate::engine) layers —
+//! [`SlsSystem`] composes the [`crate::engine`] layers —
 //! [`config`](crate::engine::config), [`topology`](crate::engine::topology),
-//! [`pipeline`](crate::engine::pipeline),
+//! [`pipeline`],
 //! [`pagemgmt_epoch`](crate::engine::pagemgmt_epoch) and
 //! [`metrics`](crate::engine::metrics) — and executes a
 //! [`tracegen::Trace`], producing the latency/bandwidth/occupancy metrics
@@ -34,7 +34,7 @@ use crate::engine::topology::Plant;
 pub use crate::engine::config::{BufferConfig, ComputeSite, PmConfig, PmStyle, SystemConfig};
 pub use crate::engine::metrics::RunMetrics;
 
-/// The composed system: the hardware [`Plant`], the embedding layout and
+/// The composed system: the hardware `Plant`, the embedding layout and
 /// page placement, and the workload-visible run state.
 pub struct SlsSystem {
     cfg: SystemConfig,

@@ -31,6 +31,8 @@
 //! assert!(done.as_ns() >= 60);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod bias;
 pub mod instr;
 pub mod link;

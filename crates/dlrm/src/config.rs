@@ -135,6 +135,14 @@ impl ModelConfig {
         vec![Self::rmc1(), Self::rmc2(), Self::rmc3(), Self::rmc4()]
     }
 
+    /// Looks up a Table I model by name (case-insensitive), so harnesses
+    /// can treat the model as a sweepable string parameter.
+    pub fn by_name(name: &str) -> Option<ModelConfig> {
+        Self::all()
+            .into_iter()
+            .find(|m| m.name.eq_ignore_ascii_case(name))
+    }
+
     /// Bytes of one embedding row (f32 elements).
     pub fn row_bytes(&self) -> u64 {
         4 * self.emb_dim as u64

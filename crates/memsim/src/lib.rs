@@ -33,6 +33,8 @@
 //! assert!(done > SimTime::ZERO);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod addrmap;
 pub mod bank;
 pub mod channel;

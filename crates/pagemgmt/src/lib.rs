@@ -32,6 +32,8 @@
 //! assert_eq!(pt.occupancy(Tier::Local), 40);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod cost;
 pub mod hotness;
 pub mod placement;

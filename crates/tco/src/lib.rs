@@ -3,7 +3,30 @@
 //! Everything here is analytical, seeded with the paper's own reported
 //! constants: Table III's component catalogue, Fig 18's synthesized
 //! power/area numbers, and the §VI-E TCO assumptions (three years of
-//! OPEX at $0.05/kWh).
+//! OPEX at $0.05/kWh). No simulation is involved — these models close
+//! the paper's economic argument on top of the performance results:
+//!
+//! * [`SystemBom`] / [`TcoReport`] — bill-of-materials capex for a
+//!   PIFS-Rec pod or an N-GPU server, plus the three-year
+//!   capex + energy-opex total (Fig 16);
+//! * [`Part`] — the Table III component catalogue with unit prices;
+//! * [`HardwareOverheads`] / [`BlockCost`] — synthesized power and area
+//!   of the process core, control logic, and on-switch buffer, with the
+//!   RecNMP ×8 comparison ratios (Fig 18);
+//! * [`EnergyModel`] — per-bag energy of the DIMM+CPU baseline vs the
+//!   in-fabric datapath (§VI-D's −15.3 % average saving).
+//!
+//! # Examples
+//!
+//! ```
+//! use tco::SystemBom;
+//!
+//! let pifs = SystemBom::pifs_rec(64, 256).tco();
+//! let gpu = SystemBom::gpu_server(2, 320).tco();
+//! assert!(pifs.total_usd() < gpu.total_usd());
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod capex;
 pub mod energy;

@@ -42,6 +42,39 @@ pub enum Distribution {
 }
 
 impl Distribution {
+    /// Parses a sweep-parameter spelling of a distribution: one of the
+    /// Fig 12(b) labels (`Meta`, `ZF`, `NoL`, `Um`, `Rm`,
+    /// case-insensitive) or a parameterized form — `zipf:<s>`,
+    /// `zipf_head:<s>`, `normal:<sigma_frac>`, `meta:<reuse_frac>:<s>`,
+    /// `uniform`, `random`.
+    pub fn parse(spec: &str) -> Option<Distribution> {
+        if let Some((_, dist)) = Self::fig12b_suite()
+            .into_iter()
+            .find(|(label, _)| label.eq_ignore_ascii_case(spec))
+        {
+            return Some(dist);
+        }
+        let mut parts = spec.split(':');
+        let head = parts.next()?.to_ascii_lowercase();
+        let mut arg = || parts.next()?.parse::<f64>().ok();
+        let dist = match head.as_str() {
+            "uniform" => Distribution::Uniform,
+            "random" => Distribution::Random,
+            "zipf" => Distribution::Zipfian { s: arg()? },
+            "zipf_head" => Distribution::ZipfianHead { s: arg()? },
+            "normal" => Distribution::Normal { sigma_frac: arg()? },
+            "meta" => Distribution::MetaLike {
+                reuse_frac: arg()?,
+                s: arg()?,
+            },
+            _ => return None,
+        };
+        match parts.next() {
+            Some(_) => None, // trailing junk
+            None => Some(dist),
+        }
+    }
+
     /// The paper's Fig 12(b) trace families, in plot order.
     pub fn fig12b_suite() -> Vec<(&'static str, Distribution)> {
         vec![
@@ -331,5 +364,31 @@ mod tests {
     #[should_panic(expected = "at least one row")]
     fn zero_rows_rejected() {
         let _ = Sampler::new(Distribution::Uniform, 0, DetRng::new(0));
+    }
+
+    #[test]
+    fn parse_covers_labels_and_parameterized_forms() {
+        for (label, dist) in Distribution::fig12b_suite() {
+            assert_eq!(Distribution::parse(label), Some(dist), "label {label}");
+        }
+        assert_eq!(
+            Distribution::parse("zipf:0.9"),
+            Some(Distribution::Zipfian { s: 0.9 })
+        );
+        assert_eq!(
+            Distribution::parse("normal:0.125"),
+            Some(Distribution::Normal { sigma_frac: 0.125 })
+        );
+        assert_eq!(
+            Distribution::parse("meta:0.35:1.05"),
+            Some(Distribution::MetaLike {
+                reuse_frac: 0.35,
+                s: 1.05
+            })
+        );
+        assert_eq!(Distribution::parse("uniform"), Some(Distribution::Uniform));
+        assert_eq!(Distribution::parse("zipf"), None);
+        assert_eq!(Distribution::parse("zipf:0.9:junk"), None);
+        assert_eq!(Distribution::parse("nope"), None);
     }
 }

@@ -107,6 +107,58 @@ pub enum Value {
     Object(Map),
 }
 
+impl Value {
+    /// Returns the number as `f64` if this is any numeric value.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::F64(v)) => Some(*v),
+            Value::Number(Number::U64(v)) => Some(*v as f64),
+            Value::Number(Number::I64(v)) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the number as `u64` if it is an unsigned integer (or a
+    /// non-negative signed one).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::U64(v)) => Some(*v),
+            Value::Number(Number::I64(v)) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// Returns the string slice if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the element vector if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Returns the map if this is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` if this is an object (`None` otherwise), mirroring
+    /// `serde_json::Value::get`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
 /// Error type for the serializers (this stand-in never fails).
 #[derive(Debug)]
 pub struct Error;
@@ -357,6 +409,44 @@ fn write_pretty(out: &mut String, value: &Value, indent: usize) {
     }
 }
 
+fn write_compact(out: &mut String, value: &Value) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_into(out, k);
+                out.push(':');
+                write_compact(out, v);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Prints `value` as a single-line compact JSON string (the JSONL form).
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_compact(&mut out, value);
+    Ok(out)
+}
+
 /// Pretty-prints `value` as a JSON string (2-space indent).
 pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
     let mut out = String::new();
@@ -425,6 +515,23 @@ mod tests {
         assert!(m.insert("k".into(), json!(1u8)).is_none());
         assert_eq!(m.insert("k".into(), json!(2u8)), Some(json!(1u8)));
         assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn compact_form_is_single_line() {
+        let v = json!({ "a": 1u8, "b": json!([1.5f64, "x"]), "c": Value::Null });
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":1,"b":[1.5,"x"],"c":null}"#);
+    }
+
+    #[test]
+    fn accessors_match_shapes() {
+        let v = json!({ "n": 3u8, "f": 2.5f64, "s": "hi", "xs": json!([1u8]) });
+        assert_eq!(v.get("n").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("f").and_then(Value::as_f64), Some(2.5));
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("hi"));
+        assert_eq!(v.get("xs").and_then(Value::as_array).map(Vec::len), Some(1));
+        assert!(v.get("missing").is_none());
+        assert!(v.as_f64().is_none());
     }
 
     #[test]
