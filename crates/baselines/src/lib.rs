@@ -6,6 +6,8 @@
 //! harnesses can sweep them uniformly. The GPU parameter-server used in
 //! Fig 16/17 is an analytical roofline model in [`gpu`].
 
+#![warn(missing_docs)]
+
 pub mod gpu;
 pub mod schemes;
 

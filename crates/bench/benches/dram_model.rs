@@ -1,8 +1,11 @@
 //! Criterion bench: simulation throughput of the DDR timing model
-//! (events simulated per second, not simulated hardware speed).
+//! (events simulated per second, not simulated hardware speed), from the
+//! bank state machine up through the whole multi-channel device.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use memsim::{DramConfig, DramDevice, MemOp};
+use memsim::bank::BankState;
+use memsim::channel::Channel;
+use memsim::{DramConfig, DramDevice, DramOrg, DramTimings, Location, MemOp};
 use simkit::SimTime;
 
 fn bench_dram(c: &mut Criterion) {
@@ -32,5 +35,63 @@ fn bench_dram(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_dram);
+fn bench_bank(c: &mut Criterion) {
+    let t = DramTimings::ddr5_4800();
+    let mut g = c.benchmark_group("bank_state");
+    g.bench_function("row_hit", |b| {
+        let mut bank = BankState::new();
+        let mut now = SimTime::ZERO;
+        bank.prepare(now, now, 1, &t);
+        b.iter(|| {
+            let (cas, _) = bank.prepare(black_box(now), now, 1, &t);
+            bank.complete_read(cas, &t);
+            now = cas;
+            cas
+        })
+    });
+    g.bench_function("row_conflict", |b| {
+        let mut bank = BankState::new();
+        let mut now = SimTime::ZERO;
+        let mut row = 0u64;
+        b.iter(|| {
+            row += 1;
+            let (cas, _) = bank.prepare(black_box(now), now, row, &t);
+            bank.complete_read(cas, &t);
+            now = cas;
+            cas
+        })
+    });
+    g.finish();
+}
+
+fn bench_channel(c: &mut Criterion) {
+    let t = DramTimings::ddr5_4800();
+    let org = DramOrg {
+        channels: 1,
+        ..DramOrg::table2_local()
+    };
+    let mut g = c.benchmark_group("channel");
+    g.bench_function("bank_interleaved_stream", |b| {
+        // The FR-FCFS gap scan plus tFAW window tracking, across all
+        // banks of one channel.
+        let mut ch = Channel::new(org);
+        let mut now = SimTime::ZERO;
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let loc = Location {
+                channel: 0,
+                rank: (i / org.banks as u64 % org.ranks as u64) as u32,
+                bank: (i % org.banks as u64) as u32,
+                row: i / 97,
+            };
+            let done = ch.access(black_box(now), &loc, MemOp::Read, &t);
+            now += simkit::SimDuration::from_ns(2);
+            done
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dram, bench_bank, bench_channel);
 criterion_main!(benches);

@@ -1,10 +1,12 @@
 //! Criterion bench: full-system simulation throughput for each scheme
-//! (how fast the simulator itself runs one small trace).
+//! (how fast the simulator itself runs one small trace), plus the
+//! standard RMC4 workload every `repro` figure runs — the end-to-end
+//! number PERFORMANCE.md tracks across optimization PRs.
 
 use baselines::Scheme;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use dlrm::ModelConfig;
-use pifs_core::system::SlsSystem;
+use pifs_core::system::{SlsSystem, SystemConfig};
 use tracegen::{Distribution, TraceSpec};
 
 fn bench_e2e(c: &mut Criterion) {
@@ -35,5 +37,19 @@ fn bench_e2e(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_e2e);
+fn bench_rmc4_std(c: &mut Criterion) {
+    // One iteration = one grid point of the Fig 13 sweeps: the standard
+    // scaled RMC4 workload on the full PIFS-Rec configuration (switch
+    // compute + HTR buffer + page management). This is the number the
+    // hot-path optimization PRs are judged by.
+    let mut g = c.benchmark_group("pipeline_rmc4");
+    g.sample_size(10);
+    g.bench_function("pifs_rec_std", |b| {
+        let model = pifs_bench::scaled(ModelConfig::rmc4());
+        b.iter(|| black_box(pifs_bench::run_std(SystemConfig::pifs_rec(model.clone()))).total_ns)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_e2e, bench_rmc4_std);
 criterion_main!(benches);

@@ -8,7 +8,8 @@
 //! highest-priority candidates — the paper shows this tracks embedding
 //! reuse better than recency (Fig 15).
 
-use std::collections::{HashMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use simkit::SimDuration;
 
@@ -47,6 +48,13 @@ pub struct OnSwitchBuffer {
     fifo: VecDeque<u64>,
     /// HTR address profiler: frequency of *every* observed row.
     profiler: HashMap<u64, u64>,
+    /// Lazy min-heap of `(rank, key)` eviction candidates, where rank is
+    /// the profiled frequency (HTR) or the recency stamp (LRU). Ranks
+    /// only ever grow, so a popped entry whose rank no longer matches the
+    /// key's current rank is a stale lower bound: it is re-pushed with
+    /// the fresh rank and the pop retried. This finds the same coldest
+    /// resident as a full scan in amortized O(log n) instead of O(n).
+    coldest: BinaryHeap<Reverse<(u64, u64)>>,
     clock: u64,
     hits: u64,
     misses: u64,
@@ -72,6 +80,7 @@ impl OnSwitchBuffer {
             resident: HashMap::new(),
             fifo: VecDeque::new(),
             profiler: HashMap::new(),
+            coldest: BinaryHeap::new(),
             clock: 0,
             hits: 0,
             misses: 0,
@@ -96,10 +105,45 @@ impl OnSwitchBuffer {
         false
     }
 
+    /// Eviction rank of resident `key` under the current policy, or
+    /// `None` when the key is not resident (or the policy keeps no
+    /// ranks). HTR ranks by profiled frequency, LRU by recency stamp;
+    /// both only ever grow, which is what makes the lazy heap exact.
+    fn rank_of(&self, key: u64) -> Option<u64> {
+        match self.policy {
+            BufferPolicy::Htr => self
+                .resident
+                .contains_key(&key)
+                .then(|| self.profiler.get(&key).copied().unwrap_or(0)),
+            BufferPolicy::Lru => self.resident.get(&key).copied(),
+            BufferPolicy::Fifo => None,
+        }
+    }
+
+    /// Pops the coldest resident `(rank, key)` — the same `(rank, key)`
+    /// minimum a full scan of `resident` would find — discarding entries
+    /// for evicted keys and re-pushing entries whose rank went stale.
+    fn pop_coldest(&mut self) -> Option<(u64, u64)> {
+        while let Some(Reverse((rank, key))) = self.coldest.pop() {
+            match self.rank_of(key) {
+                Some(cur) if cur == rank => return Some((rank, key)),
+                Some(cur) => {
+                    debug_assert!(cur > rank, "ranks must be monotonic");
+                    self.coldest.push(Reverse((cur, key)));
+                }
+                None => {} // evicted since it was pushed
+            }
+        }
+        None
+    }
+
     fn admit(&mut self, key: u64) {
         if self.resident.len() < self.capacity_rows {
             self.resident.insert(key, self.clock);
             self.fifo.push_back(key);
+            if let Some(rank) = self.rank_of(key) {
+                self.coldest.push(Reverse((rank, key)));
+            }
             return;
         }
         match self.policy {
@@ -107,29 +151,23 @@ impl OnSwitchBuffer {
                 // Admit only if this row is now hotter than the coldest
                 // resident row (by profiled frequency).
                 let new_freq = self.profiler[&key];
-                let coldest = self
-                    .resident
-                    .keys()
-                    .min_by_key(|k| (self.profiler.get(k).copied().unwrap_or(0), **k))
-                    .copied();
-                if let Some(victim) = coldest {
-                    let victim_freq = self.profiler.get(&victim).copied().unwrap_or(0);
+                if let Some((victim_freq, victim)) = self.pop_coldest() {
                     if new_freq > victim_freq {
                         self.resident.remove(&victim);
                         self.resident.insert(key, self.clock);
+                        self.coldest.push(Reverse((new_freq, key)));
+                    } else {
+                        // The coldest resident survives; keep its entry.
+                        self.coldest.push(Reverse((victim_freq, victim)));
                     }
                 }
             }
             BufferPolicy::Lru => {
-                let victim = self
-                    .resident
-                    .iter()
-                    .min_by_key(|&(k, &stamp)| (stamp, *k))
-                    .map(|(&k, _)| k);
-                if let Some(v) = victim {
-                    self.resident.remove(&v);
+                if let Some((_, victim)) = self.pop_coldest() {
+                    self.resident.remove(&victim);
                 }
                 self.resident.insert(key, self.clock);
+                self.coldest.push(Reverse((self.clock, key)));
             }
             BufferPolicy::Fifo => {
                 while let Some(v) = self.fifo.pop_front() {

@@ -40,6 +40,29 @@ pub(crate) const SNOOP_NS: u64 = 10;
 /// Process-core instruction decode occupancy per instruction.
 pub(crate) const DECODE_NS: u64 = 1;
 
+/// Reusable buffers for the per-bag pipeline.
+///
+/// One instance lives in [`SlsSystem`](crate::system::SlsSystem) and is
+/// threaded through every [`process_bag`] call: the bag takes the
+/// buffers, uses them, and hands them back cleared, so steady-state
+/// query processing performs no per-bag heap allocation. This is the
+/// allocation-free scratch-buffer convention ARCHITECTURE.md documents —
+/// any new stage state that would otherwise be a fresh `Vec` per bag
+/// belongs here.
+#[derive(Debug, Default)]
+pub(crate) struct BagScratch {
+    local: Vec<(u64, u64)>,
+    remote: Vec<(u64, u64)>,
+    cxl: Vec<(u16, u64, u64)>,
+    acc: Vec<f32>,
+    window: VecDeque<SimTime>,
+    sent: Vec<SimTime>,
+    instr_arrivals: Vec<SimTime>,
+    by_switch: Vec<SwitchGroup>,
+    sub_acc: Vec<f32>,
+    zero: Vec<f32>,
+}
+
 /// Mutable view over the system state a pipeline stage may touch.
 ///
 /// The fields are split borrows of [`SlsSystem`](crate::system::SlsSystem)
@@ -83,6 +106,10 @@ impl EngineCtx<'_> {
 }
 
 /// One in-flight SLS bag moving through the pipeline.
+///
+/// The growable buffers are borrowed from the system's [`BagScratch`]
+/// (via `std::mem::take`) and handed back cleared by [`BagState::release`],
+/// so constructing a bag allocates nothing in the steady state.
 pub(crate) struct BagState<'r> {
     /// Issuing host.
     pub host_idx: usize,
@@ -102,6 +129,11 @@ pub(crate) struct BagState<'r> {
     pub cxl: Vec<(u16, u64, u64)>,
     /// The functional accumulator.
     pub acc: Vec<f32>,
+    /// In-flight fold completions for the bounded MLP window (each
+    /// gather stage clears it before use).
+    pub window: VecDeque<SimTime>,
+    /// Remaining scratch used only by the switch-compute path.
+    pub scratch: BagScratch,
     /// Completion time of everything observed so far.
     pub done: SimTime,
     /// Time the issuing core is next free.
@@ -111,25 +143,55 @@ pub(crate) struct BagState<'r> {
 impl<'r> BagState<'r> {
     fn new(
         cfg: &SystemConfig,
+        scratch: &mut BagScratch,
         host_idx: usize,
         issue: SimTime,
         table: u32,
         rows: &'r [u64],
     ) -> Self {
         let dim = cfg.model.emb_dim as usize;
+        let mut taken = std::mem::take(scratch);
+        taken.local.clear();
+        taken.remote.clear();
+        taken.cxl.clear();
+        taken.acc.clear();
+        taken.acc.resize(dim, 0.0f32);
+        let local = std::mem::take(&mut taken.local);
+        let remote = std::mem::take(&mut taken.remote);
+        let cxl = std::mem::take(&mut taken.cxl);
+        let acc = std::mem::take(&mut taken.acc);
+        let window = std::mem::take(&mut taken.window);
         BagState {
             host_idx,
             issue,
             table,
             rows,
             acc_ns: (dim as u64).div_ceil(16).max(1),
-            local: Vec::new(),
-            remote: Vec::new(),
-            cxl: Vec::new(),
-            acc: vec![0.0f32; dim],
+            local,
+            remote,
+            cxl,
+            acc,
+            window,
+            scratch: taken,
             done: issue,
             core_busy: issue,
         }
+    }
+
+    /// Returns every taken buffer to `scratch`, cleared but with its
+    /// capacity intact for the next bag.
+    fn release(mut self, scratch: &mut BagScratch) {
+        self.local.clear();
+        self.remote.clear();
+        self.cxl.clear();
+        self.acc.clear();
+        self.window.clear();
+        self.scratch.local = self.local;
+        self.scratch.remote = self.remote;
+        self.scratch.cxl = self.cxl;
+        self.scratch.acc = self.acc;
+        self.scratch.window = self.window;
+        *scratch = self.scratch;
     }
 }
 
@@ -162,16 +224,19 @@ pub(crate) fn stage_names() -> Vec<&'static str> {
 /// `(completion_time, core_free_time)`.
 pub(crate) fn process_bag(
     ctx: &mut EngineCtx<'_>,
+    scratch: &mut BagScratch,
     host_idx: usize,
     issue: SimTime,
     table: u32,
     rows: &[u64],
 ) -> (SimTime, SimTime) {
-    let mut bag = BagState::new(ctx.cfg, host_idx, issue, table, rows);
+    let mut bag = BagState::new(ctx.cfg, scratch, host_idx, issue, table, rows);
     for stage in STAGES {
         stage.run(ctx, &mut bag);
     }
-    (bag.done, bag.core_busy.max(bag.issue))
+    let result = (bag.done, bag.core_busy.max(bag.issue));
+    bag.release(scratch);
+    result
 }
 
 /// Resolves each row to its tier, records page hotness, and charges the
@@ -224,12 +289,12 @@ impl Stage for LocalGatherStage {
         let row_bytes = ctx.cfg.model.row_bytes();
         let is_nmp = ctx.cfg.compute == ComputeSite::Dimm;
         let start = bag.core_busy;
-        let mut window: VecDeque<SimTime> = VecDeque::new();
+        bag.window.clear();
         let mut t = start;
         let mut last = start;
         for &(row, addr) in &bag.local {
-            if !is_nmp && window.len() >= ctx.cfg.outstanding {
-                t = t.max(window.pop_front().expect("window non-empty"));
+            if !is_nmp && bag.window.len() >= ctx.cfg.outstanding {
+                t = t.max(bag.window.pop_front().expect("window non-empty"));
             }
             let host = &mut ctx.hosts[bag.host_idx];
             let mut served_from_cache = false;
@@ -257,7 +322,7 @@ impl Stage for LocalGatherStage {
             let fold_done =
                 data + SimDuration::from_ns(if is_nmp { bag.acc_ns / 2 } else { bag.acc_ns });
             dlrm::sls::accumulate_row(&mut bag.acc, &ctx.tables[bag.table as usize], row, 1.0);
-            window.push_back(fold_done);
+            bag.window.push_back(fold_done);
             t += SimDuration::from_ns(if is_nmp { 1 } else { ISSUE_NS });
             last = last.max(fold_done);
         }
@@ -284,12 +349,12 @@ impl Stage for RemoteGatherStage {
             return;
         }
         let row_bytes = ctx.cfg.model.row_bytes();
-        let mut window: VecDeque<SimTime> = VecDeque::new();
+        bag.window.clear();
         let mut t = bag.core_busy;
         let mut last = bag.core_busy;
         for &(row, addr) in &bag.remote {
-            if window.len() >= ctx.cfg.outstanding {
-                t = t.max(window.pop_front().expect("window non-empty"));
+            if bag.window.len() >= ctx.cfg.outstanding {
+                t = t.max(bag.window.pop_front().expect("window non-empty"));
             }
             let sent = ctx.remote_link.transfer(t, 16);
             let data = ctx
@@ -298,7 +363,7 @@ impl Stage for RemoteGatherStage {
             let back = ctx.remote_link.transfer(data, row_bytes);
             let fold_done = back + SimDuration::from_ns(bag.acc_ns);
             dlrm::sls::accumulate_row(&mut bag.acc, &ctx.tables[bag.table as usize], row, 1.0);
-            window.push_back(fold_done);
+            bag.window.push_back(fold_done);
             t += SimDuration::from_ns(ISSUE_NS);
             last = last.max(fold_done);
         }
@@ -352,12 +417,12 @@ fn cxl_rows_host_compute(ctx: &mut EngineCtx<'_>, bag: &mut BagState<'_>) -> (Si
     let row_bytes = ctx.cfg.model.row_bytes();
     let host_switch = ctx.topo.host_switch(bag.host_idx);
     let start = bag.core_busy;
-    let mut window: VecDeque<SimTime> = VecDeque::new();
+    bag.window.clear();
     let mut t = start;
     let mut last = start;
     for &(dev, row, addr) in &bag.cxl {
-        if window.len() >= ctx.cfg.outstanding {
-            t = t.max(window.pop_front().expect("window non-empty"));
+        if bag.window.len() >= ctx.cfg.outstanding {
+            t = t.max(bag.window.pop_front().expect("window non-empty"));
         }
         let sent = ctx.hosts[bag.host_idx]
             .req_link
@@ -373,7 +438,7 @@ fn cxl_rows_host_compute(ctx: &mut EngineCtx<'_>, bag: &mut BagState<'_>) -> (Si
             .transfer(back_at_host_switch, row_bytes + M2sReq::WIRE_BYTES);
         let fold_done = at_host + SimDuration::from_ns(bag.acc_ns);
         dlrm::sls::accumulate_row(&mut bag.acc, &ctx.tables[bag.table as usize], row, 1.0);
-        window.push_back(fold_done);
+        bag.window.push_back(fold_done);
         t += SimDuration::from_ns(ISSUE_NS);
         last = last.max(fold_done);
     }
@@ -397,13 +462,26 @@ fn cxl_rows_switch_compute(ctx: &mut EngineCtx<'_>, bag: &mut BagState<'_>) -> (
     let cluster = ClusterId(*ctx.next_cluster);
     *ctx.next_cluster += 1;
 
-    // Group rows by the switch homing their device.
-    let mut by_switch: Vec<SwitchGroup> = Vec::new();
+    // Group rows by the switch homing their device. Group entries are
+    // recycled from the bag scratch: only the first `n_groups` are live
+    // for this bag, and their inner index vectors keep their capacity
+    // across bags.
+    let mut n_groups = 0usize;
     for (i, &(dev, _, _)) in bag.cxl.iter().enumerate() {
         let s = ctx.topo.device_switch(dev as usize);
-        match by_switch.iter_mut().find(|(sid, _)| *sid == s) {
+        let by_switch = &mut bag.scratch.by_switch;
+        match by_switch[..n_groups].iter_mut().find(|(sid, _)| *sid == s) {
             Some((_, v)) => v.push(i),
-            None => by_switch.push((s, vec![i])),
+            None => {
+                if n_groups == by_switch.len() {
+                    by_switch.push((s, Vec::new()));
+                } else {
+                    by_switch[n_groups].0 = s;
+                    by_switch[n_groups].1.clear();
+                }
+                by_switch[n_groups].1.push(i);
+                n_groups += 1;
+            }
         }
     }
 
@@ -418,23 +496,39 @@ fn cxl_rows_switch_compute(ctx: &mut EngineCtx<'_>, bag: &mut BagState<'_>) -> (
     );
     debug_assert_eq!(config_req.opcode, cxlsim::MemOpcode::Configuration);
     let mut t = bag.core_busy;
-    // Arrival time of each DataFetch at its switch, indexed by the row's
-    // position in `bag.cxl` (positional, so duplicate rows in one bag
-    // keep their own serialized issue/arrival times).
-    let mut instr_arrivals: Vec<SimTime> = Vec::with_capacity(bag.cxl.len());
     let config_arrival = {
         let sent = ctx.hosts[host_idx].req_link.transfer(t, M2sReq::WIRE_BYTES);
         t += SimDuration::from_ns(ISSUE_NS);
         ctx.switches[local_sw_idx].sw.transit(sent)
     };
-    for &(dev, _row, addr) in &bag.cxl {
-        let req = M2sReq::data_fetch(addr, (cluster.0 & 0x1FF) as u16, chunks, host_idx as u16);
-        debug_assert!(crate::instrflow::check_memopcode(&req) == crate::InstrRoute::ProcessCore);
-        let sent = ctx.hosts[host_idx].req_link.transfer(t, M2sReq::WIRE_BYTES);
-        t += SimDuration::from_ns(ISSUE_NS);
+    // The DataFetch stream is issued back-to-back at the core's issue
+    // rate, so the request link arbitrates the whole burst in one pass
+    // instead of re-entering per flit.
+    ctx.hosts[host_idx].req_link.transfer_batch_into(
+        t,
+        SimDuration::from_ns(ISSUE_NS),
+        M2sReq::WIRE_BYTES,
+        bag.cxl.len(),
+        &mut bag.scratch.sent,
+    );
+    t += SimDuration::from_ns(ISSUE_NS * bag.cxl.len() as u64);
+    // Arrival time of each DataFetch at its switch, indexed by the row's
+    // position in `bag.cxl` (positional, so duplicate rows in one bag
+    // keep their own serialized issue/arrival times).
+    bag.scratch.instr_arrivals.clear();
+    for (i, &(dev, _row, addr)) in bag.cxl.iter().enumerate() {
+        debug_assert!(
+            crate::instrflow::check_memopcode(&M2sReq::data_fetch(
+                addr,
+                (cluster.0 & 0x1FF) as u16,
+                chunks,
+                host_idx as u16,
+            )) == crate::InstrRoute::ProcessCore
+        );
         let s = ctx.topo.device_switch(dev as usize);
         let hop = ctx.topo.hop_latency(host_switch, s);
-        instr_arrivals.push(ctx.switches[local_sw_idx].sw.transit(sent) + hop);
+        let transit = ctx.switches[local_sw_idx].sw.transit(bag.scratch.sent[i]);
+        bag.scratch.instr_arrivals.push(transit + hop);
     }
     let core_free = t;
 
@@ -446,12 +540,12 @@ fn cxl_rows_switch_compute(ctx: &mut EngineCtx<'_>, bag: &mut BagState<'_>) -> (
         .unwrap_or_else(|_| panic!("ACR backpressure not modeled as fatal: raise ACR_CAPACITY"));
     ctx.switches[local_sw_idx]
         .fc
-        .open(cluster, by_switch.len() as u32, dim);
+        .open(cluster, n_groups as u32, dim);
 
     // Each switch group accumulates its sub-cluster.
     let mut final_done = config_arrival;
     let mut merged_acc: Option<Vec<f32>> = None;
-    for (sid, group) in &by_switch {
+    for (sid, group) in &bag.scratch.by_switch[..n_groups] {
         // §IV-C2 versatility: a remote switch without a process core
         // (CNV = 0) cannot accumulate — the local switch does all the
         // work and raw rows stream across the inter-switch fabric.
@@ -461,11 +555,12 @@ fn cxl_rows_switch_compute(ctx: &mut EngineCtx<'_>, bag: &mut BagState<'_>) -> (
         } else {
             local_sw_idx
         };
-        let mut sub_acc = vec![0.0f32; dim as usize];
+        bag.scratch.sub_acc.clear();
+        bag.scratch.sub_acc.resize(dim as usize, 0.0f32);
         let mut sub_last = SimTime::ZERO;
         for &i in group {
             let (dev, row, addr) = bag.cxl[i];
-            let arrival = instr_arrivals[i];
+            let arrival = bag.scratch.instr_arrivals[i];
             // Decode (+ BEACON's translation logic) serializes in the PC.
             let sw = &mut ctx.switches[s_idx];
             let decode_start = arrival.max(sw.decode_free);
@@ -492,7 +587,12 @@ fn cxl_rows_switch_compute(ctx: &mut EngineCtx<'_>, bag: &mut BagState<'_>) -> (
             let sw = &mut ctx.switches[s_idx];
             sw.iir.match_return(addr);
             let folded = sw.engine.process_row(data_ready, cluster);
-            dlrm::sls::accumulate_row(&mut sub_acc, &ctx.tables[table as usize], row, 1.0);
+            dlrm::sls::accumulate_row(
+                &mut bag.scratch.sub_acc,
+                &ctx.tables[table as usize],
+                row,
+                1.0,
+            );
             sub_last = sub_last.max(folded);
         }
         ctx.switches[s_idx].engine.complete_cluster(cluster);
@@ -505,10 +605,11 @@ fn cxl_rows_switch_compute(ctx: &mut EngineCtx<'_>, bag: &mut BagState<'_>) -> (
             SimDuration::ZERO
         };
         let sub_at_local = sub_last + hop;
-        match ctx.switches[local_sw_idx]
-            .fc
-            .on_sub_result(cluster, &sub_acc, sub_at_local)
-        {
+        match ctx.switches[local_sw_idx].fc.on_sub_result(
+            cluster,
+            &bag.scratch.sub_acc,
+            sub_at_local,
+        ) {
             ForwardOutcome::Waiting => {}
             ForwardOutcome::Complete(vec, at) => {
                 merged_acc = Some(vec);
@@ -521,10 +622,13 @@ fn cxl_rows_switch_compute(ctx: &mut EngineCtx<'_>, bag: &mut BagState<'_>) -> (
     // bookkeeping (counts were tracked per arrival by the engine; the
     // ACR holds the canonical counter).
     let merged = merged_acc.expect("all sub-clusters reported");
+    // Drain the SumCandidateCounter with the reusable all-zero row.
+    bag.scratch.zero.clear();
+    bag.scratch.zero.resize(dim as usize, 0.0f32);
     for _ in 0..bag.cxl.len() {
-        // Drain the SumCandidateCounter.
-        let zero = vec![0.0f32; dim as usize];
-        let _ = ctx.switches[local_sw_idx].acr.on_row(cluster, &zero, 1.0);
+        let _ = ctx.switches[local_sw_idx]
+            .acr
+            .on_row(cluster, &bag.scratch.zero, 1.0);
     }
     for (a, &v) in bag.acc.iter_mut().zip(&merged) {
         *a += v;

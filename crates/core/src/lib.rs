@@ -47,6 +47,8 @@
 //! assert!(metrics.total_ns > 0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod acr;
 pub mod buffer;
 pub mod engine;

@@ -28,7 +28,7 @@ use tracegen::Trace;
 use crate::engine::config::page_align;
 use crate::engine::metrics::CounterOffsets;
 use crate::engine::pagemgmt_epoch::{run_pm_epoch, EpochCtx};
-use crate::engine::pipeline::{self, process_bag, EngineCtx};
+use crate::engine::pipeline::{self, process_bag, BagScratch, EngineCtx};
 use crate::engine::topology::Plant;
 
 pub use crate::engine::config::{BufferConfig, ComputeSite, PmConfig, PmStyle, SystemConfig};
@@ -47,6 +47,8 @@ pub struct SlsSystem {
     metrics: RunMetrics,
     /// Per-device page-access counts within the current PM epoch.
     epoch_dev_pages: Vec<HashMap<PageId, u64>>,
+    /// Reusable per-bag pipeline buffers (allocation-free steady state).
+    scratch: BagScratch,
 }
 
 impl SlsSystem {
@@ -98,6 +100,7 @@ impl SlsSystem {
             pm_epoch: 0,
             metrics: RunMetrics::default(),
             epoch_dev_pages: vec![HashMap::new(); n_devices],
+            scratch: BagScratch::default(),
         }
     }
 
@@ -169,10 +172,18 @@ impl SlsSystem {
                 self.plant.hosts[host_idx].cores[core_idx] = batch_start;
                 for item in items {
                     for sample in item.sample_begin..item.sample_end {
-                        let bag: Vec<u64> = trace.bag(bi, item.table, sample).to_vec();
+                        let bag = trace.bag(bi, item.table, sample);
                         let issue = self.plant.hosts[host_idx].cores[core_idx];
-                        let (done, core_free) =
-                            process_bag(&mut self.engine_ctx(), host_idx, issue, item.table, &bag);
+                        let mut scratch = std::mem::take(&mut self.scratch);
+                        let (done, core_free) = process_bag(
+                            &mut self.engine_ctx(),
+                            &mut scratch,
+                            host_idx,
+                            issue,
+                            item.table,
+                            bag,
+                        );
+                        self.scratch = scratch;
                         self.plant.hosts[host_idx].cores[core_idx] = core_free;
                         batch_done = batch_done.max(done);
                         bag_latency_sum += done.saturating_since(issue).as_ns() as u128;

@@ -78,6 +78,22 @@ impl FlexBusLink {
         self.inner.transfer(now, bytes)
     }
 
+    /// Batched arbitration for `n` equal flits issued `gap` apart,
+    /// starting at `first`: appends each flit's delivery time to `out`
+    /// (cleared first). Identical link state and results to `n`
+    /// sequential [`transfer`](Self::transfer) calls — see
+    /// [`simkit::BandwidthLink::transfer_batch_into`].
+    pub fn transfer_batch_into(
+        &mut self,
+        first: SimTime,
+        gap: SimDuration,
+        bytes: u64,
+        n: usize,
+        out: &mut Vec<SimTime>,
+    ) {
+        self.inner.transfer_batch_into(first, gap, bytes, n, out);
+    }
+
     /// Earliest time the medium frees up.
     pub fn free_at(&self) -> SimTime {
         self.inner.free_at()

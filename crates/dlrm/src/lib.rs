@@ -29,6 +29,8 @@
 //! assert_eq!(out.len(), cfg.emb_dim as usize);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod config;
 pub mod embedding;
 pub mod mlp;

@@ -81,6 +81,98 @@ impl AddressMapping {
     }
 }
 
+/// Precomputed decode state for one `(mapping, org)` pair.
+///
+/// [`AddressMapping::decode`] re-derives every divisor from the
+/// organization on each call and pays a hardware divide per level of the
+/// hierarchy. The device front-end instead builds a `LineDecoder` once:
+/// when every divisor is a power of two (true of every stock
+/// organization) the whole decode chain collapses to shifts and masks,
+/// and otherwise it falls back to the reference path. Both paths produce
+/// bit-identical [`Location`]s — `decode_is_cached_exactly` in the tests
+/// below sweeps both mappings against the reference.
+#[derive(Debug, Clone, Copy)]
+pub struct LineDecoder {
+    mapping: AddressMapping,
+    org: DramOrg,
+    /// Shift/mask constants, present only when every divisor is a power
+    /// of two.
+    fast: Option<DecodeShifts>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DecodeShifts {
+    /// `log2(capacity_bytes)` wrap mask.
+    cap_mask: u64,
+    /// `log2(channels)` / its mask.
+    ch_shift: u32,
+    ch_mask: u64,
+    /// `log2(lines_per_row)`.
+    lpr_shift: u32,
+    /// `log2(banks)` / its mask.
+    ba_shift: u32,
+    ba_mask: u64,
+    /// `log2(ranks)` / its mask.
+    ra_shift: u32,
+    ra_mask: u64,
+}
+
+impl LineDecoder {
+    /// Builds the decoder for `mapping` over `org`.
+    pub fn new(mapping: AddressMapping, org: DramOrg) -> Self {
+        let cap = org.capacity_bytes.max(1);
+        let lpr = (org.row_bytes / 64).max(1);
+        let pow2 = |x: u64| x.is_power_of_two();
+        let fast = (pow2(cap)
+            && pow2(org.channels as u64)
+            && pow2(lpr)
+            && pow2(org.banks as u64)
+            && pow2(org.ranks as u64))
+        .then(|| DecodeShifts {
+            cap_mask: cap - 1,
+            ch_shift: (org.channels as u64).trailing_zeros(),
+            ch_mask: org.channels as u64 - 1,
+            lpr_shift: lpr.trailing_zeros(),
+            ba_shift: (org.banks as u64).trailing_zeros(),
+            ba_mask: org.banks as u64 - 1,
+            ra_shift: (org.ranks as u64).trailing_zeros(),
+            ra_mask: org.ranks as u64 - 1,
+        });
+        LineDecoder { mapping, org, fast }
+    }
+
+    /// Decodes `addr` exactly as [`AddressMapping::decode`] would.
+    #[inline]
+    pub fn decode(&self, addr: u64) -> Location {
+        let Some(s) = &self.fast else {
+            return self.mapping.decode(addr, &self.org);
+        };
+        let line = (addr & s.cap_mask) >> 6;
+        let (channel, rest) = match self.mapping {
+            AddressMapping::CacheLineInterleave => {
+                let channel = line & s.ch_mask;
+                let rest = (line >> s.ch_shift) >> s.lpr_shift;
+                (channel, rest)
+            }
+            AddressMapping::RowInterleave => {
+                let rest = line >> s.lpr_shift;
+                (rest & s.ch_mask, rest >> s.ch_shift)
+            }
+        };
+        Location {
+            channel: channel as u32,
+            rank: ((rest >> s.ba_shift) & s.ra_mask) as u32,
+            bank: (rest & s.ba_mask) as u32,
+            row: (rest >> s.ba_shift) >> s.ra_shift,
+        }
+    }
+
+    /// The mapping this decoder implements.
+    pub fn mapping(&self) -> AddressMapping {
+        self.mapping
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,6 +226,31 @@ mod tests {
                 assert!(loc.channel < o.channels);
                 assert!(loc.rank < o.ranks);
                 assert!(loc.bank < o.banks);
+            }
+        }
+    }
+
+    #[test]
+    fn decode_is_cached_exactly() {
+        // The precomputed decoder must agree with the reference decode
+        // bit-for-bit, on both mappings, for pow2 and non-pow2 layouts.
+        let non_pow2 = DramOrg {
+            channels: 3,
+            ..org()
+        };
+        for o in [org(), non_pow2] {
+            for m in [
+                AddressMapping::CacheLineInterleave,
+                AddressMapping::RowInterleave,
+            ] {
+                let d = LineDecoder::new(m, o);
+                assert_eq!(d.mapping(), m);
+                let mut addr = 0u64;
+                for i in 0..50_000u64 {
+                    // Stride through lines, odd offsets, and wraps.
+                    addr = addr.wrapping_mul(6364136223846793005).wrapping_add(i);
+                    assert_eq!(d.decode(addr), m.decode(addr, &o), "addr {addr:#x}");
+                }
             }
         }
     }

@@ -1,8 +1,6 @@
 //! One DRAM channel: banks, rank-level activate limits, the shared data
 //! bus, and refresh.
 
-use std::collections::VecDeque;
-
 use simkit::{SimDuration, SimTime};
 
 use crate::addrmap::Location;
@@ -22,8 +20,25 @@ pub enum MemOp {
 #[derive(Debug, Clone)]
 struct RankState {
     next_refresh: SimTime,
-    /// Times of the most recent activates (bounded by 4 for tFAW).
-    recent_acts: VecDeque<SimTime>,
+    /// Times of the most recent activates, newest last. tFAW covers
+    /// exactly four ACTs, so a fixed in-place window replaces the heap
+    /// allocation a growable deque would carry per rank.
+    recent_acts: [SimTime; 4],
+    /// Valid slots in `recent_acts` (saturates at 4).
+    n_acts: usize,
+}
+
+impl RankState {
+    /// Slides `at` into the window, dropping the oldest ACT when full.
+    fn record_act(&mut self, at: SimTime) {
+        if self.n_acts == 4 {
+            self.recent_acts.copy_within(1..4, 0);
+            self.recent_acts[3] = at;
+        } else {
+            self.recent_acts[self.n_acts] = at;
+            self.n_acts += 1;
+        }
+    }
 }
 
 /// One DRAM channel with its own command/data bus.
@@ -38,8 +53,10 @@ pub struct Channel {
     /// data is ready early may claim one instead of queueing at
     /// `bus_free` — the reordering freedom an FR-FCFS controller has,
     /// without which one bank-conflicted request head-of-line-blocks
-    /// every later burst.
-    free_gaps: VecDeque<(SimTime, SimTime)>,
+    /// every later burst. A flat, capacity-bounded vec: the scan in
+    /// `claim_bus` walks it contiguously and edits happen by memmove, so
+    /// the steady state allocates nothing.
+    free_gaps: Vec<(SimTime, SimTime)>,
     /// Accumulated statistics.
     pub stats: ChannelStats,
 }
@@ -84,7 +101,8 @@ impl Channel {
         let ranks = (0..org.ranks)
             .map(|_| RankState {
                 next_refresh: SimTime::ZERO + SimDuration::from_ns(1), // first REF after warmup
-                recent_acts: VecDeque::with_capacity(4),
+                recent_acts: [SimTime::ZERO; 4],
+                n_acts: 0,
             })
             .collect();
         Channel {
@@ -92,7 +110,7 @@ impl Channel {
             ranks,
             org,
             bus_free: SimTime::ZERO,
-            free_gaps: VecDeque::new(),
+            free_gaps: Vec::with_capacity(MAX_GAPS),
             stats: ChannelStats::default(),
         }
     }
@@ -118,9 +136,9 @@ impl Channel {
         }
         let start = earliest.max(self.bus_free);
         if start > self.bus_free {
-            self.free_gaps.push_back((self.bus_free, start));
+            self.free_gaps.push((self.bus_free, start));
             while self.free_gaps.len() > MAX_GAPS {
-                self.free_gaps.pop_front();
+                self.free_gaps.remove(0);
             }
         }
         self.bus_free = start + burst;
@@ -158,12 +176,12 @@ impl Channel {
     fn act_gate(&self, rank: u32, t: &DramTimings) -> SimTime {
         let rs = &self.ranks[rank as usize];
         let mut gate = SimTime::ZERO;
-        if rs.recent_acts.len() >= 4 {
+        if rs.n_acts >= 4 {
             // The 4th-most-recent ACT opens the tFAW window.
-            gate = gate.max(rs.recent_acts[rs.recent_acts.len() - 4] + t.cycles(t.faw));
+            gate = gate.max(rs.recent_acts[0] + t.cycles(t.faw));
         }
-        if let Some(&last) = rs.recent_acts.back() {
-            gate = gate.max(last + t.cycles(t.rrd));
+        if rs.n_acts > 0 {
+            gate = gate.max(rs.recent_acts[rs.n_acts - 1] + t.cycles(t.rrd));
         }
         gate
     }
@@ -188,11 +206,7 @@ impl Channel {
         if outcome != RowOutcome::Hit {
             let act_at = self.banks[idx].last_act();
             debug_assert!(act_at >= acts_before);
-            let rs = &mut self.ranks[loc.rank as usize];
-            rs.recent_acts.push_back(act_at);
-            while rs.recent_acts.len() > 4 {
-                rs.recent_acts.pop_front();
-            }
+            self.ranks[loc.rank as usize].record_act(act_at);
         }
 
         // The data burst must find a free slot on the shared bus; if the

@@ -2,6 +2,7 @@
 
 use simkit::SimTime;
 
+use crate::addrmap::LineDecoder;
 use crate::channel::{Channel, ChannelStats, MemOp};
 use crate::config::DramConfig;
 
@@ -22,6 +23,9 @@ use crate::config::DramConfig;
 #[derive(Debug, Clone)]
 pub struct DramDevice {
     cfg: DramConfig,
+    /// Address-decode constants cached at construction so the per-access
+    /// front-end never re-derives them from the organization.
+    decoder: LineDecoder,
     channels: Vec<Channel>,
 }
 
@@ -72,7 +76,11 @@ impl DramDevice {
         let channels = (0..cfg.org.channels)
             .map(|_| Channel::new(cfg.org))
             .collect();
-        DramDevice { cfg, channels }
+        DramDevice {
+            cfg,
+            decoder: LineDecoder::new(cfg.mapping, cfg.org),
+            channels,
+        }
     }
 
     /// The device's configuration.
@@ -83,7 +91,7 @@ impl DramDevice {
     /// Schedules one 64 B access to physical `addr` arriving at `now`;
     /// returns when its data burst completes.
     pub fn access(&mut self, now: SimTime, addr: u64, op: MemOp) -> SimTime {
-        let loc = self.cfg.mapping.decode(addr, &self.cfg.org);
+        let loc = self.decoder.decode(addr);
         self.channels[loc.channel as usize].access(now, &loc, op, &self.cfg.timings)
     }
 

@@ -48,10 +48,24 @@ impl HotnessTracker {
 
     /// The `k` most-accessed pages, hottest first (ties broken by page id
     /// for determinism).
+    ///
+    /// `(count, id)` is a total order, so partitioning the top `k` with a
+    /// quickselect before sorting only that prefix returns exactly what
+    /// a full sort followed by `take(k)` would — at O(n + k log k)
+    /// instead of O(n log n), which matters because the page manager
+    /// calls this on every epoch boundary.
     pub fn hottest(&self, k: usize) -> Vec<PageId> {
+        if k == 0 {
+            return Vec::new();
+        }
         let mut v: Vec<(PageId, u64)> = self.counts.iter().map(|(&p, &c)| (p, c)).collect();
-        v.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        v.into_iter().take(k).map(|(p, _)| p).collect()
+        let hotter_first = |a: &(PageId, u64), b: &(PageId, u64)| b.1.cmp(&a.1).then(a.0.cmp(&b.0));
+        if k < v.len() {
+            v.select_nth_unstable_by(k, hotter_first);
+            v.truncate(k);
+        }
+        v.sort_unstable_by(hotter_first);
+        v.into_iter().map(|(p, _)| p).collect()
     }
 
     /// Exponentially decays all counts (epoch boundary), dropping pages
@@ -130,7 +144,11 @@ impl GlobalHotness {
         let mut out: HashMap<PageId, PageClass> = HashMap::new();
         for (h, tracker) in self.hosts.iter().enumerate() {
             let mut claimed = 0;
-            for page in tracker.hottest(tracker.tracked()) {
+            // The claim loop consumes at most `hot_capacity` fresh pages
+            // plus one skip per page an earlier host already claimed, so
+            // ranking that many candidates is exactly equivalent to
+            // ranking the host's whole heatmap.
+            for page in tracker.hottest(hot_capacity + out.len()) {
                 if claimed >= hot_capacity {
                     break;
                 }

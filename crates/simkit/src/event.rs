@@ -2,11 +2,17 @@
 //!
 //! Events scheduled for the same instant pop in insertion order, which is
 //! what makes every simulation in this workspace reproducible run-to-run:
-//! `BinaryHeap` alone does not guarantee stable ordering of equal keys, so
-//! each entry carries a monotonically increasing sequence number.
-
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+//! a plain binary heap does not guarantee stable ordering of equal keys,
+//! so each entry carries a monotonically increasing sequence number and
+//! the heap orders by the composite `(time, seq)` key.
+//!
+//! The heap itself is index-based (a `Vec` with hand-rolled sift-up /
+//! sift-down over `(time, seq)` keys) rather than
+//! `std::collections::BinaryHeap` over an `Ord` wrapper: the composite
+//! key is a total order, so every comparison is a branch-predictable
+//! two-word compare with no trait-object or `Ordering::then_with`
+//! chaining on the hot path, and sifting moves entries with plain index
+//! arithmetic.
 
 use crate::time::SimTime;
 
@@ -29,7 +35,9 @@ use crate::time::SimTime;
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// Min-heap over `(time, seq)`: `entries[i]` sorts before both
+    /// children at `2i + 1` and `2i + 2`.
+    entries: Vec<Entry<E>>,
     next_seq: u64,
 }
 
@@ -40,26 +48,12 @@ struct Entry<E> {
     event: E,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest time (and the
-        // lowest sequence number within a tie) pops first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+impl<E> Entry<E> {
+    /// The composite ordering key: earliest time first, insertion order
+    /// within a tie. `seq` is unique, so this is a total order.
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
     }
 }
 
@@ -67,7 +61,7 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            entries: Vec::new(),
             next_seq: 0,
         }
     }
@@ -76,27 +70,72 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, time: SimTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        self.entries.push(Entry { time, seq, event });
+        self.sift_up(self.entries.len() - 1);
     }
 
     /// Removes and returns the earliest event, or `None` if empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+        if self.entries.is_empty() {
+            return None;
+        }
+        let last = self.entries.len() - 1;
+        self.entries.swap(0, last);
+        let e = self.entries.pop().expect("non-empty");
+        if !self.entries.is_empty() {
+            self.sift_down(0);
+        }
+        Some((e.time, e.event))
     }
 
     /// Returns the firing time of the earliest event without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        self.entries.first().map(|e| e.time)
     }
 
     /// Returns the number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.entries.len()
     }
 
     /// Returns `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.entries.is_empty()
+    }
+
+    /// Moves `entries[i]` up until its parent's key is smaller.
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.entries[parent].key() <= self.entries[i].key() {
+                break;
+            }
+            self.entries.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    /// Moves `entries[i]` down below any smaller-keyed child.
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.entries.len();
+        loop {
+            let left = 2 * i + 1;
+            if left >= n {
+                break;
+            }
+            let right = left + 1;
+            let smallest_child =
+                if right < n && self.entries[right].key() < self.entries[left].key() {
+                    right
+                } else {
+                    left
+                };
+            if self.entries[i].key() <= self.entries[smallest_child].key() {
+                break;
+            }
+            self.entries.swap(i, smallest_child);
+            i = smallest_child;
+        }
     }
 }
 
@@ -177,5 +216,61 @@ mod tests {
         q.push(SimTime::from_ns(15), "c");
         assert_eq!(q.pop().unwrap().1, "c");
         assert_eq!(q.pop().unwrap().1, "b");
+    }
+
+    #[test]
+    fn index_heap_matches_stable_sort_under_stress() {
+        // The hand-rolled heap must drain in exactly the order a stable
+        // sort by time would produce — times chosen from a small range so
+        // ties are frequent and the seq tie-break carries the test.
+        let mut rng = crate::DetRng::new(7);
+        let mut q = EventQueue::new();
+        let mut reference: Vec<(u64, usize)> = Vec::new();
+        for i in 0..5000 {
+            let t = rng.below(64);
+            q.push(SimTime::from_ns(t), i);
+            reference.push((t, i));
+        }
+        reference.sort_by_key(|&(t, _)| t); // stable: preserves insertion order on ties
+        let drained: Vec<(u64, usize)> = std::iter::from_fn(|| q.pop())
+            .map(|(t, e)| (t.as_ns(), e))
+            .collect();
+        assert_eq!(drained, reference);
+    }
+
+    #[test]
+    fn tie_break_survives_pop_push_churn_mid_tie() {
+        // Popping part of a tie group, pushing more events at the same
+        // instant, then draining must keep global insertion order within
+        // the tie — the sequence counter is queue-global, not per-push.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ns(5);
+        q.push(t, 0);
+        q.push(t, 1);
+        assert_eq!(q.pop().unwrap().1, 0);
+        q.push(t, 2);
+        q.push(SimTime::from_ns(1), 99);
+        q.push(t, 3);
+        assert_eq!(q.pop().unwrap().1, 99);
+        assert_eq!(
+            std::iter::from_fn(|| q.pop())
+                .map(|(_, e)| e)
+                .collect::<Vec<_>>(),
+            [1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn len_tracks_push_pop_cycles() {
+        let mut q = EventQueue::new();
+        for i in 0..10u64 {
+            q.push(SimTime::from_ns(10 - i), i);
+        }
+        assert_eq!(q.len(), 10);
+        for expect in 1..=10u64 {
+            assert_eq!(q.pop().unwrap().0, SimTime::from_ns(expect));
+        }
+        assert!(q.pop().is_none());
+        assert_eq!(q.len(), 0);
     }
 }

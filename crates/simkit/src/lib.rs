@@ -31,6 +31,8 @@
 //! assert_eq!((t.as_ns(), ev), (5, "a"));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod event;
 pub mod link;
 pub mod queue;

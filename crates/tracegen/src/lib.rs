@@ -28,6 +28,8 @@
 //! assert_eq!(trace.total_lookups(), 2 * 16 * 4 * 8);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod analysis;
 pub mod dist;
 pub mod trace;

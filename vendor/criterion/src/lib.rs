@@ -1,111 +1,374 @@
 //! Minimal in-tree stand-in for the subset of the `criterion` bench
 //! harness this workspace uses, so that a fully offline build needs no
-//! crates.io access. It times each benchmark with `std::time::Instant`
-//! and prints a mean ns/iter — no statistics, plots, or baselines.
+//! crates.io access.
 //!
-//! If the build environment gains network access, this crate can be
-//! deleted and the workspace pointed back at the real `criterion`
-//! without any source changes.
+//! Unlike the original fixed-iteration shim, this version mirrors real
+//! criterion's *time-based* sampling: each benchmark warms up for
+//! `--warm-up-time` seconds, estimates the per-iteration cost, then
+//! spreads `--sample-size` timed samples over `--measurement-time`
+//! seconds. Besides the human-readable `ns/iter` lines it records every
+//! result and, at the end of each bench target, writes
+//!
+//! * a per-target fragment under `target/bench-parts/<target>.json`, and
+//! * the merged machine-readable summary `BENCH_sim.json` at the
+//!   workspace root (override the path with the `BENCH_SIM_JSON`
+//!   environment variable),
+//!
+//! which is the artifact PERFORMANCE.md documents and CI uploads. If the
+//! build environment gains network access, this crate can be deleted and
+//! the workspace pointed back at the real `criterion` without source
+//! changes — `BENCH_sim.json` would then need a small post-processing
+//! step over criterion's `target/criterion/**/estimates.json` instead.
 
 #![deny(missing_docs)]
 
-use std::time::Instant;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Opaque-to-the-optimizer identity, mirroring `criterion::black_box`.
 pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
 }
 
-/// Per-benchmark timing driver handed to `bench_function` closures.
-pub struct Bencher {
+/// One finished benchmark: identifier plus timing statistics.
+#[derive(Debug, Clone)]
+struct BenchRecord {
+    id: String,
+    mean_ns: f64,
+    min_sample_ns: f64,
+    max_sample_ns: f64,
+    iters: u64,
     samples: usize,
 }
 
+/// Results accumulated across every `Criterion` instance in the process
+/// (a bench target may declare several `criterion_group!`s, each of
+/// which constructs its own `Criterion`).
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Per-benchmark timing driver handed to `bench_function` closures.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    timing: Option<(f64, f64, f64, u64)>,
+}
+
 impl Bencher {
-    /// Times `f` over a fixed number of iterations (after one warmup
-    /// iteration) and records the mean.
+    /// Times `f` with criterion-style time-based sampling: warm up,
+    /// estimate the per-iteration cost, then record `samples` timed
+    /// batches sized to fill the measurement window.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        black_box(f()); // warmup
-        let start = Instant::now();
-        for _ in 0..self.samples {
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        loop {
             black_box(f());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
         }
-        let elapsed = start.elapsed();
-        let per_iter = elapsed.as_nanos() / self.samples.max(1) as u128;
-        println!("    {per_iter} ns/iter ({} iters)", self.samples);
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+        let budget_ns = self.measurement.as_nanos() as f64;
+        let per_sample = ((budget_ns / self.samples as f64 / est_ns).ceil() as u64).max(1);
+
+        let mut total_ns = 0u128;
+        let mut total_iters = 0u64;
+        let mut min_ns = f64::INFINITY;
+        let mut max_ns = 0.0f64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_nanos();
+            total_ns += elapsed;
+            total_iters += per_sample;
+            let sample_mean = elapsed as f64 / per_sample as f64;
+            min_ns = min_ns.min(sample_mean);
+            max_ns = max_ns.max(sample_mean);
+        }
+        let mean = total_ns as f64 / total_iters as f64;
+        self.timing = Some((mean, min_ns, max_ns, total_iters));
+        println!(
+            "    {:.1} ns/iter (min {:.1}, max {:.1}; {} iters over {} samples)",
+            mean, min_ns, max_ns, total_iters, self.samples
+        );
     }
 }
 
 /// Top-level harness state, mirroring `criterion::Criterion`.
-#[derive(Default)]
 pub struct Criterion {
     sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(500),
+            filter: None,
+        }
+    }
 }
 
 impl Criterion {
-    /// Parses command-line configuration (accepted and ignored here, so
-    /// `cargo bench -- <filter>` does not error out).
+    /// Parses the benchmark command line. Supported (all optional):
+    /// `--warm-up-time <secs>`, `--measurement-time <secs>`,
+    /// `--sample-size <n>`, and a positional substring filter. Flags the
+    /// real criterion accepts but this shim does not implement (and
+    /// cargo's own `--bench`) are ignored rather than fatal.
     pub fn configure_from_args(mut self) -> Self {
-        self.sample_size = 10;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--warm-up-time" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse::<f64>().ok()) {
+                        self.warm_up = Duration::from_secs_f64(v.max(0.001));
+                    }
+                }
+                "--measurement-time" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse::<f64>().ok()) {
+                        self.measurement = Duration::from_secs_f64(v.max(0.001));
+                    }
+                }
+                "--sample-size" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse::<usize>().ok()) {
+                        self.sample_size = v.max(1);
+                    }
+                }
+                "--bench" | "--nocapture" | "--quiet" => {}
+                // Value-taking criterion flags this shim does not
+                // implement: consume their value too, so it is not
+                // misread as a positional filter (which would silently
+                // skip every benchmark).
+                "--save-baseline"
+                | "--baseline"
+                | "--baseline-lenient"
+                | "--load-baseline"
+                | "--profile-time"
+                | "--output-format"
+                | "--color"
+                | "--colour"
+                | "--plotting-backend"
+                | "--significance-level"
+                | "--noise-threshold"
+                | "--confidence-level"
+                | "--nresamples"
+                | "--format"
+                | "--logfile" => {
+                    let _ = args.next();
+                }
+                flag if flag.starts_with('-') => {} // unimplemented valueless flag
+                filter => self.filter = Some(filter.to_string()),
+            }
+        }
         self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, samples: usize, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        println!("bench {id}");
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            samples,
+            timing: None,
+        };
+        f(&mut b);
+        if let Some((mean_ns, min_sample_ns, max_sample_ns, iters)) = b.timing {
+            RESULTS.lock().expect("results lock").push(BenchRecord {
+                id,
+                mean_ns,
+                min_sample_ns,
+                max_sample_ns,
+                iters,
+                samples,
+            });
+        }
     }
 
     /// Runs a single named benchmark.
     pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(
         &mut self,
         name: N,
-        mut f: F,
+        f: F,
     ) -> &mut Self {
-        println!("bench {}", name.as_ref());
-        let mut b = Bencher {
-            samples: self.sample_size.max(1),
-        };
-        f(&mut b);
+        self.run_one(name.as_ref().to_string(), self.sample_size, f);
         self
     }
 
     /// Opens a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        println!("group {name}");
         BenchmarkGroup {
+            name: name.to_string(),
             parent: self,
             sample_size: None,
         }
     }
 
-    /// Final bookkeeping after all groups run (no-op here).
-    pub fn final_summary(&mut self) {}
+    /// Writes the per-target fragment and re-merges `BENCH_sim.json`
+    /// from every fragment present. Called by `criterion_group!`; safe
+    /// to call repeatedly (each call rewrites with everything recorded
+    /// so far).
+    ///
+    /// Filtered runs (and runs that recorded nothing) leave the
+    /// recorded artifact untouched: a fragment always represents the
+    /// target's *complete* bench list, so a partial run must not
+    /// overwrite it.
+    pub fn final_summary(&mut self) {
+        if self.filter.is_some() {
+            println!("(filtered run: BENCH_sim.json left unchanged)");
+            return;
+        }
+        let Some(root) = workspace_root() else {
+            return;
+        };
+        let results = RESULTS.lock().expect("results lock");
+        if results.is_empty() {
+            return;
+        }
+        let target = bench_target_name();
+        let parts_dir = root.join("target").join("bench-parts");
+        if std::fs::create_dir_all(&parts_dir).is_err() {
+            return;
+        }
+        let mut frag = String::from("[");
+        for (i, r) in results.iter().enumerate() {
+            if i > 0 {
+                frag.push(',');
+            }
+            frag.push_str(&format!(
+                "\n    {{\"id\": \"{}\", \"mean_ns\": {:.2}, \"min_sample_ns\": {:.2}, \
+                 \"max_sample_ns\": {:.2}, \"iters\": {}, \"samples\": {}}}",
+                escape(&r.id),
+                r.mean_ns,
+                r.min_sample_ns,
+                r.max_sample_ns,
+                r.iters,
+                r.samples
+            ));
+        }
+        frag.push_str("\n  ]");
+        let _ = std::fs::write(parts_dir.join(format!("{target}.json")), &frag);
+        merge_bench_json(&root, &parts_dir);
+    }
 }
 
 /// A named collection of benchmarks sharing configuration.
 pub struct BenchmarkGroup<'a> {
+    name: String,
     parent: &'a mut Criterion,
     sample_size: Option<usize>,
 }
 
 impl<'a> BenchmarkGroup<'a> {
-    /// Overrides the number of timed iterations for this group.
+    /// Overrides the number of recorded samples for this group.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = Some(n);
+        self.sample_size = Some(n.max(1));
         self
     }
 
-    /// Runs a named benchmark inside the group.
+    /// Runs a named benchmark inside the group (id `group/name`).
     pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(
         &mut self,
         name: N,
-        mut f: F,
+        f: F,
     ) -> &mut Self {
-        println!("  bench {}", name.as_ref());
-        let mut b = Bencher {
-            samples: self.sample_size.unwrap_or(self.parent.sample_size).max(1),
-        };
-        f(&mut b);
+        let id = format!("{}/{}", self.name, name.as_ref());
+        let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+        self.parent.run_one(id, samples, f);
         self
     }
 
     /// Closes the group (no-op here).
     pub fn finish(self) {}
+}
+
+/// Escapes the two JSON-special characters bench ids could contain.
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// The workspace root: the nearest ancestor of the current directory
+/// holding a `Cargo.lock` (cargo runs bench binaries from the package
+/// directory, whose workspace lock file lives at the root).
+fn workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.lock").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// This bench target's name, recovered from the executable file stem by
+/// stripping cargo's trailing `-<hash>` disambiguator.
+fn bench_target_name() -> String {
+    let exe = std::env::current_exe().unwrap_or_default();
+    let stem = exe
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("unknown")
+        .to_string();
+    match stem.rsplit_once('-') {
+        Some((name, hash)) if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            name.to_string()
+        }
+        _ => stem,
+    }
+}
+
+/// Rebuilds `BENCH_sim.json` by embedding every fragment verbatim. The
+/// fragments are this module's own output, so textual embedding yields
+/// well-formed JSON without needing a parser.
+fn merge_bench_json(root: &Path, parts_dir: &Path) {
+    let mut parts: Vec<(String, String)> = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(parts_dir) {
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "json") {
+                if let (Some(stem), Ok(body)) = (
+                    path.file_stem().and_then(|s| s.to_str()),
+                    std::fs::read_to_string(&path),
+                ) {
+                    parts.push((stem.to_string(), body));
+                }
+            }
+        }
+    }
+    parts.sort();
+    let mut out = String::from("{\n  \"schema\": 1,\n  \"unit\": \"ns_per_iter\",\n");
+    out.push_str(
+        "  \"note\": \"written by the vendored criterion stand-in; \
+         one key per bench target, merged from target/bench-parts/\",\n",
+    );
+    out.push_str("  \"targets\": {");
+    for (i, (name, body)) in parts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n  \"{}\": {}", escape(name), body));
+    }
+    out.push_str("\n  }\n}\n");
+    let dest = std::env::var_os("BENCH_SIM_JSON")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| root.join("BENCH_sim.json"));
+    if std::fs::write(&dest, out).is_ok() {
+        println!("-> wrote {}", dest.display());
+    }
 }
 
 /// Declares a benchmark group function, mirroring
