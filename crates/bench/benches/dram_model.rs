@@ -36,7 +36,7 @@ fn bench_dram(c: &mut Criterion) {
 }
 
 fn bench_bank(c: &mut Criterion) {
-    let t = DramTimings::ddr5_4800();
+    let t = DramTimings::ddr5_4800().durations();
     let mut g = c.benchmark_group("bank_state");
     g.bench_function("row_hit", |b| {
         let mut bank = BankState::new();
@@ -65,7 +65,7 @@ fn bench_bank(c: &mut Criterion) {
 }
 
 fn bench_channel(c: &mut Criterion) {
-    let t = DramTimings::ddr5_4800();
+    let t = DramTimings::ddr5_4800().durations();
     let org = DramOrg {
         channels: 1,
         ..DramOrg::table2_local()

@@ -1,0 +1,136 @@
+//! `bench-compare` — diffs a fresh `BENCH_sim.json` against a baseline.
+//!
+//! ```text
+//! bench_compare <baseline.json> <fresh.json> [--threshold PCT] [--strict]
+//! ```
+//!
+//! Prints a per-benchmark table of mean-ns deltas (positive = slower),
+//! flags regressions beyond the threshold (default 20 %), and lists
+//! benchmarks that appear in only one file. Exit status is 0 unless
+//! `--strict` is given *and* at least one regression crossed the
+//! threshold — CI runs it warn-only, so a noisy runner cannot fail the
+//! build, while a local `--strict` run gates a perf PR.
+
+use std::collections::BTreeMap;
+
+/// One benchmark's mean, keyed by `target :: id`.
+type Means = BTreeMap<(String, String), f64>;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut paths: Vec<String> = Vec::new();
+    let mut threshold = 20.0f64;
+    let mut strict = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let v = args.next().unwrap_or_else(|| die("--threshold needs PCT"));
+                threshold = v
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("--threshold: bad value {v:?}")));
+            }
+            "--strict" => strict = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench_compare <baseline.json> <fresh.json> \
+                     [--threshold PCT] [--strict]"
+                );
+                return;
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+    let [baseline_path, fresh_path] = paths.as_slice() else {
+        die("expected exactly two paths: <baseline.json> <fresh.json>")
+    };
+
+    let baseline = load_means(baseline_path);
+    let fresh = load_means(fresh_path);
+
+    println!("bench-compare: {baseline_path} (baseline) vs {fresh_path} (fresh)");
+    println!(
+        "{:<44} {:>12} {:>12} {:>9}",
+        "benchmark", "base ns", "fresh ns", "delta"
+    );
+    let mut regressions = 0usize;
+    for ((target, id), base_ns) in &baseline {
+        let Some(fresh_ns) = fresh.get(&(target.clone(), id.clone())) else {
+            println!(
+                "{:<44} {:>12.1} {:>12} {:>9}",
+                format!("{target}::{id}"),
+                base_ns,
+                "-",
+                "gone"
+            );
+            continue;
+        };
+        let delta_pct = (fresh_ns - base_ns) / base_ns * 100.0;
+        let flag = if delta_pct > threshold {
+            regressions += 1;
+            "  <-- REGRESSION"
+        } else {
+            ""
+        };
+        println!(
+            "{:<44} {:>12.1} {:>12.1} {:>+8.1}%{}",
+            format!("{target}::{id}"),
+            base_ns,
+            fresh_ns,
+            delta_pct,
+            flag
+        );
+    }
+    for (target, id) in fresh.keys() {
+        if !baseline.contains_key(&(target.clone(), id.clone())) {
+            println!(
+                "{:<44} {:>12} {:>12} {:>9}",
+                format!("{target}::{id}"),
+                "-",
+                "",
+                "new"
+            );
+        }
+    }
+    if regressions > 0 {
+        println!("\n{regressions} benchmark(s) regressed more than {threshold:.0}%");
+        if strict {
+            std::process::exit(1);
+        }
+    } else {
+        println!("\nno regressions beyond {threshold:.0}%");
+    }
+}
+
+/// Loads `{target: [{id, mean_ns, ...}]}` means from a `BENCH_sim.json`.
+fn load_means(path: &str) -> Means {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let doc =
+        serde_json::from_str(&text).unwrap_or_else(|e| die(&format!("cannot parse {path}: {e}")));
+    let mut out = Means::new();
+    let Some(targets) = doc.get("targets").and_then(|t| t.as_object()) else {
+        die(&format!("{path}: missing \"targets\" object"))
+    };
+    for (target, entries) in targets.iter() {
+        let Some(list) = entries.as_array() else {
+            die(&format!("{path}: target {target:?} is not an array"))
+        };
+        for entry in list {
+            let id = entry
+                .get("id")
+                .and_then(|v| v.as_str())
+                .unwrap_or_else(|| die(&format!("{path}: bench entry without id")));
+            let mean = entry
+                .get("mean_ns")
+                .and_then(|v| v.as_f64())
+                .unwrap_or_else(|| die(&format!("{path}: {id}: missing mean_ns")));
+            out.insert((target.clone(), id.to_string()), mean);
+        }
+    }
+    out
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("bench-compare: {msg}");
+    std::process::exit(2)
+}

@@ -47,25 +47,67 @@ fn main() {
 
     match rest.first().map(String::as_str) {
         None | Some("all") => {
+            let mut table: Vec<(&str, pifs_bench::runner::RunStats)> = Vec::new();
             for scenario in registry().into_iter().filter(|s| s.in_all()) {
-                reproduce(&runner, scenario);
+                table.push((scenario.id(), reproduce(&runner, scenario)));
             }
+            print_stats_table(&table, runner.threads);
         }
         Some("list") => print_list(),
         Some("sweep") => sweep(&runner, &rest[1..]),
         Some(id) => match pifs_bench::scenario::find(id) {
-            Some(scenario) => reproduce(&runner, scenario),
+            Some(scenario) => {
+                reproduce(&runner, scenario);
+            }
             None => die(&format!("unknown experiment id {id:?}\n\n{}", usage())),
         },
     }
 }
 
 /// Runs one registered scenario's default (paper) grid and emits the raw
-/// rows plus the summarized figure.
-fn reproduce(runner: &SweepRunner, scenario: &dyn Scenario) {
-    let rows = runner.run(scenario);
+/// rows plus the summarized figure; returns the sweep's runtime stats.
+fn reproduce(runner: &SweepRunner, scenario: &dyn Scenario) -> pifs_bench::runner::RunStats {
+    let (rows, stats) = runner.run_stats(scenario);
     emit_jsonl(scenario.id(), &rows);
     emit(scenario.id(), scenario.title(), &scenario.summarize(&rows));
+    stats
+}
+
+/// Prints the per-scenario wall-time / events-per-second summary of an
+/// `all` run. Goes to stderr: wall times vary run to run, while stdout
+/// stays byte-identical for any thread count (the determinism bar the
+/// golden tests enforce).
+fn print_stats_table(table: &[(&str, pifs_bench::runner::RunStats)], threads: usize) {
+    eprintln!("\n== repro -- all: runtime summary ({threads} threads) ==");
+    eprintln!(
+        "{:10} {:>7} {:>7} {:>10} {:>14} {:>12}",
+        "scenario", "points", "tasks", "wall", "sim events", "events/sec"
+    );
+    let mut wall_total = std::time::Duration::ZERO;
+    let mut events_total = 0u64;
+    for (id, s) in table {
+        wall_total += s.wall;
+        events_total += s.events;
+        eprintln!(
+            "{:10} {:>7} {:>7} {:>9.2?} {:>14} {:>12.3e}",
+            id,
+            s.points,
+            s.tasks,
+            s.wall,
+            s.events,
+            s.events_per_sec()
+        );
+    }
+    let total_secs = wall_total.as_secs_f64();
+    let rate = if total_secs > 0.0 {
+        events_total as f64 / total_secs
+    } else {
+        0.0
+    };
+    eprintln!(
+        "{:10} {:>7} {:>7} {:>9.2?} {:>14} {:>12.3e}",
+        "total", "", "", wall_total, events_total, rate
+    );
 }
 
 /// `repro -- sweep <id> --param k=v1,v2,...`: rebuilds the scenario's

@@ -335,6 +335,35 @@ pub trait Scenario: Sync {
     /// regardless of which worker thread runs it.
     fn run(&self, point: &Point) -> Value;
 
+    /// Number of *independent* simulation units inside one point
+    /// (default 1 = the point is opaque). A point may only be split
+    /// where its units share no simulator state — e.g. a measured run
+    /// and the baseline run it normalizes against — because each part
+    /// may execute on a different worker. Bags inside one timing
+    /// simulation are never independent (they contend on DRAM banks,
+    /// links and caches), so a single simulation is always one part.
+    fn parts(&self, point: &Point) -> usize {
+        let _ = point;
+        1
+    }
+
+    /// Runs one part of a split point (`part < self.parts(point)`).
+    /// Like [`Scenario::run`], must be pure. The default forwards the
+    /// sole part to `run`.
+    fn run_part(&self, point: &Point, part: usize) -> Value {
+        assert_eq!(part, 0, "scenario did not declare parts");
+        self.run(point)
+    }
+
+    /// Folds the per-part values — always in part order, regardless of
+    /// which workers ran them — into the point's row payload. Must
+    /// produce exactly what [`Scenario::run`] produces for the point.
+    fn merge_parts(&self, point: &Point, mut values: Vec<Value>) -> Value {
+        let _ = point;
+        assert_eq!(values.len(), 1, "scenario did not declare parts");
+        values.pop().expect("one part")
+    }
+
     /// Folds rows (in grid order) into the figure-shaped JSON.
     fn summarize(&self, rows: &[ResultRow]) -> Value;
 
@@ -354,6 +383,20 @@ pub trait Scenario: Sync {
     }
 }
 
+/// A point decomposition for [`GridScenario`]s whose points contain
+/// several independent simulations: `count` parts per point, each run by
+/// `run`, folded by `merge` (in part order). The sweep runner schedules
+/// parts as individual work-stealing tasks, so figures with fewer grid
+/// points than worker threads still use every core.
+pub struct PointParts {
+    /// Parts in `point` (≥ 1).
+    pub count: fn(&Point) -> usize,
+    /// Runs part `part` of `point`.
+    pub run: fn(&Point, usize) -> Value,
+    /// Merges the part values (in part order) into the row payload.
+    pub merge: fn(&Point, Vec<Value>) -> Value,
+}
+
 /// A [`Scenario`] assembled from plain function pointers — the concrete
 /// shape every registry entry uses.
 pub struct GridScenario {
@@ -368,6 +411,8 @@ pub struct GridScenario {
     pub points: Option<fn() -> Vec<Point>>,
     /// See [`Scenario::run`].
     pub run: fn(&Point) -> Value,
+    /// Optional sub-point decomposition (see [`PointParts`]).
+    pub parts: Option<PointParts>,
     /// See [`Scenario::summarize`].
     pub summarize: fn(&[ResultRow]) -> Value,
     /// See [`Scenario::accepts_free_params`].
@@ -394,6 +439,24 @@ impl Scenario for GridScenario {
     }
     fn run(&self, point: &Point) -> Value {
         (self.run)(point)
+    }
+    fn parts(&self, point: &Point) -> usize {
+        self.parts.as_ref().map_or(1, |p| (p.count)(point).max(1))
+    }
+    fn run_part(&self, point: &Point, part: usize) -> Value {
+        match &self.parts {
+            Some(p) => (p.run)(point, part),
+            None => {
+                assert_eq!(part, 0, "scenario did not declare parts");
+                (self.run)(point)
+            }
+        }
+    }
+    fn merge_parts(&self, point: &Point, mut values: Vec<Value>) -> Value {
+        match &self.parts {
+            Some(p) => (p.merge)(point, values),
+            None => values.pop().expect("one part"),
+        }
     }
     fn summarize(&self, rows: &[ResultRow]) -> Value {
         (self.summarize)(rows)

@@ -40,6 +40,7 @@ pub static TABLE1: GridScenario = GridScenario {
             "row_bytes": m.row_bytes(),
         })
     },
+    parts: None,
     summarize: rows_array,
     free_params: false,
     in_all: true,
@@ -82,6 +83,7 @@ pub static TABLE2: GridScenario = GridScenario {
             }),
         })
     },
+    parts: None,
     summarize: single,
     free_params: false,
     in_all: true,
@@ -119,6 +121,7 @@ pub static FIG16: GridScenario = GridScenario {
         }
         Value::Object(entry)
     },
+    parts: None,
     summarize: rows_array,
     free_params: false,
     in_all: true,
@@ -155,6 +158,7 @@ pub static FIG17: GridScenario = GridScenario {
             "performance_per_watt": ppw,
         })
     },
+    parts: None,
     summarize: rows_array,
     free_params: false,
     in_all: true,
@@ -179,6 +183,7 @@ pub static FIG18: GridScenario = GridScenario {
             "area_ratio_vs_recnmp": hw.area_ratio_vs_recnmp(),
         })
     },
+    parts: None,
     summarize: single,
     free_params: false,
     in_all: true,
@@ -200,6 +205,7 @@ pub static ENERGY: GridScenario = GridScenario {
             "saving_frac": model.saving_frac(&m),
         })
     },
+    parts: None,
     summarize: |rows| {
         let avg: f64 = rows
             .iter()

@@ -74,6 +74,7 @@ pub static CUSTOM: GridScenario = GridScenario {
             "checksum": met.checksum,
         })
     },
+    parts: None,
     summarize: |rows: &[ResultRow]| {
         Value::Array(
             rows.iter()

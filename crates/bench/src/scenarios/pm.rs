@@ -43,6 +43,7 @@ pub static FIG13A: GridScenario = GridScenario {
             "migration_cost": met.migration_cost_frac(),
         })
     },
+    parts: None,
     summarize: |rows| {
         let mut out = Vec::new();
         for chunk in rows.chunks(2) {
@@ -103,6 +104,7 @@ pub static FIG13B: GridScenario = GridScenario {
         let met = run_with(cfg, &trace);
         json!({ "accesses": met.device_accesses })
     },
+    parts: None,
     summarize: |rows| {
         let accesses = |row: &ResultRow| -> Vec<u64> {
             row.data
@@ -187,6 +189,7 @@ pub static FIG13D: GridScenario = GridScenario {
             "migration_cost": met.migration_cost_frac(),
         })
     },
+    parts: None,
     summarize: |rows| {
         let out: Vec<Value> = rows
             .iter()

@@ -32,6 +32,7 @@ pub static FIG13C: GridScenario = GridScenario {
         let trace = std_trace(&m, meta_distribution(), batch, 6);
         json!({ "total_ns": run_with(cfg, &trace).total_ns })
     },
+    parts: None,
     summarize: |rows| {
         let mut out = Vec::new();
         let switch_counts = [1u16, 2, 4, 8, 16, 32];
@@ -88,6 +89,7 @@ pub static FIG14: GridScenario = GridScenario {
             })
         }
     },
+    parts: None,
     summarize: |rows| {
         let mut out = Vec::new();
         let cpu = CostModel::epyc_9654();
@@ -197,6 +199,7 @@ pub static FIG15: GridScenario = GridScenario {
             json!({ "total_ns": met.total_ns, "hit_ratio": met.buffer_hit_ratio() })
         }
     },
+    parts: None,
     summarize: |rows| {
         let mut out = Vec::new();
         for chunk in rows.chunks(16) {

@@ -38,6 +38,7 @@ pub static FIG12A: GridScenario = GridScenario {
         let met = run_std(scale_buffers(p.scheme().config(m)));
         json!({ "total_ns": met.total_ns })
     },
+    parts: None,
     summarize: |rows| {
         let mut per_model = serde_json::Map::new();
         let mut ratios = serde_json::Map::new();
@@ -93,6 +94,7 @@ pub static FIG12B: GridScenario = GridScenario {
         let met = run_with(scale_buffers(p.scheme().config(m)), &trace);
         json!({ "total_ns": met.total_ns })
     },
+    parts: None,
     summarize: |rows| {
         let mut out = Vec::new();
         for chunk in rows.chunks(Scheme::all().len()) {
@@ -130,6 +132,7 @@ pub static FIG12C: GridScenario = GridScenario {
         cfg.n_devices = p.u64("devices") as u16;
         json!({ "total_ns": run_std(cfg).total_ns })
     },
+    parts: None,
     summarize: |rows| {
         let mut out = Vec::new();
         for chunk in rows.chunks(Scheme::all().len()) {
@@ -170,6 +173,7 @@ pub static FIG12D: GridScenario = GridScenario {
         cfg.local_capacity_frac = dram_frac(p.get("dram"));
         json!({ "total_ns": run_std(cfg).total_ns })
     },
+    parts: None,
     summarize: |rows| {
         let mut out = Vec::new();
         for chunk in rows.chunks(Scheme::all().len()) {
@@ -251,6 +255,7 @@ pub static FIG12E: GridScenario = GridScenario {
             .1;
         json!({ "total_ns": run_std(cfg).total_ns })
     },
+    parts: None,
     summarize: |rows| {
         let mut per_model = serde_json::Map::new();
         for chunk in rows.chunks(5) {

@@ -8,7 +8,7 @@
 //! finite capacity — when `CapacityCounter` hits the limit the switch
 //! back-pressures upstream modules.
 
-use std::collections::HashMap;
+use simkit::hash::FastMap;
 
 /// Globally unique cluster identity. The 9-bit wire `sumtag` is an index
 /// into the ACR; the simulation widens it so concurrently live clusters
@@ -64,7 +64,7 @@ struct Cluster {
 /// ```
 #[derive(Debug, Clone)]
 pub struct AccumulateLogic {
-    clusters: HashMap<ClusterId, Cluster>,
+    clusters: FastMap<ClusterId, Cluster>,
     capacity: usize,
     backpressure_events: u64,
     completed: u64,
@@ -81,7 +81,7 @@ impl AccumulateLogic {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "ACR capacity must be positive");
         AccumulateLogic {
-            clusters: HashMap::new(),
+            clusters: FastMap::default(),
             capacity,
             backpressure_events: 0,
             completed: 0,
@@ -147,6 +147,44 @@ impl AccumulateLogic {
             *a += weight * r;
         }
         cluster.remaining -= 1;
+        if cluster.remaining == 0 {
+            let c = self.clusters.remove(&id).expect("cluster present");
+            self.completed += 1;
+            Some(CompletedCluster {
+                id,
+                result_addr: c.result_addr,
+                acc: c.acc,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Decrements a cluster's `SumCandidateCounter` by `n` without
+    /// touching the accumulator — the bookkeeping-only drain the engine
+    /// uses when the arithmetic already happened elsewhere (the forward
+    /// controller's merge) and the ACR result would be discarded.
+    /// Completion bookkeeping is identical to `n` [`Self::on_row`] calls
+    /// with an all-zero row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster is unknown or `n` exceeds the remaining
+    /// candidate count.
+    pub fn drain_rows(&mut self, id: ClusterId, n: u32) -> Option<CompletedCluster> {
+        if n == 0 {
+            return None;
+        }
+        let cluster = self
+            .clusters
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("drain for unconfigured cluster {id:?}"));
+        assert!(
+            n <= cluster.remaining,
+            "drain of {n} exceeds {} remaining candidates",
+            cluster.remaining
+        );
+        cluster.remaining -= n;
         if cluster.remaining == 0 {
             let c = self.clusters.remove(&id).expect("cluster present");
             self.completed += 1;

@@ -9,7 +9,9 @@
 //! reuse better than recency (Fig 15).
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
+
+use simkit::hash::FastMap;
 
 use simkit::SimDuration;
 
@@ -43,11 +45,11 @@ pub struct OnSwitchBuffer {
     capacity_rows: usize,
     capacity_bytes: u64,
     /// Resident rows → recency stamp (LRU) / insertion order (FIFO).
-    resident: HashMap<u64, u64>,
+    resident: FastMap<u64, u64>,
     /// FIFO order queue.
     fifo: VecDeque<u64>,
     /// HTR address profiler: frequency of *every* observed row.
-    profiler: HashMap<u64, u64>,
+    profiler: FastMap<u64, u64>,
     /// Lazy min-heap of `(rank, key)` eviction candidates, where rank is
     /// the profiled frequency (HTR) or the recency stamp (LRU). Ranks
     /// only ever grow, so a popped entry whose rank no longer matches the
@@ -77,9 +79,9 @@ impl OnSwitchBuffer {
             policy,
             capacity_rows,
             capacity_bytes,
-            resident: HashMap::new(),
+            resident: FastMap::default(),
             fifo: VecDeque::new(),
-            profiler: HashMap::new(),
+            profiler: FastMap::default(),
             coldest: BinaryHeap::new(),
             clock: 0,
             hits: 0,

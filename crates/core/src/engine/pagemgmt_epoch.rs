@@ -4,8 +4,6 @@
 
 #![deny(missing_docs)]
 
-use std::collections::HashMap;
-
 use cxlsim::Type3Device;
 use pagemgmt::{
     DeviceLoad, GlobalHotness, MigrationCostModel, PageId, PageTable, SpreadConfig, Tier,
@@ -25,7 +23,7 @@ pub(crate) struct EpochCtx<'a> {
     /// Cross-host page-hotness state.
     pub hotness: &'a mut GlobalHotness,
     /// Per-device page-access counts within this epoch.
-    pub epoch_dev_pages: &'a mut [HashMap<PageId, u64>],
+    pub epoch_dev_pages: &'a mut [simkit::hash::FastMap<PageId, u64>],
     /// Devices (read-only: load statistics).
     pub devices: &'a [Type3Device],
     /// Run metrics under construction.

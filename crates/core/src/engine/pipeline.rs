@@ -17,7 +17,7 @@
 
 #![deny(missing_docs)]
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use cxlsim::{M2sReq, SwitchId, Topology, Type3Device};
 use dlrm::EmbeddingTable;
@@ -60,7 +60,6 @@ pub(crate) struct BagScratch {
     instr_arrivals: Vec<SimTime>,
     by_switch: Vec<SwitchGroup>,
     sub_acc: Vec<f32>,
-    zero: Vec<f32>,
 }
 
 /// Mutable view over the system state a pipeline stage may touch.
@@ -90,7 +89,7 @@ pub(crate) struct EngineCtx<'a> {
     /// Cross-host page-hotness state.
     pub hotness: &'a mut GlobalHotness,
     /// Per-device page-access counts within the current PM epoch.
-    pub epoch_dev_pages: &'a mut [HashMap<PageId, u64>],
+    pub epoch_dev_pages: &'a mut [simkit::hash::FastMap<PageId, u64>],
     /// Run metrics under construction.
     pub metrics: &'a mut RunMetrics,
     /// Next ACR cluster id.
@@ -620,16 +619,12 @@ fn cxl_rows_switch_compute(ctx: &mut EngineCtx<'_>, bag: &mut BagState<'_>) -> (
 
     // Retire the cluster in the ACR by feeding the merged result as
     // bookkeeping (counts were tracked per arrival by the engine; the
-    // ACR holds the canonical counter).
+    // ACR holds the canonical counter — drained counter-only, since the
+    // merged arithmetic lives in the forward controller's result).
     let merged = merged_acc.expect("all sub-clusters reported");
-    // Drain the SumCandidateCounter with the reusable all-zero row.
-    bag.scratch.zero.clear();
-    bag.scratch.zero.resize(dim as usize, 0.0f32);
-    for _ in 0..bag.cxl.len() {
-        let _ = ctx.switches[local_sw_idx]
-            .acr
-            .on_row(cluster, &bag.scratch.zero, 1.0);
-    }
+    let _ = ctx.switches[local_sw_idx]
+        .acr
+        .drain_rows(cluster, bag.cxl.len() as u32);
     for (a, &v) in bag.acc.iter_mut().zip(&merged) {
         *a += v;
     }

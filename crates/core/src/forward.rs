@@ -9,7 +9,7 @@
 //! rows back. The local forward controller merges partials and releases
 //! the final result to the host only when every sub-cluster reported.
 
-use std::collections::HashMap;
+use simkit::hash::FastMap;
 
 use simkit::SimTime;
 
@@ -50,7 +50,7 @@ struct PendingCluster {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct ForwardController {
-    pending: HashMap<ClusterId, PendingCluster>,
+    pending: FastMap<ClusterId, PendingCluster>,
     merged: u64,
 }
 

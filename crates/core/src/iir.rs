@@ -7,7 +7,7 @@
 //! field." This module models exactly that address-keyed matching, with
 //! a bounded capacity so registry pressure is observable.
 
-use std::collections::HashMap;
+use simkit::hash::FastMap;
 
 use cxlsim::M2sReq;
 
@@ -30,7 +30,11 @@ use cxlsim::M2sReq;
 pub struct IngressRegistry {
     /// address → queued instructions at that address (duplicate row
     /// fetches to one address are legal and matched FIFO).
-    pending: HashMap<u64, Vec<M2sReq>>,
+    pending: FastMap<u64, Vec<M2sReq>>,
+    /// Recycled per-address queues: a registry entry is created and
+    /// consumed once per in-flight fetch, so without this slab every
+    /// register/match pair would allocate and free one `Vec`.
+    spare: Vec<Vec<M2sReq>>,
     count: usize,
     capacity: usize,
     high_water: usize,
@@ -45,7 +49,8 @@ impl IngressRegistry {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "IIR capacity must be positive");
         IngressRegistry {
-            pending: HashMap::new(),
+            pending: FastMap::default(),
+            spare: Vec::new(),
             count: 0,
             capacity,
             high_water: 0,
@@ -58,7 +63,11 @@ impl IngressRegistry {
         if self.count >= self.capacity {
             return Err(req);
         }
-        self.pending.entry(req.address).or_default().push(req);
+        let spare = &mut self.spare;
+        self.pending
+            .entry(req.address)
+            .or_insert_with(|| spare.pop().unwrap_or_default())
+            .push(req);
         self.count += 1;
         self.high_water = self.high_water.max(self.count);
         Ok(())
@@ -70,7 +79,9 @@ impl IngressRegistry {
         let queue = self.pending.get_mut(&address)?;
         let req = queue.remove(0);
         if queue.is_empty() {
-            self.pending.remove(&address);
+            let mut freed = self.pending.remove(&address).expect("entry present");
+            freed.clear();
+            self.spare.push(freed);
         }
         self.count -= 1;
         Some(req)

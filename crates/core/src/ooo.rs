@@ -8,7 +8,7 @@
 //! swap registers are all occupied, the intermediate result spills to the
 //! on-switch SRAM, costing two extra cycles.
 
-use std::collections::HashSet;
+use simkit::hash::FastSet;
 
 use simkit::{SimDuration, SimTime};
 
@@ -29,8 +29,8 @@ pub struct AccumEngine {
     swap_regs: usize,
     busy_until: SimTime,
     current: Option<ClusterId>,
-    parked: HashSet<ClusterId>,
-    completed: HashSet<ClusterId>,
+    parked: FastSet<ClusterId>,
+    completed: FastSet<ClusterId>,
     /// In-order stalls (pipeline drains on cluster switches).
     pub stalls: u64,
     /// Spills to SRAM when swap registers ran out.
@@ -57,8 +57,8 @@ impl AccumEngine {
             swap_regs,
             busy_until: SimTime::ZERO,
             current: None,
-            parked: HashSet::new(),
-            completed: HashSet::new(),
+            parked: FastSet::default(),
+            completed: FastSet::default(),
             stalls: 0,
             sram_spills: 0,
             rows_processed: 0,

@@ -18,8 +18,6 @@
 //! | RecNMP | Dimm | local+spill | DIMM cache | — | — |
 //! | PIFS-Rec | Switch | managed | HTR | OoO | yes |
 
-use std::collections::HashMap;
-
 use dlrm::{query, EmbeddingTable};
 use pagemgmt::{GlobalHotness, PageId, PageTable, TierCapacities};
 use simkit::SimTime;
@@ -46,7 +44,7 @@ pub struct SlsSystem {
     pm_epoch: u64,
     metrics: RunMetrics,
     /// Per-device page-access counts within the current PM epoch.
-    epoch_dev_pages: Vec<HashMap<PageId, u64>>,
+    epoch_dev_pages: Vec<simkit::hash::FastMap<PageId, u64>>,
     /// Reusable per-bag pipeline buffers (allocation-free steady state).
     scratch: BagScratch,
 }
@@ -99,7 +97,7 @@ impl SlsSystem {
             next_cluster: 0,
             pm_epoch: 0,
             metrics: RunMetrics::default(),
-            epoch_dev_pages: vec![HashMap::new(); n_devices],
+            epoch_dev_pages: vec![simkit::hash::FastMap::default(); n_devices],
             scratch: BagScratch::default(),
         }
     }

@@ -7,7 +7,7 @@
 //! device-bias so the switch can stream rows without host round trips
 //! (§IV-A1), and flips pages back during migration (§IV-D).
 
-use std::collections::HashMap;
+use simkit::hash::FastMap;
 
 /// Coherence mode of a 4 KB region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -33,7 +33,7 @@ pub enum BiasMode {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct BiasTable {
-    entries: HashMap<u64, BiasMode>,
+    entries: FastMap<u64, BiasMode>,
     flips: u64,
 }
 

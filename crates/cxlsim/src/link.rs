@@ -75,6 +75,7 @@ impl FlexBusLink {
     /// Enqueues a transfer of `bytes`; returns delivery time at the far
     /// end. Transfers serialize, modeling flex-bus congestion.
     pub fn transfer(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        simkit::stats::record_events(1);
         self.inner.transfer(now, bytes)
     }
 
@@ -91,6 +92,7 @@ impl FlexBusLink {
         n: usize,
         out: &mut Vec<SimTime>,
     ) {
+        simkit::stats::record_events(n as u64);
         self.inner.transfer_batch_into(first, gap, bytes, n, out);
     }
 

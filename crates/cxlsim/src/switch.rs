@@ -7,7 +7,7 @@
 //! the data-plane costs: per-upstream-port FlexBus serialization and a
 //! fixed transit delay through the VCS.
 
-use std::collections::HashMap;
+use simkit::hash::FastMap;
 
 use simkit::{SimDuration, SimTime};
 
@@ -42,7 +42,7 @@ pub struct FabricSwitch {
     params: CxlParams,
     upstream: Vec<FlexBusLink>,
     /// FM endpoint binding: cacheID → downstream port.
-    bindings: HashMap<u16, PortId>,
+    bindings: FastMap<u16, PortId>,
     next_cache_id: u16,
     /// Whether this switch carries a PIFS process core (CNV bit, §IV-C2).
     has_process_core: bool,
@@ -57,7 +57,7 @@ impl FabricSwitch {
             upstream: (0..n_upstream.max(1))
                 .map(|_| FlexBusLink::new(&params))
                 .collect(),
-            bindings: HashMap::new(),
+            bindings: FastMap::default(),
             next_cache_id: 0,
             has_process_core: true,
         }
@@ -100,6 +100,7 @@ impl FabricSwitch {
 
     /// Adds VCS routing/arbitration transit to a message at `t`.
     pub fn transit(&self, t: SimTime) -> SimTime {
+        simkit::stats::record_events(1);
         t + SimDuration::from_ns(self.params.switch_transit_ns)
     }
 

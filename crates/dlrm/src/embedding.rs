@@ -1,10 +1,109 @@
-//! Embedding-table layout and procedural row values.
+//! Embedding-table layout, procedural row values, and the shared
+//! materialized row store.
 //!
 //! Production tables reach terabytes (§III), which a simulation cannot
-//! materialize. Rows are therefore *procedural*: `value(row, elem)` is a
-//! deterministic hash of (table, row, element), so any two compute sites
-//! (host, fabric switch, DIMM) can produce — and tests can verify —
+//! materialize. Row *values* are therefore procedural: `value(row, elem)`
+//! is a deterministic hash of (table, row, element), so any two compute
+//! sites (host, fabric switch, DIMM) can produce — and tests can verify —
 //! bit-identical SLS results without storing a single row.
+//!
+//! Recomputing that hash per element on every SLS fold is, however, the
+//! per-element cost on the accumulate hot path. Tables up to
+//! [`MATERIALIZE_CAP_BYTES`] therefore also carry a contiguous row-major
+//! `f32` backing store, filled once from the procedural function and
+//! shared process-wide (an `Arc` keyed by `(id, rows, dim)` — two tables
+//! with the same key have identical contents by construction, and
+//! concurrent sweep workers constructing the same model reuse one fill).
+//! [`EmbeddingTable::row`] then hands out `&[f32]` slices the SLS kernels
+//! fold with auto-vectorizable slice loops; tables beyond the cap (or
+//! built with [`EmbeddingTable::new_procedural`]) keep the per-element
+//! path. Both paths produce bit-identical sums: the store is filled from
+//! `value()` itself and the element-wise fold order is unchanged.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Largest table (in bytes of f32 payload) that gets a materialized
+/// backing store. Above this the table stays purely procedural:
+/// measured on the RMC4 grid, slice loads from a multi-hundred-MB store
+/// are slower than recomputing the procedural hash (the fold becomes
+/// memory-bound), so materialization is reserved for tables whose whole
+/// model stays cache-resident.
+pub const MATERIALIZE_CAP_BYTES: u64 = 2 << 20;
+
+/// Process-wide budget for the shared row store. Once the cached tables
+/// exceed this, further tables stay procedural instead of growing the
+/// cache (performance-only: results never depend on materialization).
+pub const STORE_BUDGET_BYTES: u64 = 512 << 20;
+
+/// The shared store: one filled row block per distinct `(id, rows, dim)`.
+struct RowStore {
+    blocks: HashMap<(u32, u64, u32), Arc<[f32]>>,
+    bytes: u64,
+}
+
+fn store() -> &'static Mutex<RowStore> {
+    static STORE: OnceLock<Mutex<RowStore>> = OnceLock::new();
+    STORE.get_or_init(|| {
+        Mutex::new(RowStore {
+            blocks: HashMap::new(),
+            bytes: 0,
+        })
+    })
+}
+
+/// Procedural value of element `elem` of row `row` of table `id`: a
+/// deterministic hash mapped into `[-1, 1)` with 2^-23 granularity so
+/// f32 holds it exactly (keeps cross-site accumulation bit-exact).
+#[inline]
+fn raw_value(id: u32, row: u64, elem: u32) -> f32 {
+    let mut h = (id as u64) << 48 ^ row.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ elem as u64;
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 33;
+    let mantissa = (h >> 41) as u32; // 23 bits
+    (mantissa as f32) * (2.0 / (1u32 << 23) as f32) - 1.0
+}
+
+/// Fetches (filling on first use) the shared row block for a table
+/// shape, or `None` when the shape is over the cap or the budget is
+/// exhausted.
+fn materialize(id: u32, rows: u64, dim: u32) -> Option<Arc<[f32]>> {
+    let bytes = rows * 4 * dim as u64;
+    if bytes > MATERIALIZE_CAP_BYTES {
+        return None;
+    }
+    {
+        let s = store().lock().expect("row store poisoned");
+        if let Some(block) = s.blocks.get(&(id, rows, dim)) {
+            return Some(Arc::clone(block));
+        }
+        if s.bytes + bytes > STORE_BUDGET_BYTES {
+            return None;
+        }
+    }
+    // Fill outside the lock so concurrent sweep workers materializing
+    // *different* shapes don't serialize on one fill. Two workers may
+    // race on the same shape; contents are a pure function of the key,
+    // so the loser just drops its duplicate block below.
+    let mut data = Vec::with_capacity((rows * dim as u64) as usize);
+    for row in 0..rows {
+        for elem in 0..dim {
+            data.push(raw_value(id, row, elem));
+        }
+    }
+    let block: Arc<[f32]> = data.into();
+    let mut s = store().lock().expect("row store poisoned");
+    if let Some(existing) = s.blocks.get(&(id, rows, dim)) {
+        return Some(Arc::clone(existing));
+    }
+    if s.bytes + bytes > STORE_BUDGET_BYTES {
+        return None;
+    }
+    s.bytes += bytes;
+    s.blocks.insert((id, rows, dim), Arc::clone(&block));
+    Some(block)
+}
 
 /// One embedding table: an address range plus procedural contents.
 ///
@@ -16,20 +115,51 @@
 /// let t = EmbeddingTable::new(0, 1024, 64, 0x1000);
 /// assert_eq!(t.row_bytes(), 256);
 /// assert_eq!(t.row_addr(2), 0x1000 + 512);
-/// // Values are deterministic.
+/// // Values are deterministic, and the materialized row agrees.
 /// assert_eq!(t.value(5, 3), t.value(5, 3));
+/// assert_eq!(t.row(5)[3], t.value(5, 3));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct EmbeddingTable {
     id: u32,
     rows: u64,
     dim: u32,
     base_addr: u64,
+    /// Row-major materialized values (shared), when the table fits the
+    /// store caps.
+    store: Option<Arc<[f32]>>,
 }
+
+impl std::fmt::Debug for EmbeddingTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EmbeddingTable")
+            .field("id", &self.id)
+            .field("rows", &self.rows)
+            .field("dim", &self.dim)
+            .field("base_addr", &self.base_addr)
+            .field("materialized", &self.store.is_some())
+            .finish()
+    }
+}
+
+impl PartialEq for EmbeddingTable {
+    fn eq(&self, other: &Self) -> bool {
+        // Contents are a pure function of (id, rows, dim); whether they
+        // are materialized is a performance detail, not identity.
+        self.id == other.id
+            && self.rows == other.rows
+            && self.dim == other.dim
+            && self.base_addr == other.base_addr
+    }
+}
+
+impl Eq for EmbeddingTable {}
 
 impl EmbeddingTable {
     /// Creates table `id` with `rows` rows of `dim` f32 elements laid out
-    /// contiguously from `base_addr`.
+    /// contiguously from `base_addr`, materializing the shared row store
+    /// when the table fits [`MATERIALIZE_CAP_BYTES`] /
+    /// [`STORE_BUDGET_BYTES`].
     ///
     /// # Panics
     ///
@@ -42,6 +172,26 @@ impl EmbeddingTable {
             rows,
             dim,
             base_addr,
+            store: materialize(id, rows, dim),
+        }
+    }
+
+    /// Creates the table without a materialized store, keeping the pure
+    /// per-element procedural path (the reference the materialized path
+    /// is tested against, and the only mode for over-cap tables).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `dim` is zero.
+    pub fn new_procedural(id: u32, rows: u64, dim: u32, base_addr: u64) -> Self {
+        assert!(rows > 0, "table must have at least one row");
+        assert!(dim > 0, "embedding dimension must be positive");
+        EmbeddingTable {
+            id,
+            rows,
+            dim,
+            base_addr,
+            store: None,
         }
     }
 
@@ -90,8 +240,7 @@ impl EmbeddingTable {
         addr >= self.base_addr && addr < self.base_addr + self.total_bytes()
     }
 
-    /// Procedural value of element `elem` of row `row`: a deterministic
-    /// hash mapped into `[-1, 1)` (typical for trained embeddings).
+    /// Procedural value of element `elem` of row `row`.
     ///
     /// # Panics
     ///
@@ -99,19 +248,37 @@ impl EmbeddingTable {
     pub fn value(&self, row: u64, elem: u32) -> f32 {
         assert!(row < self.rows, "row {row} out of bounds");
         assert!(elem < self.dim, "element {elem} out of bounds");
-        let mut h = (self.id as u64) << 48 ^ row.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ elem as u64;
-        h ^= h >> 33;
-        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
-        h ^= h >> 33;
-        // Map to [-1, 1) with 2^-23 granularity so f32 holds it exactly —
-        // this keeps cross-site accumulation comparisons bit-exact.
-        let mantissa = (h >> 41) as u32; // 23 bits
-        (mantissa as f32) * (2.0 / (1u32 << 23) as f32) - 1.0
+        raw_value(self.id, row, elem)
     }
 
-    /// Materializes a whole row (for the functional SLS kernel).
-    pub fn row(&self, row: u64) -> Vec<f32> {
-        (0..self.dim).map(|e| self.value(row, e)).collect()
+    /// The materialized row as a contiguous slice, or `None` when the
+    /// table is procedural-only. The SLS kernels branch on this once per
+    /// row and fold the slice with a vectorizable loop.
+    #[inline]
+    pub fn row_slice(&self, row: u64) -> Option<&[f32]> {
+        assert!(row < self.rows, "row {row} out of bounds");
+        self.store.as_deref().map(|s| {
+            let dim = self.dim as usize;
+            let start = row as usize * dim;
+            &s[start..start + dim]
+        })
+    }
+
+    /// The whole materialized row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds, or if the table is over the
+    /// materialization cap (use [`EmbeddingTable::value`] /
+    /// [`EmbeddingTable::row_slice`] for such tables).
+    pub fn row(&self, row: u64) -> &[f32] {
+        self.row_slice(row)
+            .expect("table exceeds the materialization cap; use value()/row_slice()")
+    }
+
+    /// `true` when the table carries a materialized backing store.
+    pub fn is_materialized(&self) -> bool {
+        self.store.is_some()
     }
 }
 
@@ -157,12 +324,37 @@ mod tests {
         }
     }
 
+    #[test]
+    fn procedural_and_materialized_values_agree() {
+        let m = EmbeddingTable::new(4, 64, 8, 0);
+        let p = EmbeddingTable::new_procedural(4, 64, 8, 0);
+        assert!(m.is_materialized());
+        assert!(!p.is_materialized());
+        assert!(p.row_slice(0).is_none());
+        for row in 0..64 {
+            for e in 0..8 {
+                assert_eq!(m.row(row)[e as usize], p.value(row, e));
+            }
+        }
+        // Same identity regardless of materialization.
+        assert_eq!(m, p);
+    }
+
+    #[test]
+    fn store_is_shared_across_equal_shapes() {
+        let a = EmbeddingTable::new(5, 32, 4, 0);
+        let b = EmbeddingTable::new(5, 32, 4, 0x10_000); // different base
+        let (sa, sb) = (a.store.as_ref().unwrap(), b.store.as_ref().unwrap());
+        assert!(Arc::ptr_eq(sa, sb), "same (id, rows, dim) shares one fill");
+    }
+
     proptest! {
         #[test]
         fn prop_values_bounded(row in 0u64..1000, elem in 0u32..64) {
             let t = EmbeddingTable::new(9, 1000, 64, 0);
             let v = t.value(row, elem);
             prop_assert!((-1.0..1.0).contains(&v));
+            prop_assert_eq!(t.row(row)[elem as usize], v);
         }
 
         #[test]

@@ -57,7 +57,10 @@ impl SlsRequest {
 ///
 /// The accumulation order is the order of `indices` — all compute sites
 /// in the workspace follow the same order, keeping floating-point sums
-/// bit-identical across placements.
+/// bit-identical across placements. Internally each fold takes the
+/// slice-zip fast path when the table carries a materialized row store
+/// (see [`accumulate_row`]); [`sls_reference_scalar`] is the retained
+/// per-element formulation both are property-tested against.
 ///
 /// # Examples
 ///
@@ -85,14 +88,68 @@ pub fn sls_reference(table: &EmbeddingTable, indices: &[u64], weights: Option<&[
     acc
 }
 
+/// The retained scalar SLS reference: per-element procedural values,
+/// no slice fast path. Exists so equivalence of the vectorizable path
+/// is a tested property, not an assumption.
+///
+/// # Panics
+///
+/// Panics if any index is out of bounds or the weight count mismatches.
+pub fn sls_reference_scalar(
+    table: &EmbeddingTable,
+    indices: &[u64],
+    weights: Option<&[f32]>,
+) -> Vec<f32> {
+    if let Some(w) = weights {
+        assert_eq!(w.len(), indices.len(), "one weight per index required");
+    }
+    let mut acc = vec![0.0f32; table.dim() as usize];
+    for (i, &row) in indices.iter().enumerate() {
+        let w = weights.map_or(1.0, |ws| ws[i]);
+        accumulate_row_scalar(&mut acc, table, row, w);
+    }
+    acc
+}
+
 /// Folds one row into `acc` with weight `w` — the per-arrival step the
 /// switch's accumulate logic performs (§IV-A5).
+///
+/// When the table is materialized this is a slice-zip loop over the
+/// contiguous row — each `acc[e] += w * row[e]` lane is independent, so
+/// the compiler auto-vectorizes it, and because the per-element addition
+/// order along `dim` is exactly the scalar loop's, the f32 sums are
+/// bit-identical to [`accumulate_row_scalar`] (asserted by proptests).
 ///
 /// # Panics
 ///
 /// Panics if `acc.len()` differs from the table dimension or `row` is out
 /// of bounds.
+#[inline]
 pub fn accumulate_row(acc: &mut [f32], table: &EmbeddingTable, row: u64, w: f32) {
+    assert_eq!(
+        acc.len(),
+        table.dim() as usize,
+        "accumulator width must match the table dimension"
+    );
+    match table.row_slice(row) {
+        Some(vals) => {
+            for (slot, &v) in acc.iter_mut().zip(vals) {
+                *slot += w * v;
+            }
+        }
+        None => accumulate_row_scalar(acc, table, row, w),
+    }
+}
+
+/// The scalar fold: one procedural `value()` call per element. The
+/// reference [`accumulate_row`] must match bit-for-bit, and the only
+/// path for tables beyond the materialization cap.
+///
+/// # Panics
+///
+/// Panics if `acc.len()` differs from the table dimension or `row` is out
+/// of bounds.
+pub fn accumulate_row_scalar(acc: &mut [f32], table: &EmbeddingTable, row: u64, w: f32) {
     assert_eq!(
         acc.len(),
         table.dim() as usize,
@@ -173,6 +230,37 @@ mod tests {
                 accumulate_row(&mut acc, &t, row, 1.0);
             }
             prop_assert_eq!(acc, reference);
+        }
+
+        /// The vectorizable slice-zip fold must equal the retained
+        /// scalar reference bit-for-bit: unweighted, any dim in 1..256,
+        /// materialized vs procedural table.
+        #[test]
+        fn prop_vectorized_matches_scalar_unweighted(
+            dim in 1u32..256,
+            indices in proptest::collection::vec(0u64..64, 1..16),
+        ) {
+            let mat = EmbeddingTable::new(7, 64, dim, 0);
+            let proc_ = EmbeddingTable::new_procedural(7, 64, dim, 0);
+            prop_assert!(mat.is_materialized());
+            let fast = sls_reference(&mat, &indices, None);
+            let scalar = sls_reference_scalar(&proc_, &indices, None);
+            prop_assert_eq!(fast, scalar);
+        }
+
+        /// Same equivalence with per-row weights.
+        #[test]
+        fn prop_vectorized_matches_scalar_weighted(
+            dim in 1u32..256,
+            indices in proptest::collection::vec(0u64..64, 1..16),
+            raw_weights in proptest::collection::vec(-4.0f32..4.0, 16..17),
+        ) {
+            let weights: Vec<f32> = raw_weights[..indices.len()].to_vec();
+            let mat = EmbeddingTable::new(7, 64, dim, 0);
+            let proc_ = EmbeddingTable::new_procedural(7, 64, dim, 0);
+            let fast = sls_reference(&mat, &indices, Some(&weights));
+            let scalar = sls_reference_scalar(&proc_, &indices, Some(&weights));
+            prop_assert_eq!(fast, scalar);
         }
 
         /// Duplicate indices accumulate additively.

@@ -6,7 +6,7 @@
 
 use simkit::SimTime;
 
-use crate::config::DramTimings;
+use crate::config::TimingDurations;
 
 /// Outcome of directing one access at a bank — determines latency class.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,7 +73,7 @@ impl BankState {
         earliest: SimTime,
         act_allowed_at: SimTime,
         row: u64,
-        t: &DramTimings,
+        t: &TimingDurations,
     ) -> (SimTime, RowOutcome) {
         match self.open_row {
             Some(open) if open == row => {
@@ -83,9 +83,7 @@ impl BankState {
             Some(_) => {
                 // PRE then ACT then CAS.
                 let pre_at = earliest.max(self.next_pre_ok);
-                let act_at = (pre_at + t.cycles(t.rp))
-                    .max(self.next_act_ok)
-                    .max(act_allowed_at);
+                let act_at = (pre_at + t.rp).max(self.next_act_ok).max(act_allowed_at);
                 self.activate(act_at, row, t);
                 (self.next_cas_ok, RowOutcome::Conflict)
             }
@@ -97,25 +95,25 @@ impl BankState {
         }
     }
 
-    fn activate(&mut self, at: SimTime, row: u64, t: &DramTimings) {
+    fn activate(&mut self, at: SimTime, row: u64, t: &TimingDurations) {
         self.open_row = Some(row);
         self.last_act = at;
-        self.next_cas_ok = at + t.cycles(t.rcd);
-        self.next_pre_ok = at + t.cycles(t.ras);
-        self.next_act_ok = at + t.cycles(t.rc);
+        self.next_cas_ok = at + t.rcd;
+        self.next_pre_ok = at + t.ras;
+        self.next_act_ok = at + t.rc;
     }
 
     /// Records that a read burst issued at `cas_at`; updates the earliest
     /// legal precharge (tRTP).
-    pub fn complete_read(&mut self, cas_at: SimTime, t: &DramTimings) {
-        self.next_pre_ok = self.next_pre_ok.max(cas_at + t.cycles(t.rtp));
+    pub fn complete_read(&mut self, cas_at: SimTime, t: &TimingDurations) {
+        self.next_pre_ok = self.next_pre_ok.max(cas_at + t.rtp);
     }
 
     /// Records that a write burst issued at `cas_at`; updates the earliest
     /// legal precharge (CWL + burst + tWR).
-    pub fn complete_write(&mut self, cas_at: SimTime, t: &DramTimings) {
-        let end_of_burst = cas_at + t.cycles(t.cwl) + t.burst_time();
-        self.next_pre_ok = self.next_pre_ok.max(end_of_burst + t.cycles(t.wr));
+    pub fn complete_write(&mut self, cas_at: SimTime, t: &TimingDurations) {
+        let end_of_burst = cas_at + t.cwl + t.burst;
+        self.next_pre_ok = self.next_pre_ok.max(end_of_burst + t.wr);
     }
 
     /// Forces the bank closed and blocks it until `until` (refresh).
@@ -132,8 +130,8 @@ mod tests {
     use super::*;
     use crate::config::DramTimings;
 
-    fn t() -> DramTimings {
-        DramTimings::ddr5_4800()
+    fn t() -> TimingDurations {
+        DramTimings::ddr5_4800().durations()
     }
 
     #[test]
@@ -141,7 +139,7 @@ mod tests {
         let mut b = BankState::new();
         let (cas, outcome) = b.prepare(SimTime::ZERO, SimTime::ZERO, 7, &t());
         assert_eq!(outcome, RowOutcome::Empty);
-        assert_eq!(cas, SimTime::ZERO + t().cycles(t().rcd));
+        assert_eq!(cas, SimTime::ZERO + t().rcd);
         assert_eq!(b.open_row(), Some(7));
     }
 
@@ -165,7 +163,7 @@ mod tests {
         assert_eq!(outcome, RowOutcome::Conflict);
         // PRE cannot issue before ACT + tRAS; CAS then waits tRP + tRCD.
         let act0 = SimTime::ZERO;
-        let min_cas2 = act0 + tt.cycles(tt.ras) + tt.cycles(tt.rp) + tt.cycles(tt.rcd);
+        let min_cas2 = act0 + tt.ras + tt.rp + tt.rcd;
         assert!(cas2 >= min_cas2, "cas2={cas2} min={min_cas2}");
     }
 
@@ -177,7 +175,7 @@ mod tests {
         b.complete_read(c1, &tt);
         let (_c2, _) = b.prepare(c1, c1, 2, &tt);
         // The second ACT must be ≥ tRC after the first.
-        assert!(b.last_act() >= SimTime::ZERO + tt.cycles(tt.rc));
+        assert!(b.last_act() >= SimTime::ZERO + tt.rc);
     }
 
     #[test]
@@ -217,6 +215,6 @@ mod tests {
         let mut b = BankState::new();
         let gate = SimTime::from_ns(1000);
         let (cas, _) = b.prepare(SimTime::ZERO, gate, 1, &tt);
-        assert!(cas >= gate + tt.cycles(tt.rcd));
+        assert!(cas >= gate + tt.rcd);
     }
 }

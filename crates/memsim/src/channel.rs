@@ -1,11 +1,13 @@
 //! One DRAM channel: banks, rank-level activate limits, the shared data
 //! bus, and refresh.
 
+use std::collections::VecDeque;
+
 use simkit::{SimDuration, SimTime};
 
 use crate::addrmap::Location;
 use crate::bank::{BankState, RowOutcome};
-use crate::config::{DramOrg, DramTimings};
+use crate::config::{DramOrg, TimingDurations};
 
 /// Kind of memory access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -53,10 +55,16 @@ pub struct Channel {
     /// data is ready early may claim one instead of queueing at
     /// `bus_free` — the reordering freedom an FR-FCFS controller has,
     /// without which one bank-conflicted request head-of-line-blocks
-    /// every later burst. A flat, capacity-bounded vec: the scan in
-    /// `claim_bus` walks it contiguously and edits happen by memmove, so
+    /// every later burst. A capacity-bounded ring: the scan in
+    /// `claim_bus` walks it oldest-first exactly as the original flat
+    /// vec did, but evicting the oldest gap is an O(1) `pop_front`, and
     /// the steady state allocates nothing.
-    free_gaps: Vec<(SimTime, SimTime)>,
+    free_gaps: VecDeque<(SimTime, SimTime)>,
+    /// Upper bound on every recorded gap's end time (only ever ratcheted
+    /// up). When `earliest + burst` exceeds it no gap can possibly fit,
+    /// so `claim_bus` skips the scan — the common case once simulated
+    /// time has advanced past the recorded windows.
+    max_gap_end: SimTime,
     /// Accumulated statistics.
     pub stats: ChannelStats,
 }
@@ -110,7 +118,8 @@ impl Channel {
             ranks,
             org,
             bus_free: SimTime::ZERO,
-            free_gaps: Vec::with_capacity(MAX_GAPS),
+            free_gaps: VecDeque::with_capacity(MAX_GAPS),
+            max_gap_end: SimTime::ZERO,
             stats: ChannelStats::default(),
         }
     }
@@ -119,26 +128,47 @@ impl Channel {
     /// `earliest`; prefers filling a recorded idle gap, else queues at
     /// the end of the bus schedule.
     fn claim_bus(&mut self, earliest: SimTime, burst: SimDuration) -> SimTime {
-        for i in 0..self.free_gaps.len() {
-            let (gs, ge) = self.free_gaps[i];
-            let start = gs.max(earliest);
-            if start + burst <= ge {
-                // Split the gap around the claimed slot.
-                self.free_gaps[i] = (gs, start);
-                if start + burst < ge {
-                    self.free_gaps.insert(i + 1, (start + burst, ge));
+        if earliest + burst <= self.max_gap_end {
+            // The gaps are pairwise disjoint and sorted ascending (each
+            // new gap opens at the previous bus-free point, and splits
+            // insert in place), so every gap ending before
+            // `earliest + burst` is unclaimable for this burst and the
+            // oldest-first scan may start at the first one ending on or
+            // after it — found by binary search instead of walking the
+            // dead prefix. Selection is identical to the full scan.
+            let from = self
+                .free_gaps
+                .partition_point(|&(_, ge)| ge < earliest + burst);
+            for i in from..self.free_gaps.len() {
+                let (gs, ge) = self.free_gaps[i];
+                let start = gs.max(earliest);
+                if start + burst <= ge {
+                    // Split the gap around the claimed slot. The common
+                    // case (claim from the gap's front, remainder
+                    // survives) edits the slot in place; only a mid-gap
+                    // split shifts ring entries.
+                    if start == gs {
+                        if start + burst < ge {
+                            self.free_gaps[i] = (start + burst, ge);
+                        } else {
+                            self.free_gaps.remove(i);
+                        }
+                    } else {
+                        self.free_gaps[i] = (gs, start);
+                        if start + burst < ge {
+                            self.free_gaps.insert(i + 1, (start + burst, ge));
+                        }
+                    }
+                    return start;
                 }
-                if self.free_gaps[i].0 == self.free_gaps[i].1 {
-                    self.free_gaps.remove(i);
-                }
-                return start;
             }
         }
         let start = earliest.max(self.bus_free);
         if start > self.bus_free {
-            self.free_gaps.push((self.bus_free, start));
+            self.free_gaps.push_back((self.bus_free, start));
+            self.max_gap_end = self.max_gap_end.max(start);
             while self.free_gaps.len() > MAX_GAPS {
-                self.free_gaps.remove(0);
+                self.free_gaps.pop_front();
             }
         }
         self.bus_free = start + burst;
@@ -150,45 +180,55 @@ impl Channel {
     }
 
     /// Applies any refresh blackouts due before `now` on `rank`.
-    fn apply_refresh(&mut self, now: SimTime, rank: u32, t: &DramTimings) -> bool {
-        let mut stalled = false;
-        let refi = SimDuration::from_ns(t.refi_ns);
-        let rfc = t.cycles(t.rfc);
-        loop {
-            let due = self.ranks[rank as usize].next_refresh;
-            if due > now {
-                break;
-            }
-            let blocked_until = due + rfc;
-            let base = rank * self.org.banks;
-            for b in 0..self.org.banks {
-                self.banks[(base + b) as usize].block_until(blocked_until);
-            }
-            self.ranks[rank as usize].next_refresh = due + refi;
-            if blocked_until > now {
-                stalled = true;
-            }
+    ///
+    /// Refreshes due since the rank's last access are coalesced: each
+    /// missed REF would close the banks and max their next-command
+    /// windows with its own `due + tRFC`, and those blackouts increase
+    /// monotonically, so applying only the *latest* due refresh leaves
+    /// every bank in exactly the state the one-by-one replay would — at
+    /// O(banks) per access instead of O(missed · banks).
+    fn apply_refresh(&mut self, now: SimTime, rank: u32, t: &TimingDurations) -> bool {
+        let first_due = self.ranks[rank as usize].next_refresh;
+        if first_due > now {
+            return false;
         }
-        stalled
+        let refi = SimDuration::from_ns(t.refi_ns);
+        let rfc = t.rfc;
+        // Number of refreshes with `due <= now` (at least one).
+        let missed = (now.since(first_due).as_ns() / t.refi_ns.max(1)) + 1;
+        let last_due = first_due + SimDuration::from_ns((missed - 1) * t.refi_ns);
+        let blocked_until = last_due + rfc;
+        let base = rank * self.org.banks;
+        for b in 0..self.org.banks {
+            self.banks[(base + b) as usize].block_until(blocked_until);
+        }
+        self.ranks[rank as usize].next_refresh = last_due + refi;
+        blocked_until > now
     }
 
     /// Earliest time a new ACT may issue on `rank` given tFAW and tRRD.
-    fn act_gate(&self, rank: u32, t: &DramTimings) -> SimTime {
+    fn act_gate(&self, rank: u32, t: &TimingDurations) -> SimTime {
         let rs = &self.ranks[rank as usize];
         let mut gate = SimTime::ZERO;
         if rs.n_acts >= 4 {
             // The 4th-most-recent ACT opens the tFAW window.
-            gate = gate.max(rs.recent_acts[0] + t.cycles(t.faw));
+            gate = gate.max(rs.recent_acts[0] + t.faw);
         }
         if rs.n_acts > 0 {
-            gate = gate.max(rs.recent_acts[rs.n_acts - 1] + t.cycles(t.rrd));
+            gate = gate.max(rs.recent_acts[rs.n_acts - 1] + t.rrd);
         }
         gate
     }
 
     /// Schedules one 64 B access arriving at `now`; returns the instant the
     /// data burst completes on the bus.
-    pub fn access(&mut self, now: SimTime, loc: &Location, op: MemOp, t: &DramTimings) -> SimTime {
+    pub fn access(
+        &mut self,
+        now: SimTime,
+        loc: &Location,
+        op: MemOp,
+        t: &TimingDurations,
+    ) -> SimTime {
         if self.apply_refresh(now, loc.rank, t) {
             self.stats.refresh_stalls += 1;
         }
@@ -212,11 +252,11 @@ impl Channel {
         // The data burst must find a free slot on the shared bus; if the
         // bus is busy, the column command slips until the slot aligns.
         let cas_to_data = match op {
-            MemOp::Read => t.cycles(t.cl),
-            MemOp::Write => t.cycles(t.cwl),
+            MemOp::Read => t.cl,
+            MemOp::Write => t.cwl,
         };
         let earliest_data = cas_ready + cas_to_data;
-        let burst = t.burst_time();
+        let burst = t.burst;
         let data_start = self.claim_bus(earliest_data, burst);
         let cas_at = SimTime::from_ns(data_start.as_ns() - cas_to_data.as_ns());
 
@@ -256,8 +296,8 @@ mod tests {
         }
     }
 
-    fn t() -> DramTimings {
-        DramTimings::ddr5_4800()
+    fn t() -> TimingDurations {
+        DramTimings::ddr5_4800().durations()
     }
 
     fn loc(bank: u32, row: u64) -> Location {
@@ -276,7 +316,7 @@ mod tests {
         let first = ch.access(SimTime::ZERO, &loc(0, 1), MemOp::Read, &tt);
         let second = ch.access(SimTime::ZERO, &loc(0, 1), MemOp::Read, &tt);
         // Back-to-back hits are separated by exactly one burst.
-        assert_eq!(second.since(first), tt.burst_time());
+        assert_eq!(second.since(first), tt.burst);
         assert_eq!(ch.stats.hits, 1);
         assert_eq!(ch.stats.empties, 1);
     }
@@ -304,7 +344,7 @@ mod tests {
         let mut ch = Channel::new(org());
         let a = ch.access(SimTime::ZERO, &loc(0, 1), MemOp::Read, &tt);
         let b = ch.access(SimTime::ZERO, &loc(1, 1), MemOp::Read, &tt);
-        assert!(b.since(a) >= tt.burst_time());
+        assert!(b.since(a) >= tt.burst);
     }
 
     #[test]
@@ -316,8 +356,7 @@ mod tests {
             last = ch.access(SimTime::ZERO, &loc(bank, 1), MemOp::Read, &tt);
         }
         // The 5th activate cannot start before ACT#1 + tFAW.
-        let min_done =
-            SimTime::ZERO + tt.cycles(tt.faw) + tt.cycles(tt.rcd + tt.cl) + tt.burst_time();
+        let min_done = SimTime::ZERO + tt.faw + tt.rcd + tt.cl + tt.burst;
         assert!(last >= min_done, "last={last} min={min_done}");
     }
 

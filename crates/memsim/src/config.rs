@@ -116,6 +116,65 @@ impl DramTimings {
     pub fn burst_time(&self) -> SimDuration {
         self.cycles(4)
     }
+
+    /// Precomputes every duration the channel/bank state machines use.
+    pub fn durations(&self) -> TimingDurations {
+        TimingDurations {
+            cl: self.cycles(self.cl),
+            cwl: self.cycles(self.cwl),
+            rcd: self.cycles(self.rcd),
+            rp: self.cycles(self.rp),
+            ras: self.cycles(self.ras),
+            rc: self.cycles(self.rc),
+            wr: self.cycles(self.wr),
+            rtp: self.cycles(self.rtp),
+            rfc: self.cycles(self.rfc),
+            faw: self.cycles(self.faw),
+            rrd: self.cycles(self.rrd),
+            burst: self.burst_time(),
+            refi_ns: self.refi_ns,
+        }
+    }
+}
+
+/// [`DramTimings`] with every cycle count pre-converted to a
+/// [`SimDuration`].
+///
+/// `cycles()` pays a picosecond→nanosecond ceiling division; the access
+/// path needs up to ten such conversions per 64 B line, which made the
+/// conversion itself a measurable slice of simulation time. The values
+/// here are exactly `DramTimings::cycles(...)` of the corresponding
+/// field (asserted by `durations_match_cycles` below), so state machines
+/// consuming this struct are bit-identical to ones converting on the
+/// fly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingDurations {
+    /// CAS latency.
+    pub cl: SimDuration,
+    /// CAS write latency.
+    pub cwl: SimDuration,
+    /// RAS-to-CAS delay.
+    pub rcd: SimDuration,
+    /// Row precharge time.
+    pub rp: SimDuration,
+    /// Row active time.
+    pub ras: SimDuration,
+    /// Row cycle.
+    pub rc: SimDuration,
+    /// Write recovery.
+    pub wr: SimDuration,
+    /// Read-to-precharge.
+    pub rtp: SimDuration,
+    /// Refresh cycle time.
+    pub rfc: SimDuration,
+    /// Four-activate window.
+    pub faw: SimDuration,
+    /// ACT-to-ACT, different banks, same rank.
+    pub rrd: SimDuration,
+    /// Data-bus occupancy of one 64 B burst.
+    pub burst: SimDuration,
+    /// Average refresh interval, nanoseconds.
+    pub refi_ns: u64,
 }
 
 /// Physical organization of one DRAM device (one set of channels behind a
@@ -227,6 +286,26 @@ mod tests {
         // 3200 MT/s × 8 B × 1 channel = 25.6 GB/s.
         let bw = c.peak_bandwidth_gbps();
         assert!((bw - 25.6).abs() < 0.5, "got {bw}");
+    }
+
+    #[test]
+    fn durations_match_cycles() {
+        for t in [DramTimings::ddr5_4800(), DramTimings::ddr4_3200()] {
+            let d = t.durations();
+            assert_eq!(d.cl, t.cycles(t.cl));
+            assert_eq!(d.cwl, t.cycles(t.cwl));
+            assert_eq!(d.rcd, t.cycles(t.rcd));
+            assert_eq!(d.rp, t.cycles(t.rp));
+            assert_eq!(d.ras, t.cycles(t.ras));
+            assert_eq!(d.rc, t.cycles(t.rc));
+            assert_eq!(d.wr, t.cycles(t.wr));
+            assert_eq!(d.rtp, t.cycles(t.rtp));
+            assert_eq!(d.rfc, t.cycles(t.rfc));
+            assert_eq!(d.faw, t.cycles(t.faw));
+            assert_eq!(d.rrd, t.cycles(t.rrd));
+            assert_eq!(d.burst, t.burst_time());
+            assert_eq!(d.refi_ns, t.refi_ns);
+        }
     }
 
     #[test]

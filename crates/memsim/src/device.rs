@@ -5,6 +5,7 @@ use simkit::SimTime;
 use crate::addrmap::LineDecoder;
 use crate::channel::{Channel, ChannelStats, MemOp};
 use crate::config::DramConfig;
+use crate::config::TimingDurations;
 
 /// A multi-channel DRAM device (one local pool or one CXL expander).
 ///
@@ -26,6 +27,8 @@ pub struct DramDevice {
     /// Address-decode constants cached at construction so the per-access
     /// front-end never re-derives them from the organization.
     decoder: LineDecoder,
+    /// Timing durations pre-converted from cycles at construction.
+    durs: TimingDurations,
     channels: Vec<Channel>,
 }
 
@@ -79,6 +82,7 @@ impl DramDevice {
         DramDevice {
             cfg,
             decoder: LineDecoder::new(cfg.mapping, cfg.org),
+            durs: cfg.timings.durations(),
             channels,
         }
     }
@@ -91,8 +95,9 @@ impl DramDevice {
     /// Schedules one 64 B access to physical `addr` arriving at `now`;
     /// returns when its data burst completes.
     pub fn access(&mut self, now: SimTime, addr: u64, op: MemOp) -> SimTime {
+        simkit::stats::record_events(1);
         let loc = self.decoder.decode(addr);
-        self.channels[loc.channel as usize].access(now, &loc, op, &self.cfg.timings)
+        self.channels[loc.channel as usize].access(now, &loc, op, &self.durs)
     }
 
     /// Schedules an access spanning `bytes` starting at `addr` (split into

@@ -7,9 +7,15 @@
 //! claimed by one host is skipped by others, which claim their next
 //! hottest candidate instead.
 
-use std::collections::HashMap;
+use simkit::hash::FastMap;
 
 use crate::table::PageId;
+
+/// The ranking order shared by every hotness query: hottest first,
+/// page-id ascending on ties — a total order (ids are unique).
+fn hotter_first(a: &(PageId, u64), b: &(PageId, u64)) -> std::cmp::Ordering {
+    b.1.cmp(&a.1).then(a.0.cmp(&b.0))
+}
 
 /// Per-host page-access frequency tracker.
 ///
@@ -27,7 +33,7 @@ use crate::table::PageId;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct HotnessTracker {
-    counts: HashMap<PageId, u64>,
+    counts: FastMap<PageId, u64>,
 }
 
 impl HotnessTracker {
@@ -58,14 +64,43 @@ impl HotnessTracker {
         if k == 0 {
             return Vec::new();
         }
-        let mut v: Vec<(PageId, u64)> = self.counts.iter().map(|(&p, &c)| (p, c)).collect();
-        let hotter_first = |a: &(PageId, u64), b: &(PageId, u64)| b.1.cmp(&a.1).then(a.0.cmp(&b.0));
+        let mut v = self.ranked_entries();
         if k < v.len() {
             v.select_nth_unstable_by(k, hotter_first);
             v.truncate(k);
         }
         v.sort_unstable_by(hotter_first);
         v.into_iter().map(|(p, _)| p).collect()
+    }
+
+    /// All `(page, count)` entries, unordered — the input both ranking
+    /// entry points ([`Self::hottest`], [`Self::hottest_floor`]) feed
+    /// through [`hotter_first`], so the two stay ordering-consistent by
+    /// construction.
+    fn ranked_entries(&self) -> Vec<(PageId, u64)> {
+        self.counts.iter().map(|(&p, &c)| (p, c)).collect()
+    }
+
+    /// Access count of the `k`-th hottest page (the coldest page
+    /// [`Self::hottest`]`(k)` would return), or 0 when nothing is
+    /// tracked. Exactly `hottest(k).last()`'s count — the demotion
+    /// cutoff — but via a quickselect alone, skipping the top-`k` sort
+    /// a full ranking pays.
+    pub fn hottest_floor(&self, k: usize) -> u64 {
+        if k == 0 || self.counts.is_empty() {
+            return 0;
+        }
+        let mut v = self.ranked_entries();
+        if k < v.len() {
+            let (_, kth, _) = v.select_nth_unstable_by(k - 1, hotter_first);
+            kth.1
+        } else {
+            // Fewer pages than k: the floor is the coldest tracked page.
+            v.iter()
+                .min_by(|a, b| hotter_first(b, a))
+                .expect("non-empty")
+                .1
+        }
     }
 
     /// Exponentially decays all counts (epoch boundary), dropping pages
@@ -140,8 +175,8 @@ impl GlobalHotness {
     /// next candidate ("if a host identifies a page already designated as
     /// a private hot page by another host, it selects its next most
     /// frequently accessed page").
-    pub fn classify(&self, hot_capacity: usize) -> HashMap<PageId, PageClass> {
-        let mut out: HashMap<PageId, PageClass> = HashMap::new();
+    pub fn classify(&self, hot_capacity: usize) -> FastMap<PageId, PageClass> {
+        let mut out: FastMap<PageId, PageClass> = FastMap::default();
         for (h, tracker) in self.hosts.iter().enumerate() {
             let mut claimed = 0;
             // The claim loop consumes at most `hot_capacity` fresh pages
@@ -175,14 +210,13 @@ impl GlobalHotness {
     /// Public Cold Region.
     pub fn demotions(
         &self,
-        current: &HashMap<PageId, PageClass>,
+        current: &FastMap<PageId, PageClass>,
         hot_capacity: usize,
         cold_age_threshold: f64,
     ) -> Vec<PageId> {
         let mut demote = Vec::new();
         for (h, tracker) in self.hosts.iter().enumerate() {
-            let fresh = tracker.hottest(hot_capacity);
-            let floor = fresh.last().map_or(0, |&p| tracker.count(p));
+            let floor = tracker.hottest_floor(hot_capacity);
             let cutoff = (floor as f64 * (1.0 - cold_age_threshold)).floor() as u64;
             for (&page, &class) in current.iter() {
                 if class == PageClass::PrivateHot(h as u16) && tracker.count(page) < cutoff {

@@ -1,6 +1,6 @@
 //! Page identity, memory tiers, and the placement table.
 
-use std::collections::HashMap;
+use simkit::hash::FastMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -106,8 +106,8 @@ impl std::error::Error for CapacityError {}
 #[derive(Debug, Clone)]
 pub struct PageTable {
     caps: TierCapacities,
-    map: HashMap<PageId, Tier>,
-    occupancy: HashMap<Tier, u64>,
+    map: FastMap<PageId, Tier>,
+    occupancy: FastMap<Tier, u64>,
     migrations: u64,
 }
 
@@ -116,8 +116,8 @@ impl PageTable {
     pub fn new(caps: TierCapacities) -> Self {
         PageTable {
             caps,
-            map: HashMap::new(),
-            occupancy: HashMap::new(),
+            map: FastMap::default(),
+            occupancy: FastMap::default(),
             migrations: 0,
         }
     }

@@ -7,7 +7,7 @@
 //! page management closes, which is why Fig 13(d) shows the cold-age
 //! policy beating it by ~12 %.
 
-use std::collections::HashMap;
+use simkit::hash::FastMap;
 
 use crate::table::{PageId, PageTable, Tier};
 
@@ -30,10 +30,10 @@ pub struct TppPolicy {
     /// Accesses within the window required to promote.
     promote_threshold: u64,
     /// Access counts within the current sampling window.
-    window_counts: HashMap<PageId, u64>,
+    window_counts: FastMap<PageId, u64>,
     /// LRU approximation for demotion: last-touch sequence numbers of
     /// local pages.
-    last_touch: HashMap<PageId, u64>,
+    last_touch: FastMap<PageId, u64>,
     seq: u64,
     promotions: u64,
     demotions: u64,
@@ -50,8 +50,8 @@ impl TppPolicy {
         assert!(promote_threshold > 0, "threshold must be positive");
         TppPolicy {
             promote_threshold,
-            window_counts: HashMap::new(),
-            last_touch: HashMap::new(),
+            window_counts: FastMap::default(),
+            last_touch: FastMap::default(),
             seq: 0,
             promotions: 0,
             demotions: 0,

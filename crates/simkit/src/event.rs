@@ -1,45 +1,37 @@
-//! A deterministic, time-ordered event queue.
+//! Deterministic, time-ordered event queues.
 //!
 //! Events scheduled for the same instant pop in insertion order, which is
 //! what makes every simulation in this workspace reproducible run-to-run:
-//! a plain binary heap does not guarantee stable ordering of equal keys,
-//! so each entry carries a monotonically increasing sequence number and
-//! the heap orders by the composite `(time, seq)` key.
+//! each entry carries a monotonically increasing sequence number and the
+//! queue orders by the composite `(time, seq)` key — a total order, so
+//! every implementation here drains in exactly the same sequence.
 //!
-//! The heap itself is index-based (a `Vec` with hand-rolled sift-up /
-//! sift-down over `(time, seq)` keys) rather than
-//! `std::collections::BinaryHeap` over an `Ord` wrapper: the composite
-//! key is a total order, so every comparison is a branch-predictable
-//! two-word compare with no trait-object or `Ordering::then_with`
-//! chaining on the hot path, and sifting moves entries with plain index
-//! arithmetic.
+//! Two implementations share that contract:
+//!
+//! * [`EventQueue`] — a bucketed *calendar queue*: a ring of
+//!   fixed-width time buckets covering the near future, with a binary
+//!   heap holding far-future overflow. Steady-state push and pop are
+//!   near-O(1) (append to / pop from a sorted bucket) instead of the
+//!   O(log n) comparison chains a heap pays per operation. Bucket
+//!   storage is a reusable slab: drained buckets keep their capacity,
+//!   so the steady state allocates nothing per event.
+//! * [`BinaryEventQueue`] — the index-based binary heap (hand-rolled
+//!   sift-up/down over `(time, seq)`). Retained as the reference
+//!   implementation the calendar queue is differentially tested
+//!   against, and reused internally as the calendar queue's overflow
+//!   store.
+
+use std::collections::VecDeque;
 
 use crate::time::SimTime;
 
-/// A time-ordered queue of simulation events of type `E`.
-///
-/// # Examples
-///
-/// ```
-/// use simkit::{EventQueue, SimTime};
-///
-/// let mut q = EventQueue::new();
-/// q.push(SimTime::from_ns(7), "late");
-/// q.push(SimTime::from_ns(3), "early");
-/// q.push(SimTime::from_ns(3), "early-second");
-///
-/// assert_eq!(q.pop().unwrap().1, "early");
-/// assert_eq!(q.pop().unwrap().1, "early-second");
-/// assert_eq!(q.pop().unwrap().1, "late");
-/// assert!(q.pop().is_none());
-/// ```
-#[derive(Debug)]
-pub struct EventQueue<E> {
-    /// Min-heap over `(time, seq)`: `entries[i]` sorts before both
-    /// children at `2i + 1` and `2i + 2`.
-    entries: Vec<Entry<E>>,
-    next_seq: u64,
-}
+/// Number of buckets in the calendar ring (power of two).
+const NB: usize = 512;
+/// Cap on the bucket-width exponent so `NB << shift` cannot overflow.
+const MAX_SHIFT: u32 = 54;
+/// Out-of-order insert into a bucket at least this full re-fits the
+/// bucket width (when a narrower width would actually spread the load).
+const REFIT_LEN: usize = 16;
 
 #[derive(Debug)]
 struct Entry<E> {
@@ -57,25 +49,45 @@ impl<E> Entry<E> {
     }
 }
 
-impl<E> EventQueue<E> {
-    /// Creates an empty queue.
-    pub fn new() -> Self {
-        EventQueue {
+/// A min-heap of [`Entry`] over the `(time, seq)` key. Entries keep the
+/// sequence numbers they were created with, so a heap shared between
+/// structures (the calendar queue's overflow) preserves global FIFO
+/// tie-breaking.
+#[derive(Debug)]
+struct EntryHeap<E> {
+    /// `entries[i]` sorts before both children at `2i + 1` and `2i + 2`.
+    entries: Vec<Entry<E>>,
+}
+
+impl<E> EntryHeap<E> {
+    fn new() -> Self {
+        EntryHeap {
             entries: Vec::new(),
-            next_seq: 0,
         }
     }
 
-    /// Schedules `event` to fire at `time`.
-    pub fn push(&mut self, time: SimTime, event: E) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.entries.push(Entry { time, seq, event });
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.entries.first().map(|e| e.time)
+    }
+
+    fn peek_key(&self) -> Option<(SimTime, u64)> {
+        self.entries.first().map(Entry::key)
+    }
+
+    fn push(&mut self, entry: Entry<E>) {
+        self.entries.push(entry);
         self.sift_up(self.entries.len() - 1);
     }
 
-    /// Removes and returns the earliest event, or `None` if empty.
-    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+    fn pop(&mut self) -> Option<Entry<E>> {
         if self.entries.is_empty() {
             return None;
         }
@@ -85,22 +97,7 @@ impl<E> EventQueue<E> {
         if !self.entries.is_empty() {
             self.sift_down(0);
         }
-        Some((e.time, e.event))
-    }
-
-    /// Returns the firing time of the earliest event without removing it.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.entries.first().map(|e| e.time)
-    }
-
-    /// Returns the number of pending events.
-    pub fn len(&self) -> usize {
-        self.entries.len()
-    }
-
-    /// Returns `true` if no events are pending.
-    pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        Some(e)
     }
 
     /// Moves `entries[i]` up until its parent's key is smaller.
@@ -136,6 +133,329 @@ impl<E> EventQueue<E> {
             self.entries.swap(i, smallest_child);
             i = smallest_child;
         }
+    }
+}
+
+/// The binary-heap event queue: O(log n) push/pop with exact FIFO
+/// tie-breaking. The reference implementation — [`EventQueue`] must
+/// drain in precisely this order (asserted by differential tests) — and
+/// the store behind the calendar queue's far-future overflow.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::{BinaryEventQueue, SimTime};
+///
+/// let mut q = BinaryEventQueue::new();
+/// q.push(SimTime::from_ns(7), "late");
+/// q.push(SimTime::from_ns(3), "early");
+/// assert_eq!(q.pop().unwrap().1, "early");
+/// ```
+#[derive(Debug)]
+pub struct BinaryEventQueue<E> {
+    heap: EntryHeap<E>,
+    next_seq: u64,
+}
+
+impl<E> BinaryEventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        BinaryEventQueue {
+            heap: EntryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// Returns the firing time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek_time()
+    }
+
+    /// Returns the number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for BinaryEventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A time-ordered queue of simulation events of type `E`, implemented as
+/// a calendar queue.
+///
+/// A ring of `NB` (512) buckets, each `2^shift` ns wide, covers the window
+/// `[day_start, day_start + NB·2^shift)`. Every bucket holds its entries
+/// sorted ascending by `(time, seq)`, so the monotone-push steady state
+/// is an O(1) `push_back` and every pop is an O(1) `pop_front`. Events
+/// beyond the window land in a binary-heap overflow; when the window
+/// drains, it is rebuilt over the overflow's time span with a bucket
+/// width re-fitted to that span (the classic calendar-queue resize,
+/// triggered per day rather than per operation). Bucket deques and the
+/// overflow vector keep their capacity across days — a reusable slab, so
+/// sustained simulation pushes no per-event allocations.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_ns(7), "late");
+/// q.push(SimTime::from_ns(3), "early");
+/// q.push(SimTime::from_ns(3), "early-second");
+///
+/// assert_eq!(q.pop().unwrap().1, "early");
+/// assert_eq!(q.pop().unwrap().1, "early-second");
+/// assert_eq!(q.pop().unwrap().1, "late");
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    /// The wheel: ring slot `a & (NB - 1)` holds absolute bucket `a`
+    /// (i.e. times in `[a·2^shift, (a+1)·2^shift)`) for the unique
+    /// in-window `a`; entries ascending by `(time, seq)`.
+    buckets: Vec<VecDeque<Entry<E>>>,
+    /// Bucket width exponent: width = `1 << shift` ns.
+    shift: u32,
+    /// Absolute bucket number of the wheel cursor. The window covers
+    /// absolute buckets `[cur_abs, cur_abs + NB)`; as pops advance the
+    /// cursor, vacated ring slots immediately serve the next rotation,
+    /// so a workload whose pending horizon fits the window never
+    /// rebuilds.
+    cur_abs: u64,
+    /// Occupancy bitmap: bit `i` set iff ring slot `i` is non-empty.
+    /// Pops and peeks jump to the next live slot with a trailing-zeros
+    /// scan instead of probing empty deques one by one.
+    occupied: [u64; NB / 64],
+    /// Entries currently in the ring.
+    in_window: usize,
+    /// Entries beyond the window (or behind a pending re-anchor), keyed
+    /// by their original sequence numbers so tie-breaks survive the
+    /// detour.
+    overflow: EntryHeap<E>,
+    /// Largest time ever pushed (window-width heuristic; monotone).
+    ring_max: u64,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            buckets: (0..NB).map(|_| VecDeque::new()).collect(),
+            shift: 6, // 64 ns buckets until the first re-fit
+            cur_abs: 0,
+            occupied: [0; NB / 64],
+            in_window: 0,
+            overflow: EntryHeap::new(),
+            ring_max: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// Smallest width exponent that fits `span` ns into the ring.
+    fn fit_shift(span: u64) -> u32 {
+        let mut shift = 0u32;
+        while shift < MAX_SHIFT && (span >> shift) >= NB as u64 {
+            shift += 1;
+        }
+        shift
+    }
+
+    /// Circular scan: the first occupied ring slot at absolute-bucket
+    /// distance `0..NB` from the cursor, returned as `(slot, distance)`.
+    #[inline]
+    fn next_occupied(&self) -> Option<(usize, u64)> {
+        let from = (self.cur_abs & (NB as u64 - 1)) as usize;
+        let mut word = from >> 6;
+        let mut bits = self.occupied[word] & (!0u64 << (from & 63));
+        // First pass: from..NB, second pass: 0..from (next rotation of
+        // the scan, still strictly increasing absolute buckets).
+        for wrapped in 0..=(NB / 64) {
+            if bits != 0 {
+                let slot = (word << 6) + bits.trailing_zeros() as usize;
+                let dist = (slot + NB - from) as u64 & (NB as u64 - 1);
+                return Some((slot, dist));
+            }
+            word = if word + 1 >= NB / 64 { 0 } else { word + 1 };
+            bits = self.occupied[word];
+            if wrapped == NB / 64 - 1 && word == from >> 6 {
+                // Back at the starting word: mask to the slots before
+                // `from` only, so each slot is inspected exactly once.
+                bits &= !(!0u64 << (from & 63));
+            }
+        }
+        None
+    }
+
+    #[inline]
+    fn mark_occupied(&mut self, slot: usize) {
+        self.occupied[slot >> 6] |= 1u64 << (slot & 63);
+    }
+
+    #[inline]
+    fn mark_empty(&mut self, slot: usize) {
+        self.occupied[slot >> 6] &= !(1u64 << (slot & 63));
+    }
+
+    /// Schedules `event` to fire at `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let entry = Entry { time, seq, event };
+        let t = time.as_ns();
+        self.ring_max = self.ring_max.max(t);
+        let ab = t >> self.shift;
+        if ab < self.cur_abs {
+            // An event earlier than the wheel cursor (legal: simulated
+            // time may be revisited). Cold path: re-anchor at it.
+            self.overflow.push(entry);
+            self.rebuild_at(t);
+        } else if ab - self.cur_abs < NB as u64 {
+            let slot = (ab & (NB as u64 - 1)) as usize;
+            let key = entry.key();
+            let bucket = &mut self.buckets[slot];
+            let mut crowded = false;
+            match bucket.back() {
+                // Monotone arrival: the overwhelmingly common case.
+                Some(last) if last.key() <= key => bucket.push_back(entry),
+                None => bucket.push_back(entry),
+                _ => {
+                    let pos = bucket.partition_point(|e| e.key() < key);
+                    crowded = bucket.len() >= REFIT_LEN;
+                    bucket.insert(pos, entry);
+                }
+            }
+            self.in_window += 1;
+            self.mark_occupied(slot);
+            if crowded && self.shift > 0 {
+                // Out-of-order inserts into a crowded bucket: re-fit the
+                // width if a narrower one would spread the pending set
+                // (same-instant pileups keep the current width — no
+                // width separates ties, and they append anyway).
+                let span = self.ring_max.saturating_sub(self.cur_abs << self.shift);
+                if Self::fit_shift(span) < self.shift {
+                    let start = self.peek_time().expect("queue non-empty").as_ns();
+                    self.rebuild_at(start);
+                }
+            }
+        } else {
+            self.overflow.push(entry);
+        }
+    }
+
+    /// Re-anchors the wheel at `start`: drains the ring into the
+    /// overflow, re-fits the bucket width to the pending span, and
+    /// scatters every now-in-window entry back into the ring. Reached
+    /// only when the ring is empty (day advance into the overflow) or an
+    /// event lands behind the cursor.
+    ///
+    /// The scatter sorts the overflow's backing vector once by
+    /// `(time, seq)` instead of heap-popping entry by entry — the sorted
+    /// order appends into buckets already sorted, and the sorted suffix
+    /// left behind *is* a valid min-heap layout (every parent index
+    /// precedes its children), so the remaining overflow needs no
+    /// re-heapify.
+    fn rebuild_at(&mut self, start: u64) {
+        if self.in_window > 0 {
+            // Cold path (only an event behind the cursor gets here with
+            // a populated ring): sweep everything onto the overflow's
+            // backing vector. Plain pushes suffice — the sort below
+            // restores order, so per-entry heap sift-ups would be
+            // wasted work.
+            for slot in 0..NB {
+                while let Some(e) = self.buckets[slot].pop_front() {
+                    self.overflow.entries.push(e);
+                }
+            }
+            self.occupied = [0; NB / 64];
+            self.in_window = 0;
+        }
+        let mut v = std::mem::take(&mut self.overflow.entries);
+        v.sort_unstable_by_key(Entry::key);
+        // Smallest width that fits the pending span into the ring.
+        let span = v.last().map_or(0, |e| e.time.as_ns()).saturating_sub(start);
+        let shift = Self::fit_shift(span);
+        self.shift = shift;
+        self.cur_abs = start >> shift;
+        let window_end = (self.cur_abs + NB as u64).saturating_mul(1 << shift);
+        let split = v.partition_point(|e| e.time.as_ns() < window_end);
+        for e in v.drain(..split) {
+            let slot = ((e.time.as_ns() >> self.shift) & (NB as u64 - 1)) as usize;
+            self.buckets[slot].push_back(e);
+            self.mark_occupied(slot);
+            self.in_window += 1;
+        }
+        self.overflow.entries = v;
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        loop {
+            if let Some((slot, dist)) = self.next_occupied() {
+                // The cursor may have advanced the window past overflow
+                // entries pushed when they were out of range; the true
+                // minimum is whichever of the two fronts sorts first by
+                // the full (time, seq) key.
+                let ring_key = self.buckets[slot].front().expect("occupied").key();
+                if self.overflow.peek_key().is_some_and(|k| k < ring_key) {
+                    let e = self.overflow.pop().expect("peeked entry");
+                    return Some((e.time, e.event));
+                }
+                self.cur_abs += dist;
+                let bucket = &mut self.buckets[slot];
+                let e = bucket.pop_front().expect("occupied slot non-empty");
+                if bucket.is_empty() {
+                    self.mark_empty(slot);
+                }
+                self.in_window -= 1;
+                return Some((e.time, e.event));
+            }
+            debug_assert_eq!(self.in_window, 0);
+            let next = self.overflow.peek_time()?;
+            self.rebuild_at(next.as_ns());
+        }
+    }
+
+    /// Returns the firing time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        let ring = self
+            .next_occupied()
+            .and_then(|(slot, _)| self.buckets[slot].front().map(|e| e.time));
+        match (ring, self.overflow.peek_time()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Returns the number of pending events.
+    pub fn len(&self) -> usize {
+        self.in_window + self.overflow.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -177,9 +497,9 @@ mod tests {
     #[test]
     fn fifo_tie_break_survives_interleaved_timestamps() {
         // Ties must pop in insertion order even when pushes at other
-        // instants land between them and churn the heap's internal
-        // layout — the property the per-entry sequence number exists
-        // to guarantee.
+        // instants land between them and churn the internal layout —
+        // the property the per-entry sequence number exists to
+        // guarantee.
         let mut q = EventQueue::new();
         let tie = SimTime::from_ns(50);
         q.push(tie, "tie-0");
@@ -208,6 +528,15 @@ mod tests {
     }
 
     #[test]
+    fn peek_sees_overflowed_events() {
+        let mut q = EventQueue::new();
+        // Far beyond the initial 512×64 ns window.
+        q.push(SimTime::from_ns(1 << 40), 1u64);
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(1 << 40)));
+        assert_eq!(q.pop().unwrap().1, 1);
+    }
+
+    #[test]
     fn interleaved_push_pop_stays_ordered() {
         let mut q = EventQueue::new();
         q.push(SimTime::from_ns(10), "a");
@@ -219,10 +548,25 @@ mod tests {
     }
 
     #[test]
+    fn push_earlier_than_the_window_still_pops_first() {
+        let mut q = EventQueue::new();
+        // Force the window to re-anchor far from zero…
+        q.push(SimTime::from_ns(1 << 30), "far");
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(1 << 30)));
+        q.pop(); // window now anchored at 2^30
+        q.push(SimTime::from_ns(1 << 30), "far-2");
+        // …then schedule before it: the past event must pop first.
+        q.push(SimTime::from_ns(3), "past");
+        assert_eq!(q.pop().unwrap().1, "past");
+        assert_eq!(q.pop().unwrap().1, "far-2");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
     fn index_heap_matches_stable_sort_under_stress() {
-        // The hand-rolled heap must drain in exactly the order a stable
-        // sort by time would produce — times chosen from a small range so
-        // ties are frequent and the seq tie-break carries the test.
+        // The queue must drain in exactly the order a stable sort by
+        // time would produce — times chosen from a small range so ties
+        // are frequent and the seq tie-break carries the test.
         let mut rng = crate::DetRng::new(7);
         let mut q = EventQueue::new();
         let mut reference: Vec<(u64, usize)> = Vec::new();
@@ -272,5 +616,86 @@ mod tests {
         }
         assert!(q.pop().is_none());
         assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn binary_queue_keeps_fifo_ties() {
+        let mut q = BinaryEventQueue::new();
+        let t = SimTime::from_ns(42);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+        assert!(q.pop().is_none());
+    }
+
+    /// Differential stress: calendar queue vs the binary-heap reference
+    /// over a mixed workload of bursts, sliding windows, far-future and
+    /// past-time pushes. Both see the same operations; both must emit
+    /// the same sequence.
+    #[test]
+    fn calendar_matches_binary_reference_under_mixed_workload() {
+        let mut rng = crate::DetRng::new(2024);
+        let mut cal = EventQueue::new();
+        let mut bin = BinaryEventQueue::new();
+        let mut now = 0u64;
+        for i in 0..20_000u64 {
+            match rng.below(10) {
+                // Mostly near-future pushes (the simulator shape).
+                0..=5 => {
+                    let t = now + rng.below(4096);
+                    cal.push(SimTime::from_ns(t), i);
+                    bin.push(SimTime::from_ns(t), i);
+                }
+                // Same-instant ties.
+                6 => {
+                    let t = now + rng.below(4);
+                    for _ in 0..4 {
+                        cal.push(SimTime::from_ns(t), i);
+                        bin.push(SimTime::from_ns(t), i);
+                    }
+                }
+                // Far-future overflow.
+                7 => {
+                    let t = now + (1 << 24) + rng.below(1 << 24);
+                    cal.push(SimTime::from_ns(t), i);
+                    bin.push(SimTime::from_ns(t), i);
+                }
+                // Past-time push (legal; exercises the re-anchor path).
+                8 => {
+                    let t = now.saturating_sub(rng.below(1024));
+                    cal.push(SimTime::from_ns(t), i);
+                    bin.push(SimTime::from_ns(t), i);
+                }
+                // Drain a few.
+                _ => {
+                    for _ in 0..3 {
+                        let a = cal.pop();
+                        let b = bin.pop();
+                        assert_eq!(
+                            a.as_ref().map(|(t, e)| (*t, *e)),
+                            b.as_ref().map(|(t, e)| (*t, *e))
+                        );
+                        if let Some((t, _)) = a {
+                            now = now.max(t.as_ns());
+                        }
+                    }
+                }
+            }
+            assert_eq!(cal.len(), bin.len());
+        }
+        loop {
+            let a = cal.pop();
+            let b = bin.pop();
+            assert_eq!(
+                a.as_ref().map(|(t, e)| (*t, *e)),
+                b.as_ref().map(|(t, e)| (*t, *e))
+            );
+            if a.is_none() {
+                break;
+            }
+        }
     }
 }

@@ -9,7 +9,10 @@
 //! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution simulated time,
 //!   matching the paper's 1 ns/clk top-module tick (§VI-A).
 //! * [`EventQueue`] — a deterministic time-ordered event queue with FIFO
-//!   tie-breaking.
+//!   tie-breaking (a calendar queue; [`BinaryEventQueue`] is the
+//!   binary-heap reference it is differentially tested against).
+//! * [`hash`] — a fast deterministic hasher ([`hash::FastMap`]) for
+//!   simulation-internal maps on hot paths.
 //! * [`BandwidthLink`] — a serialization-delay model for bandwidth-limited
 //!   resources (FlexBus lanes, DIMM data buses, switch ports).
 //! * [`BoundedQueue`] — a capacity-limited FIFO used to model backpressure
@@ -34,13 +37,14 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod hash;
 pub mod link;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use event::EventQueue;
+pub use event::{BinaryEventQueue, EventQueue};
 pub use link::BandwidthLink;
 pub use queue::BoundedQueue;
 pub use rng::DetRng;

@@ -5,9 +5,32 @@
 //! and cache hit ratios (Fig 15). The types here collect the raw numbers
 //! those plots are derived from.
 
+use std::cell::Cell;
 use std::fmt;
 
 use crate::time::{SimDuration, SimTime};
+
+thread_local! {
+    /// Monotone per-thread count of simulated events (see [`record_events`]).
+    static EVENT_TALLY: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Records `n` simulated events on this thread's tally.
+///
+/// "Event" means one unit of timed simulation work — a DRAM line access,
+/// a link transfer, a switch transit. The tally is thread-local (a plain
+/// `Cell` increment, so hot paths pay ~1 ns), monotone, and read back
+/// with [`events_recorded`]; harnesses subtract before/after snapshots
+/// around a run to report an events/second throughput figure.
+#[inline]
+pub fn record_events(n: u64) {
+    EVENT_TALLY.with(|t| t.set(t.get().wrapping_add(n)));
+}
+
+/// This thread's cumulative event tally (see [`record_events`]).
+pub fn events_recorded() -> u64 {
+    EVENT_TALLY.with(Cell::get)
+}
 
 /// A monotonically increasing event counter.
 ///

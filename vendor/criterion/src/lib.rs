@@ -331,10 +331,43 @@ fn bench_target_name() -> String {
     }
 }
 
+/// Bench-target names currently declared in the workspace: the file
+/// stems of `crates/*/benches/*.rs` (cargo's implicit bench-target
+/// discovery). Used to drop `target/bench-parts/` fragments left behind
+/// by renamed or deleted bench targets — without this, a stale fragment
+/// would be resurrected into `BENCH_sim.json` forever. Returns `None`
+/// when the scan finds no bench sources at all (unexpected root, or a
+/// partially unreadable tree), in which case the merge keeps every
+/// fragment rather than deleting on bad information.
+fn known_bench_targets(root: &Path) -> Option<Vec<String>> {
+    let crates = root.join("crates");
+    let mut names = Vec::new();
+    for krate in std::fs::read_dir(crates).ok()?.flatten() {
+        let benches = krate.path().join("benches");
+        let Ok(entries) = std::fs::read_dir(benches) else {
+            continue; // most crates simply have no benches/ dir
+        };
+        for bench in entries.flatten() {
+            let path = bench.path();
+            if path.extension().is_some_and(|e| e == "rs") {
+                if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                    names.push(stem.to_string());
+                }
+            }
+        }
+    }
+    // An empty list means the scan failed to see the bench tree (this
+    // workspace always has bench targets); refuse to classify anything
+    // as stale on that basis.
+    (!names.is_empty()).then_some(names)
+}
+
 /// Rebuilds `BENCH_sim.json` by embedding every fragment verbatim. The
 /// fragments are this module's own output, so textual embedding yields
-/// well-formed JSON without needing a parser.
+/// well-formed JSON without needing a parser. Fragments whose bench
+/// target no longer exists in the workspace are deleted, not merged.
 fn merge_bench_json(root: &Path, parts_dir: &Path) {
+    let known = known_bench_targets(root);
     let mut parts: Vec<(String, String)> = Vec::new();
     if let Ok(entries) = std::fs::read_dir(parts_dir) {
         for entry in entries.flatten() {
@@ -344,6 +377,16 @@ fn merge_bench_json(root: &Path, parts_dir: &Path) {
                     path.file_stem().and_then(|s| s.to_str()),
                     std::fs::read_to_string(&path),
                 ) {
+                    if known
+                        .as_ref()
+                        .is_some_and(|names| !names.iter().any(|n| n == stem))
+                    {
+                        // Renamed or removed bench target: retire its
+                        // fragment instead of resurrecting it.
+                        println!("(dropping stale bench fragment {})", path.display());
+                        let _ = std::fs::remove_file(&path);
+                        continue;
+                    }
                     parts.push((stem.to_string(), body));
                 }
             }

@@ -1,7 +1,9 @@
 //! Minimal in-tree stand-in for the subset of `serde_json` this
 //! workspace uses, so that a fully offline build needs no crates.io
 //! access: [`Value`], an insertion-ordered [`Map`], the [`json!`] macro,
-//! and the pretty serializers [`to_string_pretty`] / [`to_vec_pretty`].
+//! the pretty serializers [`to_string_pretty`] / [`to_vec_pretty`], and
+//! a [`from_str`] parser for reading documents this crate (or any
+//! standard JSON writer) produced.
 //!
 //! It serializes only [`Value`] trees built explicitly (or via
 //! [`json!`]); it does not serialize arbitrary `Serialize` types, which
@@ -170,6 +172,251 @@ impl fmt::Display for Error {
 }
 
 impl std::error::Error for Error {}
+
+/// A parse failure with a byte offset and a short reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// What went wrong.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json parse error at byte {}: {}", self.at, self.reason)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a JSON document into a [`Value`] — the reader-side counterpart
+/// of the serializers, covering standard JSON (objects, arrays, strings
+/// with escapes, numbers, booleans, null). Integers without fraction or
+/// exponent parse to `U64`/`I64`; everything else numeric to `F64`.
+pub fn from_str(s: &str) -> Result<Value, ParseError> {
+    let b = s.as_bytes();
+    let mut p = Parser { b, at: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.at != b.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, reason: &'static str) -> ParseError {
+        ParseError {
+            at: self.at,
+            reason,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .b
+            .get(self.at)
+            .is_some_and(|c| matches!(c, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.at += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8, reason: &'static str) -> Result<(), ParseError> {
+        if self.b.get(self.at) == Some(&c) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(self.err(reason))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.b.get(self.at) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') => self.literal(b"true", Value::Bool(true)),
+            Some(b'f') => self.literal(b"false", Value::Bool(false)),
+            Some(b'n') => self.literal(b"null", Value::Null),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, lit: &[u8], v: Value) -> Result<Value, ParseError> {
+        if self.b[self.at..].starts_with(lit) {
+            self.at += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err("bad literal"))
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.eat(b'{', "expected '{'")?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.b.get(self.at) == Some(&b'}') {
+            self.at += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "expected ':'")?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.b.get(self.at) {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.eat(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.b.get(self.at) == Some(&b']') {
+            self.at += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.b.get(self.at) {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.eat(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.at) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    match self.b.get(self.at) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .hex4(self.at + 1)
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            self.at += 4;
+                            let scalar = if (0xD800..0xDC00).contains(&hex) {
+                                // High surrogate: a low surrogate escape
+                                // must follow (how standard writers
+                                // encode non-BMP characters in ASCII).
+                                if self.b.get(self.at + 1..self.at + 3) != Some(&b"\\u"[..]) {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                let low = self
+                                    .hex4(self.at + 3)
+                                    .filter(|l| (0xDC00..0xE000).contains(l))
+                                    .ok_or_else(|| self.err("unpaired surrogate"))?;
+                                self.at += 6;
+                                0x10000 + ((hex - 0xD800) << 10) + (low - 0xDC00)
+                            } else {
+                                hex
+                            };
+                            out.push(
+                                char::from_u32(scalar).ok_or_else(|| self.err("bad \\u escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.at += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // byte boundaries are valid).
+                    let start = self.at;
+                    self.at += 1;
+                    while self.at < self.b.len() && (self.b[self.at] & 0xC0) == 0x80 {
+                        self.at += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.b[start..self.at])
+                            .map_err(|_| self.err("invalid utf-8"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Four hex digits starting at byte offset `from`.
+    fn hex4(&self, from: usize) -> Option<u32> {
+        self.b
+            .get(from..from + 4)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .and_then(|h| u32::from_str_radix(h, 16).ok())
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.at;
+        if self.b.get(self.at) == Some(&b'-') {
+            self.at += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.b.get(self.at) {
+            match c {
+                b'0'..=b'9' => self.at += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.at += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.b[start..self.at]).expect("ascii number");
+        let num = if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                Number::U64(v)
+            } else if let Ok(v) = text.parse::<i64>() {
+                Number::I64(v)
+            } else {
+                Number::F64(text.parse().map_err(|_| self.err("bad number"))?)
+            }
+        } else {
+            Number::F64(text.parse().map_err(|_| self.err("bad number"))?)
+        };
+        Ok(Value::Number(num))
+    }
+}
 
 macro_rules! from_unsigned {
     ($($t:ty),*) => {$(
@@ -507,6 +754,49 @@ mod tests {
         assert!(s.contains("\"name\": \"rmc1\""));
         assert!(s.contains("\"n\": 42"));
         assert!(s.contains("\"ok\": true"));
+    }
+
+    #[test]
+    fn parse_round_trips_serialized_values() {
+        let v = json!({
+            "s": "a \"quoted\" string\nwith newline",
+            "u": 42u64,
+            "neg": -7i64,
+            "f": 2.5f64,
+            "arr": json!([1u64, json!({"k": false}), Value::Null]),
+        });
+        let parsed = from_str(&to_string_pretty(&v).unwrap()).unwrap();
+        assert_eq!(parsed, v);
+        let parsed = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in ["", "{", "[1,", "{\"a\": }", "tru", "\"unterminated", "1 2"] {
+            assert!(from_str(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn parse_handles_surrogate_pairs_and_rejects_lone_ones() {
+        assert_eq!(
+            from_str("\"\\ud83d\\ude00\"").unwrap(),
+            Value::String("😀".into())
+        );
+        assert!(from_str("\"\\ud83d\"").is_err());
+        assert!(from_str("\"\\ud83d x\"").is_err());
+        assert!(from_str("\"\\udc00\"").is_err()); // lone low surrogate
+    }
+
+    #[test]
+    fn parse_number_types_match_shapes() {
+        assert_eq!(from_str("18446744073709551615").unwrap(), json!(u64::MAX));
+        assert_eq!(from_str("-3").unwrap(), Value::Number(Number::I64(-3)));
+        assert_eq!(
+            from_str("1.25e2").unwrap(),
+            Value::Number(Number::F64(125.0))
+        );
     }
 
     #[test]
