@@ -1,0 +1,272 @@
+//! The open-loop `latency` scenario family: tail latency under load.
+//!
+//! Every other scenario is closed-loop — it reports how long a fixed
+//! bag grid takes. This family instead timestamps queries from an
+//! arrival process ([`tracegen::arrival`]) and serves them through the
+//! [`run_open_loop`](pifs_core::system::SlsSystem::run_open_loop)
+//! batcher, reporting streaming p50/p95/p99 latency:
+//!
+//! * [`LATENCY_QPS`] (`latency_qps`) — the latency-vs-QPS curve per
+//!   scheme, with saturation-knee detection in the summary: p99 stays
+//!   on the batching floor while the engine keeps up, then climbs as
+//!   the offered rate crosses the scheme's service capacity;
+//! * [`LATENCY_WAIT`] (`latency_wait`) — the batcher-knob tradeoff
+//!   (batch size × max wait) for PIFS-Rec at a fixed offered rate.
+//!
+//! Comparability conventions: the trace (which queries are asked) is
+//! seeded from the model only, and the arrival stream (when they are
+//! asked) from `(model, arrival, qps)` — so points differing in scheme
+//! or batcher knobs serve the *identical* workload, and the per-scheme
+//! curves differ only in how the engine absorbs it.
+//!
+//! [`tracegen::arrival`]: ../../../tracegen/arrival/index.html
+
+use pifs_core::system::SlsSystem;
+use serde_json::{json, Value};
+use tracegen::ArrivalProcess;
+
+use crate::scenario::{workload_seed, GridScenario, ParamSpec, ResultRow};
+use crate::{scale_buffers, STD_BATCHES, STD_BATCH_SIZE};
+
+/// Queries per serving run (the standard closed-loop sample count, so
+/// runtimes match the fig12 grids).
+const SERVE_QUERIES: usize = (STD_BATCHES * STD_BATCH_SIZE) as usize;
+
+/// Default batcher max-wait for this family, µs. Far below the default
+/// 50 µs so the low-load batching floor sits well under the queueing
+/// delays the sweep exists to expose.
+const DEFAULT_MAX_WAIT_US: &str = "10";
+
+/// An achieved rate below this fraction of the *empirical* offered
+/// rate (queries over the realized arrival span, not the nominal
+/// process rate — Poisson spans vary several percent at these stream
+/// lengths) marks saturation. Equivalently: the engine needed more
+/// than `1/0.90` of the arrival span to drain everything. The 10 %
+/// slack absorbs the constant drain tail (one max-wait plus one batch
+/// service) that short streams would otherwise misreport as overload.
+const SATURATION_FRAC: f64 = 0.90;
+
+/// The offered-load axis, queries per second. Spans the batching floor
+/// (0.25 M), every scheme's saturation knee (3–15 M), and deep
+/// overload (32 M) on the scaled RMC1 workload.
+fn qps_axis() -> ParamSpec {
+    ParamSpec::u64s(
+        "qps",
+        [
+            250_000, 1_000_000, 2_000_000, 4_000_000, 8_000_000, 16_000_000, 32_000_000,
+        ],
+    )
+}
+
+/// Runs one open-loop point: build the scheme config, apply batcher
+/// knobs, replay the seeded trace against the seeded arrival stream.
+fn run_serving_point(p: &crate::scenario::Point) -> Value {
+    let m = p.model();
+    let qps = p.f64("qps");
+    let arrival_spec = p.str("arrival");
+    let process = ArrivalProcess::parse(arrival_spec, qps)
+        .unwrap_or_else(|| panic!("param \"arrival\": bad spec {arrival_spec:?} at {qps} qps"));
+
+    let mut cfg = scale_buffers(p.scheme().config(m.clone()));
+    cfg.apply_knob(
+        "serving.max_wait_us",
+        &p.get("max_wait_us")
+            .map_or_else(|| DEFAULT_MAX_WAIT_US.to_string(), |v| v.to_string()),
+    )
+    .expect("max_wait_us knob");
+    if let Some(v) = p.get("batch_size") {
+        cfg.apply_knob("serving.batch_size", &v.to_string())
+            .expect("batch_size knob");
+    }
+
+    // Same queries for every point of a model; same timestamps for
+    // every scheme/knob at a given (arrival, qps).
+    let trace_seed = workload_seed(crate::SEED, &[p.get("model").expect("model param")]);
+    let arrival_seed = workload_seed(
+        crate::SEED,
+        &[
+            p.get("model").expect("model param"),
+            p.get("arrival").expect("arrival param"),
+            p.get("qps").expect("qps param"),
+        ],
+    );
+    cfg.seed = trace_seed;
+    let trace = tracegen::TraceSpec {
+        distribution: crate::meta_distribution(),
+        n_tables: m.n_tables,
+        rows_per_table: m.emb_num,
+        batch_size: STD_BATCH_SIZE,
+        n_batches: STD_BATCHES,
+        bag_size: m.bag_size,
+        seed: trace_seed,
+    }
+    .generate();
+    let arrivals = process.times(SERVE_QUERIES, arrival_seed);
+
+    let last_arrival_ns = arrivals.last().map_or(0, |t| t.as_ns());
+    let met = SlsSystem::new(cfg).run_open_loop(&trace, &arrivals);
+    let achieved = met.achieved_qps();
+    // saturated ⇔ arrival span < SATURATION_FRAC × makespan.
+    let saturated = (last_arrival_ns as f64) < SATURATION_FRAC * met.makespan_ns as f64;
+    json!({
+        "offered_qps": qps,
+        "empirical_qps": if last_arrival_ns == 0 {
+            0.0
+        } else {
+            met.queries as f64 * 1e9 / last_arrival_ns as f64
+        },
+        "achieved_qps": achieved,
+        "saturated": saturated,
+        "p50_ns": met.latency.percentile(0.50),
+        "p95_ns": met.latency.percentile(0.95),
+        "p99_ns": met.latency.percentile(0.99),
+        "max_ns": met.latency.max_ns(),
+        "mean_ns": met.latency.mean_ns(),
+        "mean_wait_ns": met.wait.mean_ns(),
+        "queries": met.queries,
+        "batches": met.batches,
+        "mean_batch_fill": met.mean_batch_fill,
+        "makespan_ns": met.makespan_ns,
+        "checksum": met.run.checksum,
+    })
+}
+
+/// Groups rows by every parameter except `qps`, preserving grid order
+/// (`qps` is the innermost axis, so each group is a contiguous chunk).
+fn curves(rows: &[ResultRow]) -> Vec<(String, Vec<&ResultRow>)> {
+    let mut out: Vec<(String, Vec<&ResultRow>)> = Vec::new();
+    for row in rows {
+        let key = row
+            .params
+            .iter()
+            .filter(|(n, _)| n != "qps")
+            .map(|(n, v)| format!("{n}={v}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        match out.last_mut() {
+            Some((k, group)) if *k == key => group.push(row),
+            _ => out.push((key, vec![row])),
+        }
+    }
+    out
+}
+
+/// `data` field accessor for the latency rows.
+fn get_f64(row: &ResultRow, key: &str) -> f64 {
+    row.data
+        .get(key)
+        .and_then(Value::as_f64)
+        .unwrap_or_else(|| panic!("row carries {key}"))
+}
+
+/// Summarizes one group of rows (ascending qps) into a curve object
+/// with knee detection: the knee is the first offered rate whose row is
+/// flagged `saturated` (arrival span under [`SATURATION_FRAC`] of the
+/// makespan — see that constant) or whose p99 exceeds twice the
+/// lowest-load p99, whichever the sweep hits first.
+fn curve_json(group: &[&ResultRow]) -> Value {
+    let qps: Vec<f64> = group.iter().map(|r| get_f64(r, "offered_qps")).collect();
+    let achieved: Vec<f64> = group.iter().map(|r| get_f64(r, "achieved_qps")).collect();
+    let p50: Vec<f64> = group.iter().map(|r| get_f64(r, "p50_ns")).collect();
+    let p99: Vec<f64> = group.iter().map(|r| get_f64(r, "p99_ns")).collect();
+    let base_p99 = p99.first().copied().unwrap_or(0.0);
+    let knee = group.iter().position(|r| {
+        r.data.get("saturated").and_then(Value::as_bool) == Some(true)
+            || get_f64(r, "p99_ns") > 2.0 * base_p99
+    });
+    let max_stable = group
+        .iter()
+        .zip(&achieved)
+        .filter(|(r, _)| r.data.get("saturated").and_then(Value::as_bool) == Some(false))
+        .map(|(_, &a)| a)
+        .fold(0.0f64, f64::max);
+    json!({
+        "offered_qps": qps,
+        "achieved_qps": achieved,
+        "p50_ns": p50,
+        "p99_ns": p99,
+        "knee_qps": knee.map(|i| qps[i]),
+        "max_stable_qps": max_stable,
+    })
+}
+
+/// `latency_qps`: the latency-vs-QPS curve per scheme.
+pub static LATENCY_QPS: GridScenario = GridScenario {
+    id: "latency_qps",
+    title: "Open-loop tail latency vs offered QPS per scheme (serving mode; knee = saturation)",
+    params: || {
+        vec![
+            ParamSpec::strs("model", ["RMC1"]),
+            ParamSpec::schemes(),
+            ParamSpec::strs("arrival", ["poisson"]),
+            qps_axis(),
+        ]
+    },
+    points: None,
+    run: run_serving_point,
+    parts: None,
+    summarize: |rows| {
+        let mut schemes = serde_json::Map::new();
+        for (key, group) in curves(rows) {
+            let label = group[0]
+                .params
+                .iter()
+                .find(|(n, _)| n == "scheme")
+                .map_or(key, |(_, v)| v.to_string());
+            schemes.insert(label, curve_json(&group));
+        }
+        json!({ "queries_per_point": SERVE_QUERIES, "schemes": Value::Object(schemes) })
+    },
+    free_params: false,
+    in_all: false,
+};
+
+/// `latency_wait`: batch-size × max-wait batcher tradeoff at a fixed
+/// offered rate (PIFS-Rec).
+pub static LATENCY_WAIT: GridScenario = GridScenario {
+    id: "latency_wait",
+    title: "Batcher knob tradeoff: batch size x max wait at fixed load (PIFS-Rec, serving mode)",
+    params: || {
+        vec![
+            ParamSpec::strs("model", ["RMC1"]),
+            ParamSpec::strs("scheme", ["PIFS-Rec"]),
+            ParamSpec::strs("arrival", ["poisson"]),
+            ParamSpec::u64s("qps", [4_000_000]),
+            ParamSpec::u64s("batch_size", [8, 16, 32, 64]),
+            ParamSpec::u64s("max_wait_us", [2, 10, 50]),
+        ]
+    },
+    points: None,
+    run: run_serving_point,
+    parts: None,
+    summarize: |rows| {
+        let table: Vec<Value> = rows
+            .iter()
+            .map(|r| {
+                json!({
+                    "batch_size": r.params.iter().find(|(n, _)| n == "batch_size")
+                        .map(|(_, v)| v.to_string()),
+                    "max_wait_us": r.params.iter().find(|(n, _)| n == "max_wait_us")
+                        .map(|(_, v)| v.to_string()),
+                    "p50_ns": get_f64(r, "p50_ns"),
+                    "p99_ns": get_f64(r, "p99_ns"),
+                    "mean_wait_ns": get_f64(r, "mean_wait_ns"),
+                    "mean_batch_fill": get_f64(r, "mean_batch_fill"),
+                    "saturated": r.data.get("saturated"),
+                })
+            })
+            .collect();
+        let best = rows
+            .iter()
+            .filter(|r| r.data.get("saturated").and_then(Value::as_bool) == Some(false))
+            .min_by(|a, b| {
+                get_f64(a, "p99_ns")
+                    .partial_cmp(&get_f64(b, "p99_ns"))
+                    .expect("finite p99")
+            })
+            .map(ResultRow::params_json);
+        json!({ "rows": table, "best_stable_p99": best })
+    },
+    free_params: false,
+    in_all: false,
+};

@@ -16,17 +16,18 @@ use crate::scenario::{GridScenario, Scenario};
 pub mod analytic;
 pub mod characterization;
 pub mod custom;
+pub mod latency;
 pub mod pm;
 pub mod scaling;
 pub mod schemes;
 
-/// Every scenario, in the paper's presentation order; `custom`
-/// (sweep-only) comes last.
+/// Every scenario, in the paper's presentation order; the sweep-only
+/// entries (the open-loop `latency` family and `custom`) come last.
 pub fn all() -> Vec<&'static dyn Scenario> {
     ALL.iter().map(|s| *s as &dyn Scenario).collect()
 }
 
-static ALL: [&GridScenario; 20] = [
+static ALL: [&GridScenario; 22] = [
     &analytic::TABLE1,
     &analytic::TABLE2,
     &characterization::FIG5,
@@ -46,5 +47,7 @@ static ALL: [&GridScenario; 20] = [
     &analytic::FIG17,
     &analytic::FIG18,
     &analytic::ENERGY,
+    &latency::LATENCY_QPS,
+    &latency::LATENCY_WAIT,
     &custom::CUSTOM,
 ];

@@ -1,0 +1,137 @@
+//! Golden-snapshot and determinism regression for the open-loop
+//! `latency_qps` sweep.
+//!
+//! `tests/golden/latency_qps.jsonl` was captured when the serving layer
+//! landed. The sweep's JSONL output must stay byte-identical to it for
+//! any runner thread count — the same determinism bar the fig13a golden
+//! enforces for the closed-loop engine, extended to the batcher,
+//! arrival generator and latency-histogram paths. If a change to the
+//! *model* legitimately alters the numbers, recapture with
+//! `repro -- latency_qps` and say so in the commit.
+
+use pifs_bench::runner::SweepRunner;
+use pifs_bench::scenario::{find, point_seed, Point, Scenario};
+use serde_json::Value;
+
+fn golden_lines() -> Vec<String> {
+    let raw = include_str!("golden/latency_qps.jsonl");
+    raw.lines().map(str::to_string).collect()
+}
+
+/// Rebuilds the grid points at `indices` exactly as the full grid
+/// assigns them, so their rows are byte-comparable against the matching
+/// golden lines.
+fn latency_points(scenario: &dyn Scenario, indices: &[usize]) -> Vec<Point> {
+    let all = scenario.points();
+    indices
+        .iter()
+        .map(|&i| {
+            let p = &all[i];
+            assert_eq!(p.index, i, "registry grid must be in row-major order");
+            assert_eq!(p.seed, point_seed(pifs_bench::SEED, i));
+            Point::new(p.index, p.seed, p.params().to_vec())
+        })
+        .collect()
+}
+
+/// Debug-friendly 4-point subset: Pond and PIFS-Rec, each at one
+/// pre-knee and one post-knee offered rate, byte-compared against the
+/// golden lines — the CI smoke gate.
+#[test]
+fn latency_qps_subset_rows_match_golden_snapshot() {
+    let scenario = find("latency_qps").expect("latency_qps registered");
+    let golden = golden_lines();
+    assert_eq!(golden.len(), scenario.points().len());
+    // 7 qps values per scheme: Pond rows 0..7, PIFS-Rec rows 28..35.
+    // Indices 1/5 (1M / 16M) straddle Pond's knee; 29/33 PIFS-Rec's.
+    let indices = [1usize, 5, 29, 33];
+    let points = latency_points(scenario, &indices);
+    assert_eq!(points[0].str("scheme"), "Pond");
+    assert_eq!(points[2].str("scheme"), "PIFS-Rec");
+    let rows = SweepRunner::new(2).run_points(scenario, points);
+    for (row, &i) in rows.iter().zip(&indices) {
+        assert_eq!(
+            row.to_jsonl(),
+            golden[i],
+            "latency_qps row {i} drifted from the golden snapshot"
+        );
+    }
+}
+
+/// The new scenarios are byte-identical across runner thread counts —
+/// rows and summary both (the serving determinism bar).
+#[test]
+fn latency_scenarios_are_thread_count_independent() {
+    for id in ["latency_qps", "latency_wait"] {
+        let scenario = find(id).expect("latency scenario registered");
+        // Subset grid in debug builds to keep the test fast; the full
+        // grid runs in release (and in the release golden test below).
+        let points = |_: ()| {
+            let all = scenario.points();
+            if cfg!(debug_assertions) {
+                let idx: Vec<usize> = (0..all.len()).step_by(all.len().div_ceil(6)).collect();
+                latency_points(scenario, &idx)
+            } else {
+                all
+            }
+        };
+        let serial = SweepRunner::new(1).run_points(scenario, points(()));
+        let parallel = SweepRunner::new(4).run_points(scenario, points(()));
+        let jsonl = |rows: &[pifs_bench::scenario::ResultRow]| {
+            rows.iter().map(|r| r.to_jsonl()).collect::<Vec<_>>()
+        };
+        assert_eq!(jsonl(&serial), jsonl(&parallel), "{id} rows drifted");
+        let summary = |rows| serde_json::to_string_pretty(&scenario.summarize(rows)).unwrap();
+        assert_eq!(summary(&serial), summary(&parallel), "{id} summary drifted");
+    }
+}
+
+/// The full 35-point grid, byte-identical end to end, plus the
+/// monotone-or-saturating acceptance property on every scheme's curve.
+/// Release-only (the full grid is ~35 serving simulations).
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full grid is release-only; run with --release -- --ignored"
+)]
+fn latency_qps_full_grid_matches_golden_snapshot() {
+    let scenario = find("latency_qps").expect("latency_qps registered");
+    let golden = golden_lines();
+    let rows = SweepRunner::new(4).run(scenario);
+    let produced: Vec<String> = rows.iter().map(|r| r.to_jsonl()).collect();
+    assert_eq!(produced, golden);
+
+    // Acceptance: per scheme, p99 never ends below where it started
+    // (flat batching floor, then the saturation knee), every scheme
+    // saturates by the top offered rate, and the knee is detected.
+    let summary = scenario.summarize(&rows);
+    let schemes = summary
+        .get("schemes")
+        .and_then(Value::as_object)
+        .expect("schemes map");
+    assert_eq!(schemes.len(), baselines::Scheme::all().len());
+    for (label, curve) in schemes.iter() {
+        let p99: Vec<f64> = curve
+            .get("p99_ns")
+            .and_then(Value::as_array)
+            .expect("p99 series")
+            .iter()
+            .map(|v| v.as_f64().expect("numeric p99"))
+            .collect();
+        assert!(
+            p99.last() >= p99.first(),
+            "{label}: overload p99 {:?} fell below the light-load floor {:?}",
+            p99.last(),
+            p99.first()
+        );
+        assert!(
+            curve.get("knee_qps").is_some_and(|v| v.as_f64().is_some()),
+            "{label}: no saturation knee detected across the sweep"
+        );
+        let max_stable = curve
+            .get("max_stable_qps")
+            .and_then(Value::as_f64)
+            .expect("max_stable_qps");
+        assert!(max_stable > 0.0, "{label}: no stable operating point");
+    }
+}

@@ -86,8 +86,11 @@ fn every_repro_all_id_resolves_with_a_nonempty_grid() {
         assert!(!s.points().is_empty(), "{} has an empty grid", s.id());
         assert!(!s.title().is_empty(), "{} has no title", s.id());
     }
-    // The sweep-only scenario exists but stays out of `all`.
-    assert!(find("custom").is_some_and(|s| !s.in_all()));
+    // The sweep-only scenarios exist but stay out of `all` (it remains
+    // the paper set).
+    for id in ["custom", "latency_qps", "latency_wait"] {
+        assert!(find(id).is_some_and(|s| !s.in_all()), "{id}");
+    }
 }
 
 /// Grid shapes of the ported scenarios match the historical loop sizes.

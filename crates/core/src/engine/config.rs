@@ -18,6 +18,8 @@ use pagemgmt::InitialPlacement;
 
 use crate::buffer::BufferPolicy;
 
+pub use super::serving::ServingConfig;
+
 /// Where SLS accumulation executes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ComputeSite {
@@ -119,6 +121,10 @@ pub struct SystemConfig {
     pub threading: ThreadingMode,
     /// Fabric latency/bandwidth parameters.
     pub cxl: CxlParams,
+    /// Open-loop serving batcher knobs (only
+    /// [`run_open_loop`](crate::system::SlsSystem::run_open_loop) reads
+    /// them; closed-loop traces ignore this field).
+    pub serving: ServingConfig,
     /// Batches excluded from measurement: they run first to warm the
     /// page placement, buffers and hotness state, modeling a system
     /// measured in steady state rather than from a cold boot. Their
@@ -147,6 +153,7 @@ impl SystemConfig {
             translation_ns: 0,
             threading: ThreadingMode::Batch,
             cxl: CxlParams::default(),
+            serving: ServingConfig::default(),
             warmup_batches: 0,
             seed: 0,
         }
@@ -224,7 +231,8 @@ impl SystemConfig {
     /// `buffer.policy` (`htr` / `lru` / `fifo`), `buffer.capacity_kb`,
     /// and `buffer` (`off`). Setting a `pm.*` or `buffer.*` knob on a
     /// config where that subsystem is disabled enables it with defaults
-    /// first.
+    /// first. The open-loop batcher exposes `serving.batch_size` and
+    /// `serving.max_wait_us` (microseconds; fractional values allowed).
     ///
     /// # Errors
     ///
@@ -323,6 +331,20 @@ impl SystemConfig {
                     .get_or_insert_with(BufferConfig::default)
                     .capacity_bytes = parse::<u64>(key, value)? * 1024
             }
+            "serving.batch_size" => {
+                let n: u32 = parse(key, value)?;
+                if n == 0 {
+                    return Err("knob serving.batch_size: must be positive".to_string());
+                }
+                self.serving.batch_size = n;
+            }
+            "serving.max_wait_us" => {
+                let us: f64 = parse(key, value)?;
+                if !(us >= 0.0 && us.is_finite()) {
+                    return Err(format!("knob serving.max_wait_us: bad value {value:?}"));
+                }
+                self.serving.max_wait_ns = (us * 1_000.0).round() as u64;
+            }
             _ => return Err(format!("unknown SystemConfig knob {key:?}")),
         }
         Ok(())
@@ -363,6 +385,8 @@ mod tests {
             ("buffer.policy", "lru"),
             ("buffer.capacity_kb", "64"),
             ("ooo", "true"),
+            ("serving.batch_size", "16"),
+            ("serving.max_wait_us", "12.5"),
         ] {
             c.apply_knob(k, v).unwrap();
         }
@@ -378,6 +402,18 @@ mod tests {
         assert_eq!(b.policy, BufferPolicy::Lru);
         assert_eq!(b.capacity_bytes, 64 * 1024);
         assert!(c.ooo);
+        assert_eq!(c.serving.batch_size, 16);
+        assert_eq!(c.serving.max_wait_ns, 12_500);
+    }
+
+    #[test]
+    fn serving_knob_rejects_degenerate_values() {
+        let mut c = cfg();
+        let before = c.clone();
+        assert!(c.apply_knob("serving.batch_size", "0").is_err());
+        assert!(c.apply_knob("serving.max_wait_us", "-1").is_err());
+        assert!(c.apply_knob("serving.max_wait_us", "inf").is_err());
+        assert_eq!(c, before);
     }
 
     #[test]

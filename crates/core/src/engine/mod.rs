@@ -13,6 +13,9 @@
 //!   as explicit stages behind a small `Stage` trait;
 //! * [`pagemgmt_epoch`] — epoch-boundary page management (§IV-B) and
 //!   the TPP baseline;
+//! * [`serving`] — the open-loop serving layer: timestamped query
+//!   queue, the fill/max-wait [`QueryBatcher`](serving::QueryBatcher),
+//!   and streaming tail-latency accounting;
 //! * [`metrics`] — [`RunMetrics`](metrics::RunMetrics) and the warmup
 //!   counter-offset bookkeeping.
 //!
@@ -26,4 +29,5 @@ pub mod config;
 pub mod metrics;
 pub mod pagemgmt_epoch;
 pub mod pipeline;
+pub mod serving;
 pub mod topology;

@@ -1,0 +1,287 @@
+//! The open-loop serving layer: timestamped query queue, batcher, and
+//! streaming latency accounting.
+//!
+//! Closed-loop runs ([`SlsSystem::run_trace`]) feed batches back-to-back
+//! and report aggregate runtime — load is whatever the engine absorbs.
+//! Serving mode inverts that: queries arrive at externally generated
+//! timestamps (see [`tracegen::arrival`]), wait in a FIFO queue, and a
+//! [`QueryBatcher`] closes dynamic batches when either the batch fills
+//! ([`ServingConfig::batch_size`]) or the oldest query has waited
+//! [`ServingConfig::max_wait_ns`]. Each closed batch is dispatched to
+//! the existing `Stage` pipeline (`engine/pipeline.rs`) as soon as
+//! its host is free, and every query's enqueue→completion latency lands
+//! in a streaming [`LatencyHist`] — the p50/p99 a latency-vs-QPS curve
+//! plots.
+//!
+//! Everything here is deterministic: batch formation depends only on
+//! the arrival timestamps and the batcher knobs, ties at the same
+//! `SimTime` keep arrival (FIFO) order, and a timeout landing exactly
+//! on an arrival's instant fires *before* that arrival is admitted
+//! (deadline comparisons are inclusive).
+//!
+//! [`SlsSystem::run_trace`]: crate::system::SlsSystem::run_trace
+//! [`tracegen::arrival`]: ../../../tracegen/arrival/index.html
+
+#![deny(missing_docs)]
+
+use std::collections::VecDeque;
+
+use simkit::{LatencyHist, SimDuration, SimTime};
+
+use super::metrics::RunMetrics;
+
+/// Open-loop batcher knobs (see [`SystemConfig::serving`]).
+///
+/// [`SystemConfig::serving`]: super::config::SystemConfig::serving
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServingConfig {
+    /// Queries per dispatched batch: a batch closes as soon as this
+    /// many queries are pending.
+    pub batch_size: u32,
+    /// Maximum time the oldest pending query may wait before its batch
+    /// closes part-full, ns.
+    pub max_wait_ns: u64,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        ServingConfig {
+            batch_size: 32,
+            max_wait_ns: 50_000, // 50 µs: a few batch service times
+        }
+    }
+}
+
+/// One query waiting in (or dispatched from) the serving queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingQuery {
+    /// Query id: the index into the arrival stream, which is also the
+    /// index of the query's bags in the backing trace.
+    pub qid: u64,
+    /// Enqueue timestamp.
+    pub arrival: SimTime,
+}
+
+/// A batch the batcher has closed, ready for dispatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadyBatch {
+    /// The member queries, in arrival (FIFO) order.
+    pub queries: Vec<PendingQuery>,
+    /// The instant the batch closed: the triggering arrival's timestamp
+    /// (full batch) or the oldest member's deadline (timeout). Dispatch
+    /// starts at `max(close, host ready)`.
+    pub close: SimTime,
+}
+
+/// The query batcher: a FIFO of pending queries with fill and max-wait
+/// close conditions.
+///
+/// Driver contract: before admitting an arrival at time `t`, call
+/// [`Self::flush_due`]`(t)` until it returns `None` (a timeout strictly
+/// before — or exactly at — `t` fires first); then [`Self::offer`] the
+/// arrival. After the last arrival, drain with [`Self::flush_due`] at
+/// `SimTime::MAX` (trailing queries fire at their deadline, exactly as
+/// they would had more traffic followed).
+#[derive(Debug, Clone)]
+pub struct QueryBatcher {
+    batch_size: usize,
+    max_wait: SimDuration,
+    pending: VecDeque<PendingQuery>,
+}
+
+impl QueryBatcher {
+    /// Creates an empty batcher with `cfg`'s knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.batch_size` is zero.
+    pub fn new(cfg: &ServingConfig) -> Self {
+        assert!(cfg.batch_size > 0, "serving batch size must be positive");
+        QueryBatcher {
+            batch_size: cfg.batch_size as usize,
+            max_wait: SimDuration::from_ns(cfg.max_wait_ns),
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Number of queries currently pending.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no queries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// The instant the oldest pending query's max-wait expires, or
+    /// `None` when the queue is empty.
+    pub fn deadline(&self) -> Option<SimTime> {
+        self.pending.front().map(|q| q.arrival + self.max_wait)
+    }
+
+    /// Admits one arrival. Returns the closed batch when this arrival
+    /// fills it (close time = `at`). Arrivals at the same `SimTime`
+    /// keep their call order — the FIFO tie-break.
+    pub fn offer(&mut self, qid: u64, at: SimTime) -> Option<ReadyBatch> {
+        debug_assert!(
+            self.deadline().is_none_or(|d| d > at),
+            "flush_due must run before offer admits an arrival at {at}"
+        );
+        self.pending.push_back(PendingQuery { qid, arrival: at });
+        (self.pending.len() >= self.batch_size).then(|| ReadyBatch {
+            queries: self.pending.drain(..).collect(),
+            close: at,
+        })
+    }
+
+    /// Fires the max-wait timeout if it is due at `now` (inclusive):
+    /// returns the part-full batch closed at its deadline, or `None`
+    /// when the queue is empty or the oldest query can still wait. An
+    /// empty tick (`flush_due` on an empty batcher) is a no-op.
+    pub fn flush_due(&mut self, now: SimTime) -> Option<ReadyBatch> {
+        let deadline = self.deadline()?;
+        (deadline <= now).then(|| ReadyBatch {
+            queries: self.pending.drain(..).collect(),
+            close: deadline,
+        })
+    }
+}
+
+/// What one open-loop serving run measured.
+#[derive(Debug, Clone, Default)]
+pub struct ServingMetrics {
+    /// Queries served.
+    pub queries: u64,
+    /// Dynamic batches dispatched.
+    pub batches: u64,
+    /// End of the last batch (including exposed migration overhead) —
+    /// the run's makespan, ns.
+    pub makespan_ns: u64,
+    /// Per-query enqueue→completion latency.
+    pub latency: LatencyHist,
+    /// Per-query enqueue→dispatch wait (queueing + batching delay; the
+    /// remainder of `latency` is pipeline service time).
+    pub wait: LatencyHist,
+    /// Mean batch fill as a fraction of the configured batch size (1.0
+    /// = every batch closed full, lower = max-wait timeouts fired).
+    pub mean_batch_fill: f64,
+    /// The underlying pipeline metrics for the whole run.
+    pub run: RunMetrics,
+}
+
+impl ServingMetrics {
+    /// Achieved throughput in queries per second (0.0 when empty).
+    pub fn achieved_qps(&self) -> f64 {
+        if self.makespan_ns == 0 {
+            0.0
+        } else {
+            self.queries as f64 * 1e9 / self.makespan_ns as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batcher(batch_size: u32, max_wait_ns: u64) -> QueryBatcher {
+        QueryBatcher::new(&ServingConfig {
+            batch_size,
+            max_wait_ns,
+        })
+    }
+
+    fn qids(b: &ReadyBatch) -> Vec<u64> {
+        b.queries.iter().map(|q| q.qid).collect()
+    }
+
+    #[test]
+    fn fills_close_at_the_triggering_arrival() {
+        let mut b = batcher(3, 1_000);
+        assert!(b.offer(0, SimTime::from_ns(10)).is_none());
+        assert!(b.offer(1, SimTime::from_ns(20)).is_none());
+        let batch = b.offer(2, SimTime::from_ns(30)).expect("batch full");
+        assert_eq!(qids(&batch), [0, 1, 2]);
+        assert_eq!(batch.close, SimTime::from_ns(30));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn empty_tick_is_a_no_op() {
+        let mut b = batcher(4, 1_000);
+        assert!(b.flush_due(SimTime::from_ns(5_000)).is_none());
+        assert!(b.is_empty());
+        assert_eq!(b.deadline(), None);
+    }
+
+    #[test]
+    fn max_wait_fires_before_the_batch_fills() {
+        let mut b = batcher(8, 1_000);
+        assert!(b.offer(0, SimTime::from_ns(100)).is_none());
+        assert!(b.offer(1, SimTime::from_ns(600)).is_none());
+        // Not due yet at 1099…
+        assert!(b.flush_due(SimTime::from_ns(1_099)).is_none());
+        // …due at the oldest query's deadline, closing part-full there.
+        let batch = b.flush_due(SimTime::from_ns(5_000)).expect("timeout due");
+        assert_eq!(qids(&batch), [0, 1]);
+        assert_eq!(batch.close, SimTime::from_ns(1_100));
+        assert!(b.is_empty());
+        // The tick after the flush is an empty tick.
+        assert!(b.flush_due(SimTime::from_ns(5_000)).is_none());
+    }
+
+    #[test]
+    fn timeout_exactly_at_an_arrival_fires_first() {
+        // Deadline comparisons are inclusive: an arrival landing exactly
+        // on the oldest query's deadline joins the *next* batch.
+        let mut b = batcher(8, 1_000);
+        assert!(b.offer(0, SimTime::from_ns(0)).is_none());
+        let at = SimTime::from_ns(1_000);
+        let batch = b.flush_due(at).expect("deadline is inclusive");
+        assert_eq!(qids(&batch), [0]);
+        assert_eq!(batch.close, at);
+        assert!(b.offer(1, at).is_none());
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn same_simtime_arrivals_keep_fifo_order() {
+        let mut b = batcher(4, 1_000);
+        let t = SimTime::from_ns(77);
+        assert!(b.offer(10, t).is_none());
+        assert!(b.offer(11, t).is_none());
+        assert!(b.offer(12, t).is_none());
+        let batch = b.offer(13, t).expect("filled");
+        assert_eq!(qids(&batch), [10, 11, 12, 13]);
+        assert_eq!(batch.close, t);
+    }
+
+    #[test]
+    fn trailing_queries_flush_at_their_deadline() {
+        let mut b = batcher(8, 2_000);
+        assert!(b.offer(0, SimTime::from_ns(500)).is_none());
+        assert!(b.offer(1, SimTime::from_ns(900)).is_none());
+        // End of stream: drain with a far-future now.
+        let batch = b
+            .flush_due(SimTime::from_ns(u64::MAX))
+            .expect("trailing batch");
+        assert_eq!(qids(&batch), [0, 1]);
+        assert_eq!(batch.close, SimTime::from_ns(2_500));
+        assert!(b.flush_due(SimTime::from_ns(u64::MAX)).is_none());
+    }
+
+    #[test]
+    fn batch_size_one_dispatches_immediately() {
+        let mut b = batcher(1, 1_000);
+        let batch = b.offer(0, SimTime::from_ns(42)).expect("immediate");
+        assert_eq!(qids(&batch), [0]);
+        assert_eq!(batch.close, SimTime::from_ns(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_size_rejected() {
+        let _ = batcher(0, 1_000);
+    }
+}

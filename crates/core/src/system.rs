@@ -27,10 +27,12 @@ use crate::engine::config::page_align;
 use crate::engine::metrics::CounterOffsets;
 use crate::engine::pagemgmt_epoch::{run_pm_epoch, EpochCtx};
 use crate::engine::pipeline::{self, process_bag, BagScratch, EngineCtx};
+use crate::engine::serving::{QueryBatcher, ReadyBatch};
 use crate::engine::topology::Plant;
 
 pub use crate::engine::config::{BufferConfig, ComputeSite, PmConfig, PmStyle, SystemConfig};
 pub use crate::engine::metrics::RunMetrics;
+pub use crate::engine::serving::{PendingQuery, ServingConfig, ServingMetrics};
 
 /// The composed system: the hardware `Plant`, the embedding layout and
 /// page placement, and the workload-visible run state.
@@ -231,8 +233,184 @@ impl SlsSystem {
         self.metrics.clone()
     }
 
+    /// Serves `trace`'s samples open-loop: query `q` (the `q`-th entry
+    /// of `arrivals`) is sample `q % batch_size` of trace batch
+    /// `q / batch_size`, enqueued at `arrivals[q]` — timestamps are
+    /// relative to the run's start (on a warm system the stream is
+    /// shifted past everything already simulated). The configured
+    /// [`ServingConfig`] batcher closes dynamic batches (fill or
+    /// max-wait), each dispatched to the stage pipeline when its host
+    /// frees up, and per-query enqueue→completion latency streams into
+    /// [`ServingMetrics::latency`].
+    ///
+    /// Warmup is an arrival-stream concern here (closed-loop
+    /// `warmup_batches` does not apply): the whole run is measured.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrivals` is not sorted non-decreasing, if it holds
+    /// more queries than the trace has samples, or if the trace exceeds
+    /// the model (as in [`Self::run_trace`]).
+    pub fn run_open_loop(&mut self, trace: &Trace, arrivals: &[SimTime]) -> ServingMetrics {
+        assert!(
+            trace.n_tables <= self.cfg.model.n_tables,
+            "trace has more tables than the model"
+        );
+        assert!(
+            trace.rows_per_table <= self.cfg.model.emb_num,
+            "trace rows exceed the model's embedding count"
+        );
+        let capacity = trace.batches.len() as u64 * trace.batch_size as u64;
+        assert!(
+            arrivals.len() as u64 <= capacity,
+            "arrival stream has more queries than the trace has samples"
+        );
+        assert!(
+            arrivals.windows(2).all(|w| w[0] <= w[1]),
+            "arrival timestamps must be sorted non-decreasing"
+        );
+
+        // Phase 1 — batch formation. Depends only on the timestamps and
+        // the batcher knobs, never on engine state: the batcher's
+        // max-wait timer fires even while every core is busy (that is
+        // what makes the loop open).
+        let mut batcher = QueryBatcher::new(&self.cfg.serving);
+        let mut formed: Vec<ReadyBatch> = Vec::new();
+        for (qid, &t) in arrivals.iter().enumerate() {
+            while let Some(b) = batcher.flush_due(t) {
+                formed.push(b);
+            }
+            if let Some(b) = batcher.offer(qid as u64, t) {
+                formed.push(b);
+            }
+        }
+        while let Some(b) = batcher.flush_due(SimTime::from_ns(u64::MAX)) {
+            formed.push(b);
+        }
+
+        // Phase 2 — dispatch. Batches run in close order, round-robin
+        // over hosts, each starting when both the batch has closed and
+        // its host is free; the pipeline timing path is exactly
+        // `run_trace`'s. Arrival timestamps are relative to the run
+        // start: on a warm system (a prior run advanced the hosts) the
+        // whole stream is shifted past everything already simulated, so
+        // latencies and the makespan measure this run only.
+        self.metrics = RunMetrics::default();
+        let mut serving = ServingMetrics::default();
+        let mut bag_latency_sum = 0u128;
+        let mut dev_offset: Vec<u64> = vec![0; self.plant.devices.len()];
+        let counter_offsets = self.snapshot_counters(&mut dev_offset);
+        let t0 = self
+            .plant
+            .hosts
+            .iter()
+            .map(|h| h.next_free)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let shift = t0.saturating_since(SimTime::ZERO);
+        let mut q_done: Vec<SimTime> = Vec::new();
+        // Partition memo: every full batch shares one layout, so only
+        // the trailing part-full sizes recompute it.
+        let mut parts_memo: Option<(u32, Vec<Vec<dlrm::query::WorkItem>>)> = None;
+        for (bi, batch) in formed.iter().enumerate() {
+            let host_idx = bi % self.cfg.n_hosts as usize;
+            let start = (batch.close + shift).max(self.plant.hosts[host_idx].next_free);
+            let mut batch_done = start;
+            let n = batch.queries.len() as u32;
+            if parts_memo.as_ref().is_none_or(|(len, _)| *len != n) {
+                parts_memo = Some((
+                    n,
+                    query::partition(
+                        trace.n_tables,
+                        n,
+                        self.cfg.cores_per_host,
+                        self.cfg.threading,
+                    ),
+                ));
+            }
+            let parts = &parts_memo.as_ref().expect("memo just filled").1;
+            q_done.clear();
+            q_done.resize(batch.queries.len(), start);
+            for (core_idx, items) in parts.iter().enumerate() {
+                self.plant.hosts[host_idx].cores[core_idx] = start;
+                for item in items {
+                    for sample in item.sample_begin..item.sample_end {
+                        let q = batch.queries[sample as usize];
+                        let tb = (q.qid / trace.batch_size as u64) as usize;
+                        let ts = (q.qid % trace.batch_size as u64) as u32;
+                        let bag = trace.bag(tb, item.table, ts);
+                        let issue = self.plant.hosts[host_idx].cores[core_idx];
+                        let mut scratch = std::mem::take(&mut self.scratch);
+                        let (done, core_free) = process_bag(
+                            &mut self.engine_ctx(),
+                            &mut scratch,
+                            host_idx,
+                            issue,
+                            item.table,
+                            bag,
+                        );
+                        self.scratch = scratch;
+                        self.plant.hosts[host_idx].cores[core_idx] = core_free;
+                        batch_done = batch_done.max(done);
+                        q_done[sample as usize] = q_done[sample as usize].max(done);
+                        bag_latency_sum += done.saturating_since(issue).as_ns() as u128;
+                        self.metrics.bags += 1;
+                    }
+                }
+            }
+            // A query completes when its last bag does; the response
+            // leaves before the epoch-boundary page manager runs.
+            for (q, &done) in batch.queries.iter().zip(&q_done) {
+                serving
+                    .latency
+                    .record(done.saturating_since(q.arrival + shift));
+                serving
+                    .wait
+                    .record(start.saturating_since(q.arrival + shift));
+            }
+            serving.queries += batch.queries.len() as u64;
+            serving.mean_batch_fill += batch.queries.len() as f64;
+            if self.cfg.page_mgmt.is_some() {
+                let overhead = run_pm_epoch(&mut self.epoch_ctx());
+                batch_done += overhead;
+                self.metrics.migration_ns += overhead.as_ns();
+            }
+            self.plant.hosts[host_idx].next_free = batch_done;
+        }
+
+        serving.batches = formed.len() as u64;
+        serving.mean_batch_fill = if formed.is_empty() {
+            0.0
+        } else {
+            serving.mean_batch_fill / (formed.len() as f64 * self.cfg.serving.batch_size as f64)
+        };
+        serving.makespan_ns = self
+            .plant
+            .hosts
+            .iter()
+            .map(|h| h.next_free.saturating_since(t0).as_ns())
+            .max()
+            .unwrap_or(0);
+        self.metrics.total_ns = serving.makespan_ns;
+        self.metrics.device_accesses = self
+            .plant
+            .devices
+            .iter()
+            .zip(&dev_offset)
+            .map(|(d, &off)| d.access_count() - off)
+            .collect();
+        counter_offsets.finish(&self.plant.switches, &self.plant.hosts, &mut self.metrics);
+        self.metrics.mean_bag_ns = if self.metrics.bags == 0 {
+            0.0
+        } else {
+            bag_latency_sum as f64 / self.metrics.bags as f64
+        };
+        serving.run = self.metrics.clone();
+        serving
+    }
+
     /// Records current cumulative counters so the measured window can
-    /// subtract everything that happened during warmup.
+    /// subtract everything that happened before the capture point.
     fn snapshot_counters(&self, dev_offset: &mut [u64]) -> CounterOffsets {
         for (slot, d) in dev_offset.iter_mut().zip(&self.plant.devices) {
             *slot = d.access_count();

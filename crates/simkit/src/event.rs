@@ -698,4 +698,78 @@ mod tests {
             }
         }
     }
+
+    /// Differential stress with an open-loop *serving* shape: dense
+    /// bursts of arrivals packed into a few microseconds, a handful of
+    /// far-future timeout timers per burst, then a long idle gap before
+    /// the next burst. The pending set alternates between sparse
+    /// (timers only, spanning seconds) and dense (a burst packed into
+    /// microseconds), so every gap forces the calendar queue to re-fit
+    /// its bucket width across the sparse→dense transition — the width
+    /// refit path the mixed-workload test above rarely reaches.
+    #[test]
+    fn calendar_matches_binary_on_bursty_serving_workload() {
+        let mut rng = crate::DetRng::new(2026);
+        let mut cal = EventQueue::new();
+        let mut bin = BinaryEventQueue::new();
+        let mut now = 0u64;
+        let mut next_id = 0u64;
+        let mut push_both = |cal: &mut EventQueue<u64>, bin: &mut BinaryEventQueue<u64>, t: u64| {
+            cal.push(SimTime::from_ns(t), next_id);
+            bin.push(SimTime::from_ns(t), next_id);
+            next_id += 1;
+        };
+        for epoch in 0..300u64 {
+            // Arrival burst: tens of queries inside a 2 µs window, with
+            // frequent exact ties (back-to-back arrivals).
+            let burst = 16 + rng.below(48);
+            for _ in 0..burst {
+                let t = now + rng.below(2_000);
+                push_both(&mut cal, &mut bin, t);
+                if rng.below(4) == 0 {
+                    push_both(&mut cal, &mut bin, t); // same-instant tie
+                }
+            }
+            // Batcher max-wait timers and retry timeouts: sparse events
+            // milliseconds-to-seconds out, far beyond the burst window.
+            for _ in 0..1 + rng.below(4) {
+                let t = now + 1_000_000 + rng.below(1 << 30);
+                push_both(&mut cal, &mut bin, t);
+            }
+            // Drain: fully on every third epoch (idle system), else just
+            // the burst-sized prefix (timers stay pending across gaps).
+            let drain = if epoch % 3 == 0 {
+                cal.len()
+            } else {
+                burst as usize
+            };
+            for _ in 0..drain {
+                let a = cal.pop();
+                let b = bin.pop();
+                assert_eq!(
+                    a.as_ref().map(|(t, e)| (*t, *e)),
+                    b.as_ref().map(|(t, e)| (*t, *e))
+                );
+                if let Some((t, _)) = a {
+                    now = now.max(t.as_ns());
+                }
+            }
+            assert_eq!(cal.len(), bin.len());
+            assert_eq!(cal.peek_time(), bin.peek_time());
+            // Idle gap: the next burst lands far past the current
+            // window, densely packed relative to the leftover timers.
+            now += 5_000_000 + rng.below(1 << 28);
+        }
+        loop {
+            let a = cal.pop();
+            let b = bin.pop();
+            assert_eq!(
+                a.as_ref().map(|(t, e)| (*t, *e)),
+                b.as_ref().map(|(t, e)| (*t, *e))
+            );
+            if a.is_none() {
+                break;
+            }
+        }
+    }
 }

@@ -48,5 +48,5 @@ pub use event::{BinaryEventQueue, EventQueue};
 pub use link::BandwidthLink;
 pub use queue::BoundedQueue;
 pub use rng::DetRng;
-pub use stats::{BandwidthMeter, Counter, Histogram, Summary};
+pub use stats::{BandwidthMeter, Counter, Histogram, LatencyHist, Summary};
 pub use time::{SimDuration, SimTime};

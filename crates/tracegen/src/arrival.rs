@@ -1,0 +1,401 @@
+//! Query arrival processes for open-loop serving experiments.
+//!
+//! Closed-loop runs feed the simulator batches back-to-back, so load is
+//! whatever the engine can absorb. Open-loop serving instead timestamps
+//! each query from an *arrival process* at a configured rate and lets
+//! the queue build when the engine falls behind — the setup that turns
+//! aggregate runtime into a latency-vs-QPS curve. Three families cover
+//! the serving literature's standard shapes:
+//!
+//! * [`ArrivalProcess::Fixed`] — metronome arrivals at exactly `qps`
+//!   (the zero-variance baseline; any queueing observed is service-time
+//!   variance, not arrival jitter);
+//! * [`ArrivalProcess::Poisson`] — exponential inter-arrival gaps, the
+//!   classic open-loop model of independent users;
+//! * [`ArrivalProcess::Bursty`] — a two-state Markov-modulated Poisson
+//!   process (MMPP-2) alternating between a high-rate and a low-rate
+//!   state with exponentially distributed dwell times; time-averaged
+//!   rate stays `qps` while bursts stress the batcher and queue depth.
+//!
+//! Generation is deterministic: the same `(process, seed)` pair always
+//! yields the same timestamp stream (golden-value tested), seeded
+//! per-point via the same splitmix convention as the trace generator.
+
+use serde::{Deserialize, Serialize};
+use simkit::{DetRng, SimTime};
+
+/// The stochastic process query arrival times are drawn from.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Metronome arrivals: query `i` arrives at exactly `i / qps`.
+    Fixed {
+        /// Mean arrival rate, queries per second.
+        qps: f64,
+    },
+    /// Poisson arrivals: i.i.d. exponential inter-arrival gaps.
+    Poisson {
+        /// Mean arrival rate, queries per second.
+        qps: f64,
+    },
+    /// MMPP-2 arrivals: Poisson at rate `qps·(1+burst)` in the high
+    /// state and `qps·(1-burst)` in the low state, with exponentially
+    /// distributed state dwell times of mean `dwell_us`. Equal expected
+    /// dwell in each state keeps the time-averaged rate at `qps`.
+    Bursty {
+        /// Time-averaged arrival rate, queries per second.
+        qps: f64,
+        /// Burst intensity in `[0, 1)`: 0 degenerates to Poisson, 0.9
+        /// means the high state runs at 1.9× and the low state at 0.1×
+        /// the mean rate.
+        burst: f64,
+        /// Mean dwell time per state, microseconds.
+        dwell_us: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Parses a sweep-parameter spelling at a given rate: `fixed`,
+    /// `poisson`, `bursty` (defaults: burst 0.8, dwell 200 µs), or
+    /// `bursty:<burst>:<dwell_us>`. Returns `None` for unknown
+    /// spellings, non-positive `qps`, burst outside `[0, 1)`, or
+    /// non-positive dwell.
+    pub fn parse(spec: &str, qps: f64) -> Option<ArrivalProcess> {
+        if !(qps > 0.0 && qps.is_finite()) {
+            return None;
+        }
+        let mut parts = spec.split(':');
+        let head = parts.next()?.to_ascii_lowercase();
+        let mut arg = || parts.next()?.parse::<f64>().ok();
+        let process = match head.as_str() {
+            "fixed" => ArrivalProcess::Fixed { qps },
+            "poisson" => ArrivalProcess::Poisson { qps },
+            "bursty" => {
+                let (burst, dwell_us) = match arg() {
+                    Some(b) => (b, arg()?),
+                    None => (0.8, 200.0),
+                };
+                if !((0.0..1.0).contains(&burst) && dwell_us > 0.0 && dwell_us.is_finite()) {
+                    return None;
+                }
+                ArrivalProcess::Bursty {
+                    qps,
+                    burst,
+                    dwell_us,
+                }
+            }
+            _ => return None,
+        };
+        match parts.next() {
+            Some(_) => None, // trailing junk
+            None => Some(process),
+        }
+    }
+
+    /// The configured mean rate, queries per second.
+    pub fn qps(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Fixed { qps }
+            | ArrivalProcess::Poisson { qps }
+            | ArrivalProcess::Bursty { qps, .. } => qps,
+        }
+    }
+
+    /// Generates the first `n` arrival timestamps for `seed`, sorted
+    /// non-decreasing (a convenience over [`ArrivalGen`]).
+    pub fn times(&self, n: usize, seed: u64) -> Vec<SimTime> {
+        let mut generator = ArrivalGen::new(*self, seed);
+        (0..n).map(|_| generator.next_time()).collect()
+    }
+}
+
+/// Nanoseconds per second, as the f64 the rate arithmetic runs in.
+const NS_PER_S: f64 = 1e9;
+
+/// A stateful, deterministic arrival-timestamp generator.
+///
+/// # Examples
+///
+/// ```
+/// use tracegen::{ArrivalGen, ArrivalProcess};
+/// let p = ArrivalProcess::Poisson { qps: 100_000.0 };
+/// let mut a = ArrivalGen::new(p, 7);
+/// let mut b = ArrivalGen::new(p, 7);
+/// assert_eq!(a.next_time(), b.next_time()); // same seed ⇒ same stream
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArrivalGen {
+    process: ArrivalProcess,
+    rng: DetRng,
+    /// Exact arrival clock in f64 nanoseconds (timestamps are rounded
+    /// per-emission, so rounding error does not accumulate).
+    clock_ns: f64,
+    /// Fixed: arrivals emitted so far.
+    emitted: u64,
+    /// Bursty: currently in the high-rate state.
+    high: bool,
+    /// Bursty: nanoseconds left in the current state's dwell.
+    dwell_left_ns: f64,
+}
+
+impl ArrivalGen {
+    /// Creates a generator for `process` with its own RNG stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process rate is not positive and finite, or if a
+    /// bursty process has `burst` outside `[0, 1)` or a non-positive
+    /// dwell.
+    pub fn new(process: ArrivalProcess, seed: u64) -> Self {
+        let qps = process.qps();
+        assert!(
+            qps > 0.0 && qps.is_finite(),
+            "arrival rate must be positive and finite"
+        );
+        if let ArrivalProcess::Bursty {
+            burst, dwell_us, ..
+        } = process
+        {
+            assert!(
+                (0.0..1.0).contains(&burst),
+                "burst intensity must be in [0, 1)"
+            );
+            assert!(
+                dwell_us > 0.0 && dwell_us.is_finite(),
+                "dwell time must be positive and finite"
+            );
+        }
+        let mut rng = DetRng::new(seed);
+        let dwell_left_ns = match process {
+            ArrivalProcess::Bursty { dwell_us, .. } => exp_draw(&mut rng, dwell_us * 1_000.0),
+            _ => 0.0,
+        };
+        ArrivalGen {
+            process,
+            rng,
+            clock_ns: 0.0,
+            emitted: 0,
+            high: true,
+            dwell_left_ns,
+        }
+    }
+
+    /// The next arrival timestamp. Successive calls are non-decreasing.
+    pub fn next_time(&mut self) -> SimTime {
+        let ns = match self.process {
+            ArrivalProcess::Fixed { qps } => {
+                let t = (self.emitted as f64 * (NS_PER_S / qps)).round();
+                self.emitted += 1;
+                t
+            }
+            ArrivalProcess::Poisson { qps } => {
+                self.clock_ns += exp_draw(&mut self.rng, NS_PER_S / qps);
+                self.clock_ns.round()
+            }
+            ArrivalProcess::Bursty {
+                qps,
+                burst,
+                dwell_us,
+            } => {
+                loop {
+                    let rate = if self.high {
+                        qps * (1.0 + burst)
+                    } else {
+                        qps * (1.0 - burst)
+                    };
+                    // Rate 0 (burst → 1 in the low state) draws an
+                    // infinite gap, falling through to the state flip.
+                    let gap = exp_draw(&mut self.rng, NS_PER_S / rate);
+                    if gap <= self.dwell_left_ns {
+                        self.dwell_left_ns -= gap;
+                        self.clock_ns += gap;
+                        break;
+                    }
+                    // The draw overruns this state's dwell: consume the
+                    // remainder, flip state, and redraw at the new rate
+                    // (the exponential's memorylessness makes the
+                    // redraw distribution-exact).
+                    self.clock_ns += self.dwell_left_ns;
+                    self.high = !self.high;
+                    self.dwell_left_ns = exp_draw(&mut self.rng, dwell_us * 1_000.0);
+                }
+                self.clock_ns.round()
+            }
+        };
+        SimTime::from_ns(ns as u64)
+    }
+}
+
+/// One exponential draw with the given mean (f64 nanoseconds).
+fn exp_draw(rng: &mut DetRng, mean: f64) -> f64 {
+    // Inverse CDF on (0, 1]: 1 - u avoids ln(0).
+    -(1.0 - rng.unit_f64()).ln() * mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn first_n(process: ArrivalProcess, seed: u64, n: usize) -> Vec<u64> {
+        process
+            .times(n, seed)
+            .into_iter()
+            .map(SimTime::as_ns)
+            .collect()
+    }
+
+    #[test]
+    fn fixed_is_a_metronome() {
+        let t = first_n(ArrivalProcess::Fixed { qps: 1_000_000.0 }, 0, 5);
+        assert_eq!(t, [0, 1000, 2000, 3000, 4000]);
+    }
+
+    /// Golden first-20 values (like the DetRng stream test): any change
+    /// to the generator algorithm — which would silently re-time every
+    /// serving experiment — fails loudly here.
+    #[test]
+    fn poisson_stream_matches_golden_values() {
+        let t = first_n(ArrivalProcess::Poisson { qps: 100_000.0 }, 2024, 20);
+        assert_eq!(
+            t,
+            [
+                9749, 10772, 14318, 15553, 33307, 41346, 42817, 51888, 53738, 59304, 65495, 83634,
+                102214, 113046, 114619, 126291, 174266, 178406, 194932, 200843
+            ]
+        );
+    }
+
+    #[test]
+    fn bursty_stream_matches_golden_values() {
+        let p = ArrivalProcess::Bursty {
+            qps: 100_000.0,
+            burst: 0.8,
+            dwell_us: 200.0,
+        };
+        let t = first_n(p, 2024, 20);
+        assert_eq!(
+            t,
+            [
+                568, 2539, 3225, 13088, 17554, 18371, 23411, 24438, 27531, 30970, 41047, 51370,
+                57387, 58261, 64746, 91398, 93699, 102880, 106164, 110032
+            ]
+        );
+    }
+
+    #[test]
+    fn streams_are_reproducible_and_seed_sensitive() {
+        for p in [
+            ArrivalProcess::Fixed { qps: 50_000.0 },
+            ArrivalProcess::Poisson { qps: 50_000.0 },
+            ArrivalProcess::Bursty {
+                qps: 50_000.0,
+                burst: 0.5,
+                dwell_us: 100.0,
+            },
+        ] {
+            assert_eq!(first_n(p, 7, 100), first_n(p, 7, 100), "{p:?}");
+            if p != (ArrivalProcess::Fixed { qps: 50_000.0 }) {
+                assert_ne!(first_n(p, 7, 100), first_n(p, 8, 100), "{p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn timestamps_are_monotone_nondecreasing() {
+        for p in [
+            ArrivalProcess::Fixed { qps: 250_000.0 },
+            ArrivalProcess::Poisson { qps: 250_000.0 },
+            ArrivalProcess::Bursty {
+                qps: 250_000.0,
+                burst: 0.9,
+                dwell_us: 50.0,
+            },
+        ] {
+            let t = first_n(p, 3, 10_000);
+            for w in t.windows(2) {
+                assert!(w[0] <= w[1], "{p:?}: {} > {}", w[0], w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn mean_rate_converges_to_qps() {
+        // 50k draws: the empirical rate of every family lands within a
+        // few percent of the configured rate.
+        for p in [
+            ArrivalProcess::Poisson { qps: 100_000.0 },
+            ArrivalProcess::Bursty {
+                qps: 100_000.0,
+                burst: 0.8,
+                dwell_us: 200.0,
+            },
+        ] {
+            let n = 50_000;
+            let t = first_n(p, 11, n);
+            let span_s = *t.last().unwrap() as f64 / NS_PER_S;
+            let rate = (n as f64 - 1.0) / span_s;
+            assert!(
+                (rate - 100_000.0).abs() < 5_000.0,
+                "{p:?}: empirical rate {rate}"
+            );
+        }
+    }
+
+    #[test]
+    fn bursty_gaps_have_higher_variance_than_poisson() {
+        let gaps = |p| {
+            let t = first_n(p, 13, 20_000);
+            let d: Vec<f64> = t.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
+            let mean = d.iter().sum::<f64>() / d.len() as f64;
+            d.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / d.len() as f64
+        };
+        let poisson = gaps(ArrivalProcess::Poisson { qps: 100_000.0 });
+        let bursty = gaps(ArrivalProcess::Bursty {
+            qps: 100_000.0,
+            burst: 0.8,
+            dwell_us: 200.0,
+        });
+        assert!(
+            bursty > 1.5 * poisson,
+            "bursty variance {bursty} vs poisson {poisson}"
+        );
+    }
+
+    #[test]
+    fn parse_covers_families_and_rejects_junk() {
+        assert_eq!(
+            ArrivalProcess::parse("poisson", 1000.0),
+            Some(ArrivalProcess::Poisson { qps: 1000.0 })
+        );
+        assert_eq!(
+            ArrivalProcess::parse("Fixed", 10.0),
+            Some(ArrivalProcess::Fixed { qps: 10.0 })
+        );
+        assert_eq!(
+            ArrivalProcess::parse("bursty", 500.0),
+            Some(ArrivalProcess::Bursty {
+                qps: 500.0,
+                burst: 0.8,
+                dwell_us: 200.0
+            })
+        );
+        assert_eq!(
+            ArrivalProcess::parse("bursty:0.5:100", 500.0),
+            Some(ArrivalProcess::Bursty {
+                qps: 500.0,
+                burst: 0.5,
+                dwell_us: 100.0
+            })
+        );
+        assert_eq!(ArrivalProcess::parse("bursty:1.5:100", 500.0), None);
+        assert_eq!(ArrivalProcess::parse("bursty:0.5", 500.0), None);
+        assert_eq!(ArrivalProcess::parse("poisson:1", 500.0), None);
+        assert_eq!(ArrivalProcess::parse("poisson", 0.0), None);
+        assert_eq!(ArrivalProcess::parse("sawtooth", 500.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn zero_rate_rejected() {
+        let _ = ArrivalGen::new(ArrivalProcess::Poisson { qps: 0.0 }, 1);
+    }
+}

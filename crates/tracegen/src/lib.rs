@@ -31,9 +31,11 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod arrival;
 pub mod dist;
 pub mod trace;
 
 pub use analysis::TraceProfile;
+pub use arrival::{ArrivalGen, ArrivalProcess};
 pub use dist::Distribution;
 pub use trace::{Batch, TableLookups, Trace, TraceSpec};

@@ -120,6 +120,14 @@ impl Value {
         }
     }
 
+    /// Returns the boolean if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Returns the number as `u64` if it is an unsigned integer (or a
     /// non-negative signed one).
     pub fn as_u64(&self) -> Option<u64> {
@@ -815,8 +823,10 @@ mod tests {
 
     #[test]
     fn accessors_match_shapes() {
-        let v = json!({ "n": 3u8, "f": 2.5f64, "s": "hi", "xs": json!([1u8]) });
+        let v = json!({ "n": 3u8, "f": 2.5f64, "s": "hi", "xs": json!([1u8]), "t": true });
         assert_eq!(v.get("n").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("t").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("n").and_then(Value::as_bool), None);
         assert_eq!(v.get("f").and_then(Value::as_f64), Some(2.5));
         assert_eq!(v.get("s").and_then(Value::as_str), Some("hi"));
         assert_eq!(v.get("xs").and_then(Value::as_array).map(Vec::len), Some(1));
