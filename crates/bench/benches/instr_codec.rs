@@ -14,6 +14,18 @@ fn bench_codec(c: &mut Criterion) {
     g.bench_function("repack", |b| {
         b.iter(|| black_box(&req).repack_for_device(500, 7))
     });
+    // A switch-sized DataFetch burst through the batched codec, with the
+    // output buffer reused across iterations (the pipeline's shape).
+    let slab: Vec<u128> = (0..64)
+        .map(|i| M2sReq::data_fetch(0x1000 + i * 64, (i % 512) as u16, 8, 3).encode())
+        .collect();
+    g.bench_function("decode_batch_64", |b| {
+        let mut out = Vec::with_capacity(slab.len());
+        b.iter(|| {
+            M2sReq::decode_batch(black_box(&slab), &mut out).unwrap();
+            black_box(out.len())
+        })
+    });
     g.finish();
 }
 

@@ -40,15 +40,29 @@ pub(crate) const SNOOP_NS: u64 = 10;
 /// Process-core instruction decode occupancy per instruction.
 pub(crate) const DECODE_NS: u64 = 1;
 
+/// The one per-system scratch bundle: the per-bag pipeline buffers
+/// ([`BagScratch`], including the SoA [`BagBatch`] gather arena) and the
+/// open-loop serving dispatcher's per-run buffers
+/// ([`ServingScratch`](super::serving::ServingScratch)). Both run modes
+/// share this single allocation-free scratch convention — any new
+/// reusable buffer, per-bag or per-batch, belongs here.
+#[derive(Debug, Default)]
+pub(crate) struct EngineScratch {
+    /// Per-bag pipeline buffers.
+    pub bag: BagScratch,
+    /// Open-loop serving dispatch buffers.
+    pub serving: super::serving::ServingScratch,
+}
+
 /// Reusable buffers for the per-bag pipeline.
 ///
-/// One instance lives in [`SlsSystem`](crate::system::SlsSystem) and is
-/// threaded through every [`process_bag`] call: the bag takes the
-/// buffers, uses them, and hands them back cleared, so steady-state
-/// query processing performs no per-bag heap allocation. This is the
-/// allocation-free scratch-buffer convention ARCHITECTURE.md documents —
-/// any new stage state that would otherwise be a fresh `Vec` per bag
-/// belongs here.
+/// One instance lives in [`SlsSystem`](crate::system::SlsSystem) (inside
+/// [`EngineScratch`]) and is threaded through every [`process_bag`]
+/// call: the bag takes the buffers, uses them, and hands them back
+/// cleared, so steady-state query processing performs no per-bag heap
+/// allocation. This is the allocation-free scratch-buffer convention
+/// ARCHITECTURE.md documents — any new stage state that would otherwise
+/// be a fresh `Vec` per bag belongs here.
 #[derive(Debug, Default)]
 pub(crate) struct BagScratch {
     local: Vec<(u64, u64)>,
@@ -60,6 +74,61 @@ pub(crate) struct BagScratch {
     instr_arrivals: Vec<SimTime>,
     by_switch: Vec<SwitchGroup>,
     sub_acc: Vec<f32>,
+    batch: BagBatch,
+}
+
+/// Structure-of-arrays gather stage: one bag's (or one switch group's)
+/// row ids collected in bag order, folded in one batched pass after the
+/// timing loop. Rows of a materialized table fold straight from the
+/// shared contiguous row store — copying them into a local arena first
+/// would only add memory traffic (measured slower on the `end_to_end`
+/// targets). Rows of an over-cap (procedural) table batch-fill the
+/// arena with the vectorized hash ([`EmbeddingTable::value_block`]) in
+/// one contiguous row-major slab, which the SoA fold
+/// ([`dlrm::sls::simd::fold_rows_soa`]) then streams. Both paths fold
+/// in push order with the per-element scalar operation, so the sums are
+/// bit-identical to per-row [`dlrm::sls::accumulate_row`]. Lives in
+/// [`BagScratch`]; capacities persist across bags.
+#[derive(Debug, Default)]
+pub(crate) struct BagBatch {
+    /// Row ids gathered for the pending fold, in bag order.
+    rows: Vec<u64>,
+    /// Row-major `rows × dim` value slab (procedural tables only).
+    data: Vec<f32>,
+    /// Element width of each gathered row.
+    dim: usize,
+}
+
+impl BagBatch {
+    /// Starts a new gather at width `dim`, keeping buffer capacities.
+    pub(crate) fn begin(&mut self, dim: usize) {
+        self.rows.clear();
+        self.data.clear();
+        self.dim = dim;
+    }
+
+    /// Appends one row id to the gather.
+    pub(crate) fn push_row(&mut self, row: u64) {
+        self.rows.push(row);
+    }
+
+    /// Folds every gathered row of `table` into `acc` in push order —
+    /// bit-identical to per-row [`dlrm::sls::accumulate_row`] (see the
+    /// type docs for the two paths).
+    pub(crate) fn fold_into(&mut self, table: &EmbeddingTable, acc: &mut [f32]) {
+        debug_assert_eq!(self.dim, table.dim() as usize, "gather width mismatch");
+        if table.is_materialized() {
+            for &row in &self.rows {
+                dlrm::sls::accumulate_row(acc, table, row, 1.0);
+            }
+            return;
+        }
+        self.data.resize(self.rows.len() * self.dim, 0.0);
+        for (&row, slot) in self.rows.iter().zip(self.data.chunks_exact_mut(self.dim)) {
+            table.value_block(row, 0, slot);
+        }
+        dlrm::sls::simd::fold_rows_soa(acc, &self.data, None);
+    }
 }
 
 /// Mutable view over the system state a pipeline stage may touch.
@@ -291,7 +360,7 @@ impl Stage for LocalGatherStage {
         bag.window.clear();
         let mut t = start;
         let mut last = start;
-        for &(row, addr) in &bag.local {
+        for &(_row, addr) in &bag.local {
             if !is_nmp && bag.window.len() >= ctx.cfg.outstanding {
                 t = t.max(bag.window.pop_front().expect("window non-empty"));
             }
@@ -320,11 +389,19 @@ impl Stage for LocalGatherStage {
             // bounded MLP window.
             let fold_done =
                 data + SimDuration::from_ns(if is_nmp { bag.acc_ns / 2 } else { bag.acc_ns });
-            dlrm::sls::accumulate_row(&mut bag.acc, &ctx.tables[bag.table as usize], row, 1.0);
             bag.window.push_back(fold_done);
             t += SimDuration::from_ns(if is_nmp { 1 } else { ISSUE_NS });
             last = last.max(fold_done);
         }
+        // SoA gather + wide fold, hoisted out of the timing loop: same
+        // rows in the same order as the per-row fold it replaces, so the
+        // functional sums are bit-identical.
+        let table = &ctx.tables[bag.table as usize];
+        bag.scratch.batch.begin(table.dim() as usize);
+        for &(row, _) in &bag.local {
+            bag.scratch.batch.push_row(row);
+        }
+        bag.scratch.batch.fold_into(table, &mut bag.acc);
         // Local gathers are software-pipelined across bags (prefetch
         // hides local DRAM latency — the CPU optimizations of the
         // paper's [8]); the core is free once the loads are in flight.
@@ -351,7 +428,7 @@ impl Stage for RemoteGatherStage {
         bag.window.clear();
         let mut t = bag.core_busy;
         let mut last = bag.core_busy;
-        for &(row, addr) in &bag.remote {
+        for &(_row, addr) in &bag.remote {
             if bag.window.len() >= ctx.cfg.outstanding {
                 t = t.max(bag.window.pop_front().expect("window non-empty"));
             }
@@ -361,11 +438,18 @@ impl Stage for RemoteGatherStage {
                 .access_span(sent, spread_addr(addr), row_bytes, MemOp::Read);
             let back = ctx.remote_link.transfer(data, row_bytes);
             let fold_done = back + SimDuration::from_ns(bag.acc_ns);
-            dlrm::sls::accumulate_row(&mut bag.acc, &ctx.tables[bag.table as usize], row, 1.0);
             bag.window.push_back(fold_done);
             t += SimDuration::from_ns(ISSUE_NS);
             last = last.max(fold_done);
         }
+        // SoA gather + wide fold, hoisted out of the timing loop (order
+        // preserved, bit-identical).
+        let table = &ctx.tables[bag.table as usize];
+        bag.scratch.batch.begin(table.dim() as usize);
+        for &(row, _) in &bag.remote {
+            bag.scratch.batch.push_row(row);
+        }
+        bag.scratch.batch.fold_into(table, &mut bag.acc);
         bag.done = bag.done.max(last);
         bag.core_busy = bag.core_busy.max(last); // synchronous on the core
     }
@@ -419,7 +503,7 @@ fn cxl_rows_host_compute(ctx: &mut EngineCtx<'_>, bag: &mut BagState<'_>) -> (Si
     bag.window.clear();
     let mut t = start;
     let mut last = start;
-    for &(dev, row, addr) in &bag.cxl {
+    for &(dev, _row, addr) in &bag.cxl {
         if bag.window.len() >= ctx.cfg.outstanding {
             t = t.max(bag.window.pop_front().expect("window non-empty"));
         }
@@ -436,11 +520,18 @@ fn cxl_rows_host_compute(ctx: &mut EngineCtx<'_>, bag: &mut BagState<'_>) -> (Si
             .rsp_link
             .transfer(back_at_host_switch, row_bytes + M2sReq::WIRE_BYTES);
         let fold_done = at_host + SimDuration::from_ns(bag.acc_ns);
-        dlrm::sls::accumulate_row(&mut bag.acc, &ctx.tables[bag.table as usize], row, 1.0);
         bag.window.push_back(fold_done);
         t += SimDuration::from_ns(ISSUE_NS);
         last = last.max(fold_done);
     }
+    // SoA gather + wide fold, hoisted out of the timing loop (order
+    // preserved, bit-identical).
+    let table = &ctx.tables[bag.table as usize];
+    bag.scratch.batch.begin(table.dim() as usize);
+    for &(_, row, _) in &bag.cxl {
+        bag.scratch.batch.push_row(row);
+    }
+    bag.scratch.batch.fold_into(table, &mut bag.acc);
     // The gather loop is software-pipelined across bags; the run is
     // bound by fabric bandwidth (every row crosses the host link,
     // which is Pond's structural handicap), not by one bag's RTT.
@@ -514,16 +605,32 @@ fn cxl_rows_switch_compute(ctx: &mut EngineCtx<'_>, bag: &mut BagState<'_>) -> (
     // Arrival time of each DataFetch at its switch, indexed by the row's
     // position in `bag.cxl` (positional, so duplicate rows in one bag
     // keep their own serialized issue/arrival times).
+    // Debug builds round-trip the whole DataFetch burst through the
+    // batched codec and check every instruction routes to the process
+    // core; the release path models only the stream's timing.
+    #[cfg(debug_assertions)]
+    {
+        let stream: Vec<M2sReq> = bag
+            .cxl
+            .iter()
+            .map(|&(_, _, addr)| {
+                M2sReq::data_fetch(addr, (cluster.0 & 0x1FF) as u16, chunks, host_idx as u16)
+            })
+            .collect();
+        let mut slab = Vec::new();
+        M2sReq::encode_batch(&stream, &mut slab);
+        let mut decoded = Vec::new();
+        M2sReq::decode_batch(&slab, &mut decoded).expect("DataFetch burst decodes");
+        assert_eq!(decoded, stream, "batched codec must round-trip the burst");
+        for req in &decoded {
+            assert_eq!(
+                crate::instrflow::check_memopcode(req),
+                crate::InstrRoute::ProcessCore
+            );
+        }
+    }
     bag.scratch.instr_arrivals.clear();
-    for (i, &(dev, _row, addr)) in bag.cxl.iter().enumerate() {
-        debug_assert!(
-            crate::instrflow::check_memopcode(&M2sReq::data_fetch(
-                addr,
-                (cluster.0 & 0x1FF) as u16,
-                chunks,
-                host_idx as u16,
-            )) == crate::InstrRoute::ProcessCore
-        );
+    for (i, &(dev, _row, _addr)) in bag.cxl.iter().enumerate() {
         let s = ctx.topo.device_switch(dev as usize);
         let hop = ctx.topo.hop_latency(host_switch, s);
         let transit = ctx.switches[local_sw_idx].sw.transit(bag.scratch.sent[i]);
@@ -556,9 +663,19 @@ fn cxl_rows_switch_compute(ctx: &mut EngineCtx<'_>, bag: &mut BagState<'_>) -> (
         };
         bag.scratch.sub_acc.clear();
         bag.scratch.sub_acc.resize(dim as usize, 0.0f32);
+        // Per-group SoA gather: the sub-cluster's rows stream through the
+        // arena in group order, so the wide fold below is bit-identical
+        // to the per-row fold it replaces. (`ctx.tables` is copied out so
+        // the borrow doesn't pin `ctx` across the timing loop.)
+        let tables: &[EmbeddingTable] = ctx.tables;
+        let tbl = &tables[table as usize];
+        bag.scratch.batch.begin(dim as usize);
+        for &i in group {
+            bag.scratch.batch.push_row(bag.cxl[i].1);
+        }
         let mut sub_last = SimTime::ZERO;
         for &i in group {
-            let (dev, row, addr) = bag.cxl[i];
+            let (dev, _row, addr) = bag.cxl[i];
             let arrival = bag.scratch.instr_arrivals[i];
             // Decode (+ BEACON's translation logic) serializes in the PC.
             let sw = &mut ctx.switches[s_idx];
@@ -586,14 +703,9 @@ fn cxl_rows_switch_compute(ctx: &mut EngineCtx<'_>, bag: &mut BagState<'_>) -> (
             let sw = &mut ctx.switches[s_idx];
             sw.iir.match_return(addr);
             let folded = sw.engine.process_row(data_ready, cluster);
-            dlrm::sls::accumulate_row(
-                &mut bag.scratch.sub_acc,
-                &ctx.tables[table as usize],
-                row,
-                1.0,
-            );
             sub_last = sub_last.max(folded);
         }
+        bag.scratch.batch.fold_into(tbl, &mut bag.scratch.sub_acc);
         ctx.switches[s_idx].engine.complete_cluster(cluster);
 
         // Ship the sub-result to the local switch (free when the
@@ -641,6 +753,37 @@ fn cxl_rows_switch_compute(ctx: &mut EngineCtx<'_>, bag: &mut BagState<'_>) -> (
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bag_batch_fold_matches_per_row_accumulate() {
+        // One materialized table and one over-cap procedural table: the
+        // arena gather must be bit-identical to per-row accumulate_row
+        // on both storage kinds, including duplicate rows.
+        let small = EmbeddingTable::new(3, 128, 48, 0);
+        let big = EmbeddingTable::new(7, 1 << 20, 64, 1 << 30);
+        assert!(small.is_materialized() && !big.is_materialized());
+        for table in [&small, &big] {
+            let rows: Vec<u64> = (0..17).map(|i| (i * 31 + 5) % table.rows()).collect();
+            let dim = table.dim() as usize;
+            let mut want = vec![0.0f32; dim];
+            for &r in &rows {
+                dlrm::sls::accumulate_row(&mut want, table, r, 1.0);
+            }
+            let mut batch = BagBatch::default();
+            batch.begin(dim);
+            for &r in &rows {
+                batch.push_row(r);
+            }
+            let mut got = vec![0.0f32; dim];
+            batch.fold_into(table, &mut got);
+            assert_eq!(
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "table {} arena fold diverged",
+                table.id()
+            );
+        }
+    }
 
     #[test]
     fn stages_run_in_request_to_accumulate_order() {

@@ -73,6 +73,27 @@ pub struct ReadyBatch {
     pub close: SimTime,
 }
 
+/// Reusable buffers for [`run_open_loop`]'s dispatch phase — the
+/// serving-side member of the unified scratch convention
+/// ([`EngineScratch`]): formed batches, the per-query completion times
+/// of the batch being dispatched, and the work-partition memo keep
+/// their capacity across runs, mirroring what
+/// [`BagScratch`](super::pipeline::BagScratch) does for the per-bag
+/// path.
+///
+/// [`run_open_loop`]: crate::system::SlsSystem::run_open_loop
+/// [`EngineScratch`]: super::pipeline::EngineScratch
+#[derive(Debug, Default)]
+pub(crate) struct ServingScratch {
+    /// Batches closed by phase-1 batch formation.
+    pub formed: Vec<ReadyBatch>,
+    /// Per-query completion time of the batch being dispatched.
+    pub q_done: Vec<SimTime>,
+    /// Work-partition memo keyed by batch size. Reset at the start of
+    /// every run: the layout also bakes in the trace's table count.
+    pub parts_memo: Option<(u32, Vec<Vec<dlrm::query::WorkItem>>)>,
+}
+
 /// The query batcher: a FIFO of pending queries with fill and max-wait
 /// close conditions.
 ///

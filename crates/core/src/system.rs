@@ -26,8 +26,8 @@ use tracegen::Trace;
 use crate::engine::config::page_align;
 use crate::engine::metrics::CounterOffsets;
 use crate::engine::pagemgmt_epoch::{run_pm_epoch, EpochCtx};
-use crate::engine::pipeline::{self, process_bag, BagScratch, EngineCtx};
-use crate::engine::serving::{QueryBatcher, ReadyBatch};
+use crate::engine::pipeline::{self, process_bag, EngineCtx, EngineScratch};
+use crate::engine::serving::QueryBatcher;
 use crate::engine::topology::Plant;
 
 pub use crate::engine::config::{BufferConfig, ComputeSite, PmConfig, PmStyle, SystemConfig};
@@ -47,8 +47,10 @@ pub struct SlsSystem {
     metrics: RunMetrics,
     /// Per-device page-access counts within the current PM epoch.
     epoch_dev_pages: Vec<simkit::hash::FastMap<PageId, u64>>,
-    /// Reusable per-bag pipeline buffers (allocation-free steady state).
-    scratch: BagScratch,
+    /// The unified scratch bundle: per-bag pipeline buffers plus the
+    /// open-loop dispatcher's per-run buffers (allocation-free steady
+    /// state for both run modes).
+    scratch: EngineScratch,
 }
 
 impl SlsSystem {
@@ -100,7 +102,7 @@ impl SlsSystem {
             pm_epoch: 0,
             metrics: RunMetrics::default(),
             epoch_dev_pages: vec![simkit::hash::FastMap::default(); n_devices],
-            scratch: BagScratch::default(),
+            scratch: EngineScratch::default(),
         }
     }
 
@@ -174,7 +176,7 @@ impl SlsSystem {
                     for sample in item.sample_begin..item.sample_end {
                         let bag = trace.bag(bi, item.table, sample);
                         let issue = self.plant.hosts[host_idx].cores[core_idx];
-                        let mut scratch = std::mem::take(&mut self.scratch);
+                        let mut scratch = std::mem::take(&mut self.scratch.bag);
                         let (done, core_free) = process_bag(
                             &mut self.engine_ctx(),
                             &mut scratch,
@@ -183,7 +185,7 @@ impl SlsSystem {
                             item.table,
                             bag,
                         );
-                        self.scratch = scratch;
+                        self.scratch.bag = scratch;
                         self.plant.hosts[host_idx].cores[core_idx] = core_free;
                         batch_done = batch_done.max(done);
                         bag_latency_sum += done.saturating_since(issue).as_ns() as u128;
@@ -274,18 +276,24 @@ impl SlsSystem {
         // the batcher knobs, never on engine state: the batcher's
         // max-wait timer fires even while every core is busy (that is
         // what makes the loop open).
+        // Dispatch buffers come from the unified scratch bundle, so a
+        // warm system forms and runs batches without reallocating. The
+        // partition memo is layout-dependent (it bakes in the trace's
+        // table count), so it resets every run.
+        let mut sv = std::mem::take(&mut self.scratch.serving);
+        sv.formed.clear();
+        sv.parts_memo = None;
         let mut batcher = QueryBatcher::new(&self.cfg.serving);
-        let mut formed: Vec<ReadyBatch> = Vec::new();
         for (qid, &t) in arrivals.iter().enumerate() {
             while let Some(b) = batcher.flush_due(t) {
-                formed.push(b);
+                sv.formed.push(b);
             }
             if let Some(b) = batcher.offer(qid as u64, t) {
-                formed.push(b);
+                sv.formed.push(b);
             }
         }
         while let Some(b) = batcher.flush_due(SimTime::from_ns(u64::MAX)) {
-            formed.push(b);
+            sv.formed.push(b);
         }
 
         // Phase 2 — dispatch. Batches run in close order, round-robin
@@ -308,17 +316,15 @@ impl SlsSystem {
             .max()
             .unwrap_or(SimTime::ZERO);
         let shift = t0.saturating_since(SimTime::ZERO);
-        let mut q_done: Vec<SimTime> = Vec::new();
-        // Partition memo: every full batch shares one layout, so only
-        // the trailing part-full sizes recompute it.
-        let mut parts_memo: Option<(u32, Vec<Vec<dlrm::query::WorkItem>>)> = None;
-        for (bi, batch) in formed.iter().enumerate() {
+        for (bi, batch) in sv.formed.iter().enumerate() {
             let host_idx = bi % self.cfg.n_hosts as usize;
             let start = (batch.close + shift).max(self.plant.hosts[host_idx].next_free);
             let mut batch_done = start;
             let n = batch.queries.len() as u32;
-            if parts_memo.as_ref().is_none_or(|(len, _)| *len != n) {
-                parts_memo = Some((
+            // Partition memo: every full batch shares one layout, so
+            // only the trailing part-full sizes recompute it.
+            if sv.parts_memo.as_ref().is_none_or(|(len, _)| *len != n) {
+                sv.parts_memo = Some((
                     n,
                     query::partition(
                         trace.n_tables,
@@ -328,9 +334,9 @@ impl SlsSystem {
                     ),
                 ));
             }
-            let parts = &parts_memo.as_ref().expect("memo just filled").1;
-            q_done.clear();
-            q_done.resize(batch.queries.len(), start);
+            let parts = &sv.parts_memo.as_ref().expect("memo just filled").1;
+            sv.q_done.clear();
+            sv.q_done.resize(batch.queries.len(), start);
             for (core_idx, items) in parts.iter().enumerate() {
                 self.plant.hosts[host_idx].cores[core_idx] = start;
                 for item in items {
@@ -340,7 +346,7 @@ impl SlsSystem {
                         let ts = (q.qid % trace.batch_size as u64) as u32;
                         let bag = trace.bag(tb, item.table, ts);
                         let issue = self.plant.hosts[host_idx].cores[core_idx];
-                        let mut scratch = std::mem::take(&mut self.scratch);
+                        let mut scratch = std::mem::take(&mut self.scratch.bag);
                         let (done, core_free) = process_bag(
                             &mut self.engine_ctx(),
                             &mut scratch,
@@ -349,10 +355,10 @@ impl SlsSystem {
                             item.table,
                             bag,
                         );
-                        self.scratch = scratch;
+                        self.scratch.bag = scratch;
                         self.plant.hosts[host_idx].cores[core_idx] = core_free;
                         batch_done = batch_done.max(done);
-                        q_done[sample as usize] = q_done[sample as usize].max(done);
+                        sv.q_done[sample as usize] = sv.q_done[sample as usize].max(done);
                         bag_latency_sum += done.saturating_since(issue).as_ns() as u128;
                         self.metrics.bags += 1;
                     }
@@ -360,7 +366,7 @@ impl SlsSystem {
             }
             // A query completes when its last bag does; the response
             // leaves before the epoch-boundary page manager runs.
-            for (q, &done) in batch.queries.iter().zip(&q_done) {
+            for (q, &done) in batch.queries.iter().zip(&sv.q_done) {
                 serving
                     .latency
                     .record(done.saturating_since(q.arrival + shift));
@@ -378,12 +384,13 @@ impl SlsSystem {
             self.plant.hosts[host_idx].next_free = batch_done;
         }
 
-        serving.batches = formed.len() as u64;
-        serving.mean_batch_fill = if formed.is_empty() {
+        serving.batches = sv.formed.len() as u64;
+        serving.mean_batch_fill = if sv.formed.is_empty() {
             0.0
         } else {
-            serving.mean_batch_fill / (formed.len() as f64 * self.cfg.serving.batch_size as f64)
+            serving.mean_batch_fill / (sv.formed.len() as f64 * self.cfg.serving.batch_size as f64)
         };
+        self.scratch.serving = sv;
         serving.makespan_ns = self
             .plant
             .hosts

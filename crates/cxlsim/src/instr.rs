@@ -29,6 +29,27 @@ const VSIZE_BITS: u32 = 3;
 const SCC_BITS: u32 = 9;
 const CNV_BITS: u32 = 1;
 
+/// Field bit offsets, hoisted to compile-time constants so the codec —
+/// in particular the batched per-slab loops — carries no runtime offset
+/// accumulation or closure state per instruction.
+const VALID_OFF: u32 = 0;
+const OPCODE_OFF: u32 = VALID_OFF + VALID_BITS;
+const META_OFF: u32 = OPCODE_OFF + OPCODE_BITS;
+const TAG_OFF: u32 = META_OFF + META_BITS;
+const ADDR_OFF: u32 = TAG_OFF + TAG_BITS;
+const SPID_OFF: u32 = ADDR_OFF + ADDR_BITS;
+const DPID_OFF: u32 = SPID_OFF + SPID_BITS;
+const SUMTAG_OFF: u32 = DPID_OFF + DPID_BITS;
+const VSIZE_OFF: u32 = SUMTAG_OFF + SUMTAG_BITS;
+const SCC_OFF: u32 = VSIZE_OFF + VSIZE_BITS;
+const CNV_OFF: u32 = SCC_OFF + SCC_BITS;
+
+/// Extracts one field from a packed request word.
+#[inline(always)]
+const fn field(bits: u128, off: u32, nbits: u32) -> u128 {
+    (bits >> off) & mask128(nbits)
+}
+
 /// An enhanced CXL.mem Master-to-Subordinate request.
 ///
 /// # Examples
@@ -169,26 +190,20 @@ impl M2sReq {
     }
 
     /// Packs the request into a 121-bit little-endian layout inside a
-    /// `u128`.
+    /// `u128`. Every shift and mask is a compile-time constant.
+    #[inline]
     pub fn encode(&self) -> u128 {
-        let mut v: u128 = 0;
-        let mut off = 0u32;
-        let mut put = |val: u128, bits: u32| {
-            v |= (val & mask128(bits)) << off;
-            off += bits;
-        };
-        put(self.valid as u128, VALID_BITS);
-        put(self.opcode.bits() as u128, OPCODE_BITS);
-        put(self.meta as u128, META_BITS);
-        put(self.tag as u128, TAG_BITS);
-        put(self.address as u128, ADDR_BITS);
-        put(self.spid as u128, SPID_BITS);
-        put(self.dpid as u128, DPID_BITS);
-        put(self.sum_tag as u128, SUMTAG_BITS);
-        put(self.vector_size as u128, VSIZE_BITS);
-        put(self.sum_candidate_count as u128, SCC_BITS);
-        put(self.cnv as u128, CNV_BITS);
-        v
+        ((self.valid as u128) << VALID_OFF)
+            | (((self.opcode.bits() as u128) & mask128(OPCODE_BITS)) << OPCODE_OFF)
+            | (((self.meta as u128) & mask128(META_BITS)) << META_OFF)
+            | ((self.tag as u128) << TAG_OFF)
+            | (((self.address as u128) & mask128(ADDR_BITS)) << ADDR_OFF)
+            | (((self.spid as u128) & mask128(SPID_BITS)) << SPID_OFF)
+            | (((self.dpid as u128) & mask128(DPID_BITS)) << DPID_OFF)
+            | (((self.sum_tag as u128) & mask128(SUMTAG_BITS)) << SUMTAG_OFF)
+            | (((self.vector_size as u128) & mask128(VSIZE_BITS)) << VSIZE_OFF)
+            | (((self.sum_candidate_count as u128) & mask128(SCC_BITS)) << SCC_OFF)
+            | ((self.cnv as u128) << CNV_OFF)
     }
 
     /// Unpacks a request previously produced by [`M2sReq::encode`].
@@ -196,45 +211,65 @@ impl M2sReq {
     /// # Errors
     ///
     /// Returns [`DecodeError::BadOpcode`] if the opcode field is invalid.
+    #[inline]
     pub fn decode(bits: u128) -> Result<Self, DecodeError> {
-        let mut off = 0u32;
-        let mut get = |nbits: u32| -> u128 {
-            let v = (bits >> off) & mask128(nbits);
-            off += nbits;
-            v
-        };
-        let valid = get(VALID_BITS) != 0;
-        let opcode =
-            MemOpcode::from_bits(get(OPCODE_BITS) as u8).map_err(DecodeError::BadOpcode)?;
-        let meta = get(META_BITS) as u8;
-        let tag = get(TAG_BITS) as u16;
-        let address = get(ADDR_BITS) as u64;
-        let spid = get(SPID_BITS) as u16;
-        let dpid = get(DPID_BITS) as u16;
-        let sum_tag = get(SUMTAG_BITS) as u16;
-        let vector_size = get(VSIZE_BITS) as u8;
-        let sum_candidate_count = get(SCC_BITS) as u16;
-        let cnv = get(CNV_BITS) != 0;
+        let opcode = MemOpcode::from_bits(field(bits, OPCODE_OFF, OPCODE_BITS) as u8)
+            .map_err(DecodeError::BadOpcode)?;
         Ok(M2sReq {
-            valid,
+            valid: field(bits, VALID_OFF, VALID_BITS) != 0,
             opcode,
-            meta,
-            tag,
-            address,
-            spid,
-            dpid,
-            sum_tag,
-            vector_size,
-            sum_candidate_count,
-            cnv,
+            meta: field(bits, META_OFF, META_BITS) as u8,
+            tag: field(bits, TAG_OFF, TAG_BITS) as u16,
+            address: field(bits, ADDR_OFF, ADDR_BITS) as u64,
+            spid: field(bits, SPID_OFF, SPID_BITS) as u16,
+            dpid: field(bits, DPID_OFF, DPID_BITS) as u16,
+            sum_tag: field(bits, SUMTAG_OFF, SUMTAG_BITS) as u16,
+            vector_size: field(bits, VSIZE_OFF, VSIZE_BITS) as u8,
+            sum_candidate_count: field(bits, SCC_OFF, SCC_BITS) as u16,
+            cnv: field(bits, CNV_OFF, CNV_BITS) != 0,
         })
+    }
+
+    /// Packs a whole instruction stream into `out` (cleared first), one
+    /// slab word per request. This is the batched form the switch-compute
+    /// path issues a `DataFetch` burst with: one reserve, then a tight
+    /// constant-shift loop.
+    pub fn encode_batch(reqs: &[M2sReq], out: &mut Vec<u128>) {
+        out.clear();
+        out.reserve(reqs.len());
+        out.extend(reqs.iter().map(M2sReq::encode));
+    }
+
+    /// Unpacks a slab previously produced by [`M2sReq::encode_batch`]
+    /// into `out` (cleared first). All-or-nothing: on a decode error
+    /// `out` is left empty so a half-decoded burst can never be consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`DecodeError`] hit in the slab.
+    pub fn decode_batch(slab: &[u128], out: &mut Vec<M2sReq>) -> Result<(), DecodeError> {
+        out.clear();
+        out.reserve(slab.len());
+        for &bits in slab {
+            match M2sReq::decode(bits) {
+                Ok(req) => out.push(req),
+                Err(e) => {
+                    out.clear();
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Wire size of one request flit in bytes (one CXL 16 B slot).
     pub const WIRE_BYTES: u64 = 16;
+
+    /// Total packed width of one request in bits.
+    pub const ENCODED_BITS: u32 = CNV_OFF + CNV_BITS;
 }
 
-fn mask128(bits: u32) -> u128 {
+const fn mask128(bits: u32) -> u128 {
     if bits >= 128 {
         u128::MAX
     } else {
@@ -242,11 +277,11 @@ fn mask128(bits: u32) -> u128 {
     }
 }
 
-fn mask64(bits: u32) -> u64 {
+const fn mask64(bits: u32) -> u64 {
     ((1u128 << bits) - 1) as u64
 }
 
-fn mask16(bits: u32) -> u16 {
+const fn mask16(bits: u32) -> u16 {
     ((1u32 << bits) - 1) as u16
 }
 
@@ -305,6 +340,40 @@ mod tests {
     }
 
     #[test]
+    fn encoded_width_is_121_bits() {
+        assert_eq!(M2sReq::ENCODED_BITS, 121);
+    }
+
+    #[test]
+    fn batch_round_trips_a_data_fetch_burst() {
+        let reqs: Vec<M2sReq> = (0..64)
+            .map(|i| M2sReq::data_fetch(0x1000 + i * 64, (i % 512) as u16, 8, 3))
+            .collect();
+        let mut slab = Vec::new();
+        M2sReq::encode_batch(&reqs, &mut slab);
+        assert_eq!(slab.len(), reqs.len());
+        // Batch encoding is elementwise-identical to the scalar codec.
+        for (word, req) in slab.iter().zip(&reqs) {
+            assert_eq!(*word, req.encode());
+        }
+        let mut decoded = Vec::new();
+        M2sReq::decode_batch(&slab, &mut decoded).unwrap();
+        assert_eq!(decoded, reqs);
+    }
+
+    #[test]
+    fn batch_decode_error_leaves_out_empty() {
+        let good = M2sReq::mem_read(0xABC, 1).encode();
+        let mut bad = good;
+        bad &= !(0b1111u128 << 1);
+        bad |= 0b0101u128 << 1; // invalid opcode pattern
+        let mut out = vec![M2sReq::mem_read(0, 0)]; // stale content
+        let err = M2sReq::decode_batch(&[good, bad, good], &mut out);
+        assert!(matches!(err, Err(DecodeError::BadOpcode(_))));
+        assert!(out.is_empty(), "a failed batch decode must not leak prefix");
+    }
+
+    #[test]
     fn bad_opcode_bits_fail_decode() {
         // Craft an encoding with an invalid opcode pattern (0b0101).
         let mut bits = M2sReq::mem_read(0, 0).encode();
@@ -348,6 +417,27 @@ mod tests {
         fn prop_encoding_fits_in_121_bits(address in 0u64..(1 << 47)) {
             let req = M2sReq::data_fetch(address, 511, 8, 4095);
             prop_assert_eq!(req.encode() >> 121, 0);
+        }
+
+        #[test]
+        fn prop_batch_matches_scalar_codec(
+            addrs in proptest::collection::vec(0u64..(1 << 47), 0..32),
+        ) {
+            let reqs: Vec<M2sReq> = addrs
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| {
+                    M2sReq::data_fetch(a, (i % 512) as u16, ((i % 8) + 1) as u8, (i % 4096) as u16)
+                })
+                .collect();
+            let mut slab = Vec::new();
+            M2sReq::encode_batch(&reqs, &mut slab);
+            for (word, req) in slab.iter().zip(&reqs) {
+                prop_assert_eq!(*word, req.encode());
+            }
+            let mut decoded = Vec::new();
+            M2sReq::decode_batch(&slab, &mut decoded).unwrap();
+            prop_assert_eq!(decoded, reqs);
         }
     }
 }

@@ -65,6 +65,180 @@ fn raw_value(id: u32, row: u64, elem: u32) -> f32 {
     (mantissa as f32) * (2.0 / (1u32 << 23) as f32) - 1.0
 }
 
+/// Portable batched form of [`raw_value`]: fills `out[i]` with
+/// `raw_value(id, row, elem0 + i)` in one pass, bit-identically.
+///
+/// The per-element chain shrinks to xor → multiply → shift through two
+/// exact integer identities (`e = elem` is a `u32`, so `e >> 33 == 0`):
+///
+/// 1. pre-mix hoist: `(base ^ e) ^ ((base ^ e) >> 33)
+///    = (base ^ (base >> 33)) ^ e`, a per-row constant xor;
+/// 2. post-mix no-op: with `p` the multiplied hash, the mantissa is
+///    `(p ^ (p >> 33)) >> 41 = (p >> 41) ^ (p >> 74) = p >> 41`,
+///    because `p >> 74 == 0` on a 64-bit `p`.
+///
+/// Every surviving operation is the scalar one, so the fill matches
+/// elementwise [`raw_value`] calls bit-for-bit (asserted by tests and
+/// the forced-tier proptests).
+#[inline(always)]
+fn raw_value_block(id: u32, row: u64, elem0: u32, out: &mut [f32]) {
+    let base = (id as u64) << 48 ^ row.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let premixed = base ^ (base >> 33);
+    for (i, slot) in out.iter_mut().enumerate() {
+        let p = (premixed ^ (elem0 as u64 + i as u64)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        let mantissa = (p >> 41) as u32; // 23 bits
+        *slot = (mantissa as f32) * (2.0 / (1u32 << 23) as f32) - 1.0;
+    }
+}
+
+/// [`raw_value_block`] with the multiply hand-vectorized for the 8-lane
+/// dispatch tier (LLVM does not auto-vectorize 64-bit multiplies).
+///
+/// Eight hashes run as two 4×u64 vectors. The 64×64→64 multiply AVX2
+/// lacks is built from `vpmuludq` 32×32→64 partial products:
+/// `h·C mod 2^64 = h_lo·C_lo + ((h_lo·C_hi + h_hi·C_lo) << 32)` — and
+/// because `e` only perturbs the low dword of the premixed base,
+/// `h_hi·C_lo` is one more per-row constant hoisted out of the loop,
+/// leaving two multiplies per vector. The mantissas narrow to one 8×u32
+/// vector and convert with `vcvtdq2ps` (exact: mantissas are 23 bits),
+/// and the final `·scale − 1` runs the same IEEE single-rounded ops per
+/// lane as the scalar code — the fill is bit-identical to
+/// [`raw_value_block`].
+/// Row-constant registers of the vectorized hash: everything
+/// [`raw_value_block`]'s identities hoist out of the element loop, in
+/// vector form, shared by the fill and the fused-fold kernels.
+#[cfg(target_arch = "x86_64")]
+struct RowMixAvx2 {
+    pre_v: core::arch::x86_64::__m256i,
+    hi_v: core::arch::x86_64::__m256i,
+    c_lo: core::arch::x86_64::__m256i,
+    c_hi: core::arch::x86_64::__m256i,
+    scale: core::arch::x86_64::__m256,
+    one: core::arch::x86_64::__m256,
+    narrow: core::arch::x86_64::__m256i,
+}
+
+#[cfg(target_arch = "x86_64")]
+impl RowMixAvx2 {
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn new(id: u32, row: u64) -> Self {
+        use core::arch::x86_64::*;
+        const MUL: u64 = 0xFF51_AFD7_ED55_8CCD;
+        let base = (id as u64) << 48 ^ row.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let premixed = base ^ (base >> 33);
+        // h_hi·C_lo: constant across the row because elem xors only h_lo.
+        let hi_part = (premixed >> 32).wrapping_mul(MUL & 0xFFFF_FFFF);
+        RowMixAvx2 {
+            pre_v: _mm256_set1_epi64x(premixed as i64),
+            hi_v: _mm256_set1_epi64x(hi_part as i64),
+            c_lo: _mm256_set1_epi64x((MUL & 0xFFFF_FFFF) as i64),
+            c_hi: _mm256_set1_epi64x((MUL >> 32) as i64),
+            scale: _mm256_set1_ps(2.0 / (1u32 << 23) as f32),
+            one: _mm256_set1_ps(1.0),
+            // Gathers the low dword of each u64 lane into the low 128 bits.
+            narrow: _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0),
+        }
+    }
+
+    /// The eight values `raw_value(id, row, e .. e + 8)` as one vector.
+    ///
+    /// Eight hashes run as two 4×u64 vectors. The 64×64→64 multiply AVX2
+    /// lacks is built from `vpmuludq` 32×32→64 partial products:
+    /// `h·C mod 2^64 = h_lo·C_lo + ((h_lo·C_hi + h_hi·C_lo) << 32)` — and
+    /// because `e` only perturbs the low dword of the premixed base,
+    /// `h_hi·C_lo` is one more per-row constant hoisted out of the loop,
+    /// leaving two multiplies per vector. The mantissas narrow to one
+    /// 8×u32 vector and convert with `vcvtdq2ps` (exact: mantissas are
+    /// 23 bits), and the final `·scale − 1` runs the same IEEE
+    /// single-rounded ops per lane as the scalar code — bit-identical to
+    /// [`raw_value_block`].
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn values8(&self, e: u64) -> core::arch::x86_64::__m256 {
+        use core::arch::x86_64::*;
+        let ev = _mm256_set1_epi64x(e as i64);
+        let h0 = _mm256_xor_si256(
+            self.pre_v,
+            _mm256_add_epi64(ev, _mm256_setr_epi64x(0, 1, 2, 3)),
+        );
+        let h1 = _mm256_xor_si256(
+            self.pre_v,
+            _mm256_add_epi64(ev, _mm256_setr_epi64x(4, 5, 6, 7)),
+        );
+        // p = h·C mod 2^64, then mantissa = p >> 41 (see raw_value_block).
+        let lo0 = _mm256_mul_epu32(h0, self.c_lo);
+        let lo1 = _mm256_mul_epu32(h1, self.c_lo);
+        let mid0 = _mm256_add_epi64(_mm256_mul_epu32(h0, self.c_hi), self.hi_v);
+        let mid1 = _mm256_add_epi64(_mm256_mul_epu32(h1, self.c_hi), self.hi_v);
+        let p0 = _mm256_add_epi64(lo0, _mm256_slli_epi64(mid0, 32));
+        let p1 = _mm256_add_epi64(lo1, _mm256_slli_epi64(mid1, 32));
+        let m0 = _mm256_srli_epi64(p0, 41);
+        let m1 = _mm256_srli_epi64(p1, 41);
+        let n0 = _mm256_permutevar8x32_epi32(m0, self.narrow);
+        let n1 = _mm256_permutevar8x32_epi32(m1, self.narrow);
+        let packed = _mm256_inserti128_si256(n0, _mm256_castsi256_si128(n1), 1);
+        let f = _mm256_cvtepi32_ps(packed);
+        _mm256_sub_ps(_mm256_mul_ps(f, self.scale), self.one)
+    }
+}
+
+/// [`raw_value_block`] with the multiply hand-vectorized for the 8-lane
+/// dispatch tier (LLVM does not auto-vectorize 64-bit multiplies); see
+/// [`RowMixAvx2::values8`] for the vector decomposition.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn raw_value_block_avx2(id: u32, row: u64, elem0: u32, out: &mut [f32]) {
+    use core::arch::x86_64::*;
+    let mix = RowMixAvx2::new(id, row);
+    let mut e = elem0 as u64;
+    let mut blocks = out.chunks_exact_mut(8);
+    for block in &mut blocks {
+        let v = mix.values8(e);
+        // SAFETY: `block` is a chunk of exactly 8 f32s.
+        unsafe { _mm256_storeu_ps(block.as_mut_ptr(), v) };
+        e += 8;
+    }
+    let tail = blocks.into_remainder();
+    if !tail.is_empty() {
+        raw_value_block(id, row, e as u32, tail);
+    }
+}
+
+/// Fused hash+fold of one whole procedural row on the AVX2 tier:
+/// `acc[e] += w * raw_value(id, row, e)` straight from registers, no
+/// intermediate value buffer. Per element this is the same two
+/// separately-rounded IEEE ops (`mul`, then `add`) as the scalar fold —
+/// FMA is never enabled, contraction would change the rounding — so the
+/// result is bit-identical to the scalar reference.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn raw_fold_row_avx2(id: u32, row: u64, acc: &mut [f32], w: f32) {
+    use core::arch::x86_64::*;
+    let mix = RowMixAvx2::new(id, row);
+    let wv = _mm256_set1_ps(w);
+    let mut e = 0u64;
+    let mut blocks = acc.chunks_exact_mut(8);
+    for block in &mut blocks {
+        let v = mix.values8(e);
+        // SAFETY: `block` is a chunk of exactly 8 f32s.
+        unsafe {
+            let a = _mm256_loadu_ps(block.as_ptr());
+            _mm256_storeu_ps(block.as_mut_ptr(), _mm256_add_ps(a, _mm256_mul_ps(wv, v)));
+        }
+        e += 8;
+    }
+    let tail = blocks.into_remainder();
+    if !tail.is_empty() {
+        let mut buf = [0.0f32; 7];
+        let vals = &mut buf[..tail.len()];
+        raw_value_block(id, row, e as u32, vals);
+        for (slot, &v) in tail.iter_mut().zip(vals.iter()) {
+            *slot += w * v;
+        }
+    }
+}
+
 /// Fetches (filling on first use) the shared row block for a table
 /// shape, or `None` when the shape is over the cap or the budget is
 /// exhausted.
@@ -86,11 +260,9 @@ fn materialize(id: u32, rows: u64, dim: u32) -> Option<Arc<[f32]>> {
     // *different* shapes don't serialize on one fill. Two workers may
     // race on the same shape; contents are a pure function of the key,
     // so the loser just drops its duplicate block below.
-    let mut data = Vec::with_capacity((rows * dim as u64) as usize);
-    for row in 0..rows {
-        for elem in 0..dim {
-            data.push(raw_value(id, row, elem));
-        }
+    let mut data = vec![0.0f32; (rows * dim as u64) as usize];
+    for (row, chunk) in data.chunks_exact_mut(dim as usize).enumerate() {
+        raw_value_block(id, row as u64, 0, chunk);
     }
     let block: Arc<[f32]> = data.into();
     let mut s = store().lock().expect("row store poisoned");
@@ -251,6 +423,56 @@ impl EmbeddingTable {
         raw_value(self.id, row, elem)
     }
 
+    /// Fills `out` with the procedural values of elements
+    /// `elem0 .. elem0 + out.len()` of `row` — the batched form of
+    /// [`EmbeddingTable::value`] the wide SLS kernels stream from when a
+    /// table is over the materialization cap. Bit-identical to
+    /// elementwise `value()` calls on every dispatch tier (integer hash
+    /// plus exact f32 mapping, per lane).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or the element block is out of bounds.
+    #[inline]
+    pub fn value_block(&self, row: u64, elem0: u32, out: &mut [f32]) {
+        assert!(row < self.rows, "row {row} out of bounds");
+        assert!(
+            elem0 as usize + out.len() <= self.dim as usize,
+            "element block {elem0}+{} exceeds dim {}",
+            out.len(),
+            self.dim
+        );
+        #[cfg(target_arch = "x86_64")]
+        if crate::sls::simd::avx2_dispatched() {
+            // SAFETY: `avx2_dispatched` is gated on runtime
+            // `is_x86_feature_detected!("avx2")`.
+            unsafe {
+                return raw_value_block_avx2(self.id, row, elem0, out);
+            }
+        }
+        raw_value_block(self.id, row, elem0, out)
+    }
+
+    /// Fused procedural fold on the AVX2 8-lane tier:
+    /// `acc[e] += w * value(row, e)` across the whole row without an
+    /// intermediate value buffer (see [`raw_fold_row_avx2`]). The wide
+    /// SLS kernel takes this path for over-cap tables; bit-identical to
+    /// the scalar fold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds or `acc` is wider than the row.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    pub(crate) fn fold_row_avx2(&self, row: u64, acc: &mut [f32], w: f32) {
+        assert!(row < self.rows, "row {row} out of bounds");
+        assert!(
+            acc.len() <= self.dim as usize,
+            "accumulator wider than the row"
+        );
+        raw_fold_row_avx2(self.id, row, acc, w);
+    }
+
     /// The materialized row as a contiguous slice, or `None` when the
     /// table is procedural-only. The SLS kernels branch on this once per
     /// row and fold the slice with a vectorizable loop.
@@ -338,6 +560,27 @@ mod tests {
         }
         // Same identity regardless of materialization.
         assert_eq!(m, p);
+    }
+
+    #[test]
+    fn value_block_matches_elementwise_values() {
+        let t = EmbeddingTable::new_procedural(6, 40, 100, 0);
+        // Every block offset/length class, including unaligned tails.
+        for (e0, len) in [(0u32, 100usize), (0, 1), (3, 29), (64, 36), (99, 1)] {
+            let mut out = vec![0.0f32; len];
+            t.value_block(7, e0, &mut out);
+            for (i, &v) in out.iter().enumerate() {
+                assert_eq!(v, t.value(7, e0 + i as u32), "mismatch at {e0}+{i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "element block")]
+    fn value_block_bounds_checked() {
+        let t = EmbeddingTable::new_procedural(6, 40, 100, 0);
+        let mut out = vec![0.0f32; 8];
+        t.value_block(0, 96, &mut out);
     }
 
     #[test]

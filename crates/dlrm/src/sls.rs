@@ -8,6 +8,8 @@
 
 use crate::embedding::EmbeddingTable;
 
+pub mod simd;
+
 /// One SLS request: which rows of which table to accumulate.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SlsRequest {
@@ -114,11 +116,14 @@ pub fn sls_reference_scalar(
 /// Folds one row into `acc` with weight `w` — the per-arrival step the
 /// switch's accumulate logic performs (§IV-A5).
 ///
-/// When the table is materialized this is a slice-zip loop over the
-/// contiguous row — each `acc[e] += w * row[e]` lane is independent, so
-/// the compiler auto-vectorizes it, and because the per-element addition
-/// order along `dim` is exactly the scalar loop's, the f32 sums are
-/// bit-identical to [`accumulate_row_scalar`] (asserted by proptests).
+/// When the table is materialized this is the explicit lane-width wide
+/// fold ([`simd::fold_slice`]): fixed `[f32; LANES]` accumulator blocks
+/// plus a scalar tail, behind the 8/4/scalar runtime dispatcher. For
+/// procedural tables the per-element hash is computed in vectorizable
+/// blocks ([`EmbeddingTable::value_block`]) and folded the same way.
+/// Because the per-element addition order along `dim` is exactly the
+/// scalar loop's on every tier, the f32 sums are bit-identical to
+/// [`accumulate_row_scalar`] (asserted by the forced-tier proptests).
 ///
 /// # Panics
 ///
@@ -132,12 +137,74 @@ pub fn accumulate_row(acc: &mut [f32], table: &EmbeddingTable, row: u64, w: f32)
         "accumulator width must match the table dimension"
     );
     match table.row_slice(row) {
-        Some(vals) => {
-            for (slot, &v) in acc.iter_mut().zip(vals) {
-                *slot += w * v;
-            }
+        Some(vals) => simd::fold_slice(acc, vals, w),
+        None => accumulate_row_procedural(acc, table, row, w, None),
+    }
+}
+
+/// [`accumulate_row`] on an explicitly forced dispatch tier — the hook
+/// the forced-tier proptests and the CI fallback guard drive.
+///
+/// # Panics
+///
+/// Panics if `acc.len()` differs from the table dimension or `row` is out
+/// of bounds.
+pub fn accumulate_row_forced(
+    acc: &mut [f32],
+    table: &EmbeddingTable,
+    row: u64,
+    w: f32,
+    width: simd::LaneWidth,
+) {
+    assert_eq!(
+        acc.len(),
+        table.dim() as usize,
+        "accumulator width must match the table dimension"
+    );
+    match table.row_slice(row) {
+        Some(vals) => simd::fold_slice_forced(acc, vals, w, width),
+        None => accumulate_row_procedural(acc, table, row, w, Some(width)),
+    }
+}
+
+/// Block size (f32 elements) of the stack buffer the procedural wide
+/// fold streams through: `value_block` fills a block, the wide fold
+/// consumes it, no heap touched.
+const PROC_BLOCK: usize = 64;
+
+/// The wide fold for over-cap (procedural) tables: hash values are
+/// produced in vectorizable blocks and folded with the dispatched (or
+/// forced) tier. The scalar tier routes to [`accumulate_row_scalar`]
+/// itself so the forced fallback exercises the true reference path.
+fn accumulate_row_procedural(
+    acc: &mut [f32],
+    table: &EmbeddingTable,
+    row: u64,
+    w: f32,
+    forced: Option<simd::LaneWidth>,
+) {
+    let width = forced.unwrap_or_else(simd::dispatched_width);
+    if width == simd::LaneWidth::Scalar {
+        return accumulate_row_scalar(acc, table, row, w);
+    }
+    #[cfg(target_arch = "x86_64")]
+    if width == simd::LaneWidth::W8 && simd::avx2_dispatched() {
+        // SAFETY: `avx2_dispatched` is gated on runtime
+        // `is_x86_feature_detected!("avx2")`.
+        unsafe { table.fold_row_avx2(row, acc, w) };
+        return;
+    }
+    let mut buf = [0.0f32; PROC_BLOCK];
+    let dim = acc.len();
+    let mut e0 = 0usize;
+    while e0 < dim {
+        let l = PROC_BLOCK.min(dim - e0);
+        table.value_block(row, e0 as u32, &mut buf[..l]);
+        match forced {
+            Some(width) => simd::fold_slice_forced(&mut acc[e0..e0 + l], &buf[..l], w, width),
+            None => simd::fold_slice(&mut acc[e0..e0 + l], &buf[..l], w),
         }
-        None => accumulate_row_scalar(acc, table, row, w),
+        e0 += l;
     }
 }
 
@@ -261,6 +328,41 @@ mod tests {
             let fast = sls_reference(&mat, &indices, Some(&weights));
             let scalar = sls_reference_scalar(&proc_, &indices, Some(&weights));
             prop_assert_eq!(fast, scalar);
+        }
+
+        /// Every dispatch tier — forced scalar, 4-lane and 8-lane —
+        /// must equal the scalar reference *bit-for-bit* (not
+        /// approximately) across dims 1..256, weighted and unweighted,
+        /// on materialized and procedural tables alike.
+        #[test]
+        fn prop_forced_tiers_match_scalar_reference(
+            dim in 1u32..256,
+            indices in proptest::collection::vec(0u64..64, 1..16),
+            raw_weights in proptest::collection::vec(-4.0f32..4.0, 16..17),
+        ) {
+            let weights: Vec<f32> = raw_weights[..indices.len()].to_vec();
+            let mat = EmbeddingTable::new(7, 64, dim, 0);
+            let proc_ = EmbeddingTable::new_procedural(7, 64, dim, 0);
+            prop_assert!(mat.is_materialized());
+            for weighted in [false, true] {
+                let ws = weighted.then_some(&weights[..]);
+                let reference = sls_reference_scalar(&proc_, &indices, ws);
+                for width in simd::LaneWidth::all() {
+                    for table in [&mat, &proc_] {
+                        let mut acc = vec![0.0f32; dim as usize];
+                        for (i, &row) in indices.iter().enumerate() {
+                            let w = ws.map_or(1.0, |x| x[i]);
+                            accumulate_row_forced(&mut acc, table, row, w, width);
+                        }
+                        prop_assert_eq!(
+                            &acc,
+                            &reference,
+                            "tier {:?} diverged (dim {}, weighted {}, materialized {})",
+                            width, dim, weighted, table.is_materialized()
+                        );
+                    }
+                }
+            }
         }
 
         /// Duplicate indices accumulate additively.
