@@ -15,6 +15,7 @@ use crate::scenario::{GridScenario, Scenario};
 
 pub mod analytic;
 pub mod characterization;
+pub mod cluster;
 pub mod custom;
 pub mod latency;
 pub mod pm;
@@ -27,7 +28,7 @@ pub fn all() -> Vec<&'static dyn Scenario> {
     ALL.iter().map(|s| *s as &dyn Scenario).collect()
 }
 
-static ALL: [&GridScenario; 22] = [
+static ALL: [&GridScenario; 23] = [
     &analytic::TABLE1,
     &analytic::TABLE2,
     &characterization::FIG5,
@@ -49,5 +50,6 @@ static ALL: [&GridScenario; 22] = [
     &analytic::ENERGY,
     &latency::LATENCY_QPS,
     &latency::LATENCY_WAIT,
+    &cluster::CLUSTER_QPS,
     &custom::CUSTOM,
 ];

@@ -1,0 +1,792 @@
+//! Cluster-scale sharded serving: N [`SlsSystem`] nodes behind a query
+//! router.
+//!
+//! The paper evaluates one PIFS node; serving millions of users means a
+//! fleet behind a routing tier (ROADMAP item 1). This layer instantiates
+//! `n_shards` full nodes, shards the embedding tables across them under a
+//! pluggable [`ShardPolicy`], routes each query's lookups to the owning
+//! shards as per-node *sub-traces* (variable-size bags via the CSR
+//! offsets in [`tracegen::TableLookups`]), runs the open-loop serving
+//! engine on every node against the shared arrival stream, and merges
+//! the per-node results on two planes:
+//!
+//! * **Timing plane** — a sharded query completes when its last shard's
+//!   response lands at the router: the max over participating shards of
+//!   the per-node completion instant, plus a serialized transfer over
+//!   the shared aggregation link and one inter-node hop
+//!   ([`cxlsim::FlexBusLink`] + [`CxlParams::inter_switch_ns`]) for
+//!   every shard other than the query's home shard. A query served
+//!   entirely by one shard returns directly — which is why a 1-shard
+//!   cluster is *byte-identical* to plain
+//!   [`run_open_loop`](SlsSystem::run_open_loop).
+//! * **Functional plane** — per-shard partial sums are folded in f64
+//!   ([`dlrm::sls::accumulate_row_exact`]) over each shard's owned rows
+//!   in bag order and merged in **fixed shard-index order**. Because
+//!   procedural embedding values are exact multiples of 2⁻²², the f64
+//!   accumulation is exact and therefore associative: the merged
+//!   embeddings and query checksums are bit-identical for *every* shard
+//!   count and placement policy (the shard-invariance suite asserts
+//!   this). The fixed merge order is belt and suspenders on top of the
+//!   exactness argument, not a correctness requirement.
+//!
+//! Determinism: routing, sub-trace construction, per-node simulation and
+//! both merge planes are pure functions of `(config, trace, arrivals)`.
+//! The aggregation link drains responses in query-id order with shards
+//! ascending (the router's reorder buffer is FIFO), so the timing merge
+//! is reproducible regardless of which worker ran which node — the
+//! property that lets the bench runner fan the per-node sims out as
+//! sub-point parts.
+//!
+//! [`CxlParams::inter_switch_ns`]: cxlsim::CxlParams::inter_switch_ns
+
+#![deny(missing_docs)]
+
+use cxlsim::FlexBusLink;
+use dlrm::EmbeddingTable;
+use pagemgmt::{HotnessTracker, PageId};
+use simkit::{LatencyHist, SimDuration, SimTime};
+use tracegen::{Batch, TableLookups, Trace};
+
+use super::config::SystemConfig;
+use super::serving::ServingMetrics;
+use crate::system::SlsSystem;
+
+/// How embedding rows map to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardPolicy {
+    /// Owner = `hash(table, row) mod n_shards`: uniform row scatter,
+    /// every shard touches every table. Stable under shard-count
+    /// *multiplication* in the modular sense — the owner at `m·k`
+    /// shards reduces mod `k` to the owner at `k` shards (`h mod m·k ≡
+    /// h mod k (mod k)`); owners are otherwise free to move.
+    RowHash,
+    /// Owner = `table · n_shards / n_tables`: contiguous table ranges,
+    /// one shard serves a query's whole bag for each of its tables.
+    /// Stable under shard-count multiplication in the hierarchical
+    /// sense — the owner at `k` shards is `floor(owner_at_mk / m)`
+    /// (each shard's range splits into its `m` children), because
+    /// `floor(floor(m·x)/m) = floor(x)`.
+    TablePartition,
+}
+
+impl ShardPolicy {
+    /// Parses the scenario-axis spelling (`row_hash`/`table_partition`).
+    pub fn parse(s: &str) -> Option<ShardPolicy> {
+        match s {
+            "row_hash" => Some(ShardPolicy::RowHash),
+            "table_partition" => Some(ShardPolicy::TablePartition),
+            _ => None,
+        }
+    }
+
+    /// The scenario-axis spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShardPolicy::RowHash => "row_hash",
+            ShardPolicy::TablePartition => "table_partition",
+        }
+    }
+
+    /// The shard owning `(table, row)` among `n_shards` shards over
+    /// `n_tables` tables (see the variant docs for the stability
+    /// promises).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_shards` or `n_tables` is zero or `table` is out of
+    /// range.
+    pub fn owner(self, n_shards: u16, n_tables: u32, table: u32, row: u64) -> u16 {
+        assert!(n_shards > 0 && n_tables > 0, "degenerate shard space");
+        assert!(table < n_tables, "table {table} out of range");
+        match self {
+            ShardPolicy::RowHash => (mix_table_row(table, row) % n_shards as u64) as u16,
+            ShardPolicy::TablePartition => {
+                ((table as u64 * n_shards as u64) / n_tables as u64) as u16
+            }
+        }
+    }
+}
+
+/// Splitmix64-finished mix of `(table, row)` — independent of the shard
+/// count, which is what gives [`ShardPolicy::RowHash`] its modular
+/// stability promise.
+fn mix_table_row(table: u32, row: u64) -> u64 {
+    let mut z = (u64::from(table) << 32 | (u64::from(table) >> 3))
+        .wrapping_add(row.wrapping_mul(0x9e3779b97f4a7c15))
+        .wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Everything a cluster needs: shard count, placement policy, optional
+/// hot-row replication, and the per-node [`SystemConfig`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of nodes (≥ 1).
+    pub n_shards: u16,
+    /// Row→shard placement policy.
+    pub policy: ShardPolicy,
+    /// Hottest rows per table replicated onto *every* shard (0 = off).
+    /// Hotness is ranked from the trace's access counts with
+    /// [`pagemgmt::HotnessTracker`] (hottest first, row-id ascending on
+    /// ties), so the replica set is deterministic and identical for
+    /// every shard count. Replication never changes functional results
+    /// — replicas carry the same procedural values as the owner — it
+    /// only lets the router co-locate a hot row's lookup with a bag's
+    /// other rows to shrink cross-shard fan-out.
+    pub hot_rows_per_table: u32,
+    /// The configuration every node is built from.
+    pub node: SystemConfig,
+}
+
+impl ClusterConfig {
+    /// A cluster of `n_shards` nodes, no replication.
+    pub fn new(n_shards: u16, policy: ShardPolicy, node: SystemConfig) -> Self {
+        ClusterConfig {
+            n_shards,
+            policy,
+            hot_rows_per_table: 0,
+            node,
+        }
+    }
+}
+
+/// The frozen row→shard map for one trace: the policy plus the
+/// hotness-ranked replica set.
+#[derive(Debug, Clone)]
+pub struct ShardPlacement {
+    n_shards: u16,
+    n_tables: u32,
+    policy: ShardPolicy,
+    /// Rows replicated on every shard, per table (sorted for binary
+    /// search; empty when replication is off).
+    replicated: Vec<Vec<u64>>,
+}
+
+impl ShardPlacement {
+    /// Builds the placement for `trace` under `cfg`, ranking the
+    /// replica set from the trace's per-table access counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.n_shards` is zero or the trace has no tables.
+    pub fn build(cfg: &ClusterConfig, trace: &Trace) -> ShardPlacement {
+        assert!(cfg.n_shards > 0, "a cluster needs at least one shard");
+        let n_tables = trace.n_tables;
+        let mut replicated = vec![Vec::new(); n_tables as usize];
+        if cfg.hot_rows_per_table > 0 {
+            let mut trackers = vec![HotnessTracker::new(); n_tables as usize];
+            for (_, table, _, row) in trace.iter_lookups() {
+                trackers[table as usize].record(PageId(row));
+            }
+            for (rows, tracker) in replicated.iter_mut().zip(&trackers) {
+                *rows = tracker
+                    .hottest(cfg.hot_rows_per_table as usize)
+                    .into_iter()
+                    .map(|p| p.0)
+                    .collect();
+                rows.sort_unstable();
+            }
+        }
+        ShardPlacement {
+            n_shards: cfg.n_shards,
+            n_tables,
+            policy: cfg.policy,
+            replicated,
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> u16 {
+        self.n_shards
+    }
+
+    /// The shard owning `(table, row)` under the policy (replication
+    /// aside — the owner also holds a replicated row's primary copy).
+    pub fn owner(&self, table: u32, row: u64) -> u16 {
+        self.policy.owner(self.n_shards, self.n_tables, table, row)
+    }
+
+    /// Whether `(table, row)` is replicated on every shard.
+    pub fn is_replicated(&self, table: u32, row: u64) -> bool {
+        self.replicated[table as usize].binary_search(&row).is_ok()
+    }
+
+    /// Serving shard of each row in one bag, written into `out` (one
+    /// entry per row, bag order). Non-replicated rows go to their
+    /// owner. A replicated row co-routes to the lowest-index shard
+    /// already serving one of the bag's non-replicated rows — shrinking
+    /// the bag's shard fan-out — and falls back to its owner when the
+    /// bag holds replicated rows only. Every lookup is served exactly
+    /// once (the conservation tests assert no duplicates).
+    pub fn route_bag(&self, table: u32, rows: &[u64], out: &mut Vec<u16>) {
+        out.clear();
+        let mut pinned: Option<u16> = None;
+        for &row in rows {
+            if self.is_replicated(table, row) {
+                out.push(u16::MAX); // placeholder: resolved below
+            } else {
+                let s = self.owner(table, row);
+                pinned = Some(pinned.map_or(s, |p| p.min(s)));
+                out.push(s);
+            }
+        }
+        for (slot, &row) in out.iter_mut().zip(rows) {
+            if *slot == u16::MAX {
+                *slot = pinned.unwrap_or_else(|| self.owner(table, row));
+            }
+        }
+    }
+}
+
+/// One node's routed share of a cluster workload: the sub-trace holding
+/// only the rows this shard serves (variable-size CSR bags), the
+/// arrival instants of its participating queries, and the global query
+/// id behind each local one.
+#[derive(Debug, Clone)]
+pub struct ShardWorkload {
+    /// The per-node trace: local query `q` is sample `q % batch_size`
+    /// of batch `q / batch_size`, exactly as
+    /// [`run_open_loop`](SlsSystem::run_open_loop) expects.
+    pub trace: Trace,
+    /// Arrival instant of each local query (a subsequence of the
+    /// cluster arrival stream, so it stays sorted).
+    pub arrivals: Vec<SimTime>,
+    /// Global qid of each local query, ascending.
+    pub qids: Vec<u64>,
+}
+
+/// Per-shard sub-trace builder: appends one query's sub-bags at a time,
+/// closing batches at `batch_size` queries.
+struct ShardTraceBuilder {
+    batch_size: u32,
+    n_tables: u32,
+    /// Per-table (indices, offsets) of the batch under construction.
+    current: Vec<(Vec<u64>, Vec<u32>)>,
+    in_batch: u32,
+    batches: Vec<Batch>,
+}
+
+impl ShardTraceBuilder {
+    fn new(n_tables: u32, batch_size: u32) -> Self {
+        ShardTraceBuilder {
+            batch_size,
+            n_tables,
+            current: (0..n_tables).map(|_| (Vec::new(), vec![0])).collect(),
+            in_batch: 0,
+            batches: Vec::new(),
+        }
+    }
+
+    /// Appends one query: `bags[t]` holds the rows this shard serves
+    /// for table `t` (possibly empty).
+    fn push_query(&mut self, bags: &[Vec<u64>]) {
+        for ((indices, offsets), bag) in self.current.iter_mut().zip(bags) {
+            indices.extend_from_slice(bag);
+            offsets.push(indices.len() as u32);
+        }
+        self.in_batch += 1;
+        if self.in_batch == self.batch_size {
+            self.close_batch();
+        }
+    }
+
+    /// Closes the batch under construction, padding trailing samples
+    /// with empty bags.
+    fn close_batch(&mut self) {
+        if self.in_batch == 0 {
+            return;
+        }
+        let tables = self
+            .current
+            .iter_mut()
+            .enumerate()
+            .map(|(t, (indices, offsets))| {
+                offsets.resize(
+                    self.batch_size as usize + 1,
+                    *offsets.last().expect("seeded"),
+                );
+                TableLookups::with_offsets(
+                    t as u32,
+                    std::mem::take(indices),
+                    std::mem::replace(offsets, vec![0]),
+                )
+            })
+            .collect();
+        self.batches.push(Batch { tables });
+        self.in_batch = 0;
+    }
+
+    fn finish(mut self, rows_per_table: u64, bag_size: u32) -> Trace {
+        self.close_batch();
+        Trace {
+            n_tables: self.n_tables,
+            rows_per_table,
+            batch_size: self.batch_size,
+            bag_size,
+            batches: self.batches,
+        }
+    }
+}
+
+/// Routes `(trace, arrivals)` across the placement's shards: query `q`
+/// is split into per-shard sub-bags (each shard receives, per table,
+/// exactly the rows it serves, in bag order), and a query is enqueued
+/// only on shards serving at least one of its rows. For a 1-shard
+/// placement the sole workload reproduces the input trace's bags and
+/// arrival stream verbatim.
+///
+/// # Panics
+///
+/// Panics as [`run_open_loop`](SlsSystem::run_open_loop) would: if
+/// `arrivals` exceeds the trace's sample capacity.
+pub fn shard_workloads(
+    placement: &ShardPlacement,
+    trace: &Trace,
+    arrivals: &[SimTime],
+) -> Vec<ShardWorkload> {
+    let capacity = trace.batches.len() as u64 * trace.batch_size as u64;
+    assert!(
+        arrivals.len() as u64 <= capacity,
+        "arrival stream has more queries than the trace has samples"
+    );
+    let k = placement.n_shards as usize;
+    let n_tables = trace.n_tables as usize;
+    let mut builders: Vec<ShardTraceBuilder> = (0..k)
+        .map(|_| ShardTraceBuilder::new(trace.n_tables, trace.batch_size))
+        .collect();
+    let mut out: Vec<ShardWorkload> = (0..k)
+        .map(|_| ShardWorkload {
+            trace: Trace {
+                n_tables: trace.n_tables,
+                rows_per_table: trace.rows_per_table,
+                batch_size: trace.batch_size,
+                bag_size: trace.bag_size,
+                batches: Vec::new(),
+            },
+            arrivals: Vec::new(),
+            qids: Vec::new(),
+        })
+        .collect();
+
+    // Per-query scratch: sub-bags[shard][table] and the routing vector.
+    let mut sub: Vec<Vec<Vec<u64>>> = vec![vec![Vec::new(); n_tables]; k];
+    let mut route: Vec<u16> = Vec::new();
+    for (qid, &at) in arrivals.iter().enumerate() {
+        let batch = qid / trace.batch_size as usize;
+        let sample = (qid % trace.batch_size as usize) as u32;
+        for shard in sub.iter_mut() {
+            for bag in shard.iter_mut() {
+                bag.clear();
+            }
+        }
+        for t in 0..trace.n_tables {
+            let bag = trace.bag(batch, t, sample);
+            placement.route_bag(t, bag, &mut route);
+            for (&row, &s) in bag.iter().zip(&route) {
+                sub[s as usize][t as usize].push(row);
+            }
+        }
+        for (s, shard) in sub.iter().enumerate() {
+            if shard.iter().any(|bag| !bag.is_empty()) {
+                builders[s].push_query(shard);
+                out[s].arrivals.push(at);
+                out[s].qids.push(qid as u64);
+            }
+        }
+    }
+    for (w, b) in out.iter_mut().zip(builders) {
+        w.trace = b.finish(trace.rows_per_table, trace.bag_size);
+    }
+    out
+}
+
+/// What one cluster run measured.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterMetrics {
+    /// Queries served (each counted once, however many shards it hit).
+    pub queries: u64,
+    /// Per-query enqueue→merged-response latency.
+    pub latency: LatencyHist,
+    /// Completion of the last merged response, ns.
+    pub makespan_ns: u64,
+    /// Bytes moved over the shared aggregation link (zero when every
+    /// query was single-shard).
+    pub agg_bytes: u64,
+    /// Mean shards participating per query (1.0 = no sharding overhead,
+    /// `n_shards` = full scatter).
+    pub mean_fanout: f64,
+    /// Exact merged functional checksum: the f64 partial-sum merge
+    /// summed over every query — bit-identical across shard counts and
+    /// policies (see the module docs).
+    pub checksum: f64,
+    /// Per-query exact checksums, indexed by qid (the shard-invariance
+    /// tests compare these bitwise across shard counts).
+    pub query_checksums: Vec<f64>,
+    /// Each node's own serving metrics, shard-index order.
+    pub per_node: Vec<ServingMetrics>,
+}
+
+impl ClusterMetrics {
+    /// Achieved cluster throughput in queries per second.
+    pub fn achieved_qps(&self) -> f64 {
+        if self.makespan_ns == 0 {
+            0.0
+        } else {
+            self.queries as f64 * 1e9 / self.makespan_ns as f64
+        }
+    }
+}
+
+/// N serving nodes plus the router-side merge state.
+pub struct SlsCluster {
+    cfg: ClusterConfig,
+    nodes: Vec<SlsSystem>,
+}
+
+impl SlsCluster {
+    /// Builds `cfg.n_shards` idle nodes from the node configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.n_shards` is zero (and as [`SlsSystem::new`] for a
+    /// degenerate node config).
+    pub fn new(cfg: ClusterConfig) -> Self {
+        assert!(cfg.n_shards > 0, "a cluster needs at least one shard");
+        let nodes = (0..cfg.n_shards)
+            .map(|_| SlsSystem::new(cfg.node.clone()))
+            .collect();
+        SlsCluster { cfg, nodes }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Serves `trace` open-loop across the cluster: build the
+    /// placement, route per-shard workloads, run every node's
+    /// [`run_open_loop`](SlsSystem::run_open_loop) against the shared
+    /// arrival stream, and merge (timing plane + exact functional
+    /// plane). Equivalent to running the shards on separate workers and
+    /// calling [`merge_cluster`] — which is exactly what the bench
+    /// runner's sub-point path does.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`run_open_loop`](SlsSystem::run_open_loop) would (bad
+    /// arrival stream, trace exceeding the model).
+    pub fn run_open_loop(&mut self, trace: &Trace, arrivals: &[SimTime]) -> ClusterMetrics {
+        let placement = ShardPlacement::build(&self.cfg, trace);
+        let shards = shard_workloads(&placement, trace, arrivals);
+        let per_node: Vec<ServingMetrics> = self
+            .nodes
+            .iter_mut()
+            .zip(&shards)
+            .map(|(node, w)| node.run_open_loop(&w.trace, &w.arrivals))
+            .collect();
+        let completions: Vec<&[SimTime]> = per_node.iter().map(|m| &m.completion[..]).collect();
+        let makespans: Vec<u64> = per_node.iter().map(|m| m.makespan_ns).collect();
+        let mut merged = merge_cluster(
+            &self.cfg,
+            &placement,
+            trace,
+            arrivals,
+            &shards,
+            &completions,
+            &makespans,
+        );
+        merged.per_node = per_node;
+        merged
+    }
+}
+
+/// The functional embedding tables of `model` (base address zero — the
+/// procedural values depend only on `(table, row, element)`).
+pub fn functional_tables(model: &dlrm::ModelConfig) -> Vec<EmbeddingTable> {
+    (0..model.n_tables)
+        .map(|t| EmbeddingTable::new(t, model.emb_num, model.emb_dim, 0))
+        .collect()
+}
+
+/// The exact merged embedding of one bag under `placement`: per-shard
+/// f64 partial sums (each shard's rows in bag order), merged in fixed
+/// shard-index order. Bit-identical to
+/// [`dlrm::sls::sls_reference_exact`] on the whole bag for every shard
+/// count and policy — the exactness argument in the module docs.
+pub fn merged_bag_embedding(
+    placement: &ShardPlacement,
+    table: &EmbeddingTable,
+    table_idx: u32,
+    bag: &[u64],
+) -> Vec<f64> {
+    let dim = table.dim() as usize;
+    let mut route = Vec::new();
+    placement.route_bag(table_idx, bag, &mut route);
+    let mut merged = vec![0.0f64; dim];
+    let mut partial = vec![0.0f64; dim];
+    for shard in 0..placement.n_shards {
+        partial.iter_mut().for_each(|v| *v = 0.0);
+        let mut any = false;
+        for (&row, &s) in bag.iter().zip(&route) {
+            if s == shard {
+                dlrm::sls::accumulate_row_exact(&mut partial, table, row, 1.0);
+                any = true;
+            }
+        }
+        if any {
+            for (m, p) in merged.iter_mut().zip(&partial) {
+                *m += p;
+            }
+        }
+    }
+    merged
+}
+
+/// The exact per-query checksums of the first `n_queries` samples:
+/// each query's merged embeddings ([`merged_bag_embedding`]) summed
+/// over tables and elements. Shard-count- and policy-invariant bitwise.
+pub fn query_checksums(
+    placement: &ShardPlacement,
+    tables: &[EmbeddingTable],
+    trace: &Trace,
+    n_queries: usize,
+) -> Vec<f64> {
+    (0..n_queries)
+        .map(|qid| {
+            let batch = qid / trace.batch_size as usize;
+            let sample = (qid % trace.batch_size as usize) as u32;
+            tables
+                .iter()
+                .enumerate()
+                .map(|(t, table)| {
+                    merged_bag_embedding(
+                        placement,
+                        table,
+                        t as u32,
+                        trace.bag(batch, t as u32, sample),
+                    )
+                    .iter()
+                    .sum::<f64>()
+                })
+                .sum()
+        })
+        .collect()
+}
+
+/// Merges per-node serving runs into cluster metrics. `completions[s]`
+/// is node `s`'s run-relative per-query completion vector
+/// ([`ServingMetrics::completion`]), local-qid order, and
+/// `node_makespans[s]` its [`ServingMetrics::makespan_ns`].
+///
+/// Timing plane: queries merge in qid order, shards ascending. The
+/// query's *home* shard (lowest participating index) answers directly;
+/// every other participant's partial — one response of
+/// `tables_touched × row_bytes` — serializes over the shared
+/// aggregation [`FlexBusLink`] and pays one
+/// [`inter_switch_ns`](cxlsim::CxlParams::inter_switch_ns) hop. The
+/// merged completion is the max over the home completion and the landed
+/// partials. The cluster makespan is the instant the fleet goes idle:
+/// the max over the node makespans (when every host frees), raised to
+/// any cross-shard partial that lands later — so a 1-shard cluster's
+/// makespan is *exactly* its node's.
+///
+/// Functional plane: [`query_checksums`] under the same placement.
+///
+/// # Panics
+///
+/// Panics if the shard/completion/makespan shapes disagree with the
+/// workloads.
+pub fn merge_cluster(
+    cfg: &ClusterConfig,
+    placement: &ShardPlacement,
+    trace: &Trace,
+    arrivals: &[SimTime],
+    shards: &[ShardWorkload],
+    completions: &[&[SimTime]],
+    node_makespans: &[u64],
+) -> ClusterMetrics {
+    assert_eq!(
+        shards.len(),
+        completions.len(),
+        "one completion vector per shard"
+    );
+    assert_eq!(shards.len(), node_makespans.len(), "one makespan per shard");
+    for (w, c) in shards.iter().zip(completions) {
+        assert_eq!(
+            w.qids.len(),
+            c.len(),
+            "completions must cover the shard's queries"
+        );
+    }
+    let mut m = ClusterMetrics {
+        queries: arrivals.len() as u64,
+        ..ClusterMetrics::default()
+    };
+    let mut link = FlexBusLink::new(&cfg.node.cxl);
+    let hop = SimDuration::from_ns(cfg.node.cxl.inter_switch_ns);
+    let row_bytes = cfg.node.model.row_bytes();
+    let mut cursor = vec![0usize; shards.len()];
+    let mut fanout_sum = 0u64;
+    let mut makespan = SimTime::from_ns(node_makespans.iter().copied().max().unwrap_or(0));
+    for (qid, &arrival) in arrivals.iter().enumerate() {
+        let mut done: Option<SimTime> = None;
+        for (s, w) in shards.iter().enumerate() {
+            let li = cursor[s];
+            if li >= w.qids.len() || w.qids[li] != qid as u64 {
+                continue;
+            }
+            cursor[s] += 1;
+            fanout_sum += 1;
+            let node_done = completions[s][li];
+            done = Some(match done {
+                // Home shard: the lowest participating index, answering
+                // directly (no hop — a 1-shard cluster adds nothing).
+                None => node_done,
+                Some(prev) => {
+                    let tables_touched = (0..trace.n_tables)
+                        .filter(|&t| {
+                            !w.trace
+                                .bag(
+                                    li / w.trace.batch_size as usize,
+                                    t,
+                                    (li % w.trace.batch_size as usize) as u32,
+                                )
+                                .is_empty()
+                        })
+                        .count() as u64;
+                    let landed = link.transfer(node_done, tables_touched * row_bytes) + hop;
+                    // Cross-shard partials can land after every host
+                    // has gone idle; they extend the fleet makespan.
+                    makespan = makespan.max(landed);
+                    prev.max(landed)
+                }
+            });
+        }
+        let done = done.expect("every query is served by at least one shard");
+        m.latency.record(done.saturating_since(arrival));
+    }
+    m.makespan_ns = makespan.as_ns();
+    m.agg_bytes = link.total_bytes();
+    m.mean_fanout = if arrivals.is_empty() {
+        0.0
+    } else {
+        fanout_sum as f64 / arrivals.len() as f64
+    };
+    m.query_checksums = query_checksums(
+        placement,
+        &functional_tables(&cfg.node.model),
+        trace,
+        arrivals.len(),
+    );
+    m.checksum = m.query_checksums.iter().sum();
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn placement(k: u16, policy: ShardPolicy) -> ShardPlacement {
+        ShardPlacement {
+            n_shards: k,
+            n_tables: 8,
+            policy,
+            replicated: vec![Vec::new(); 8],
+        }
+    }
+
+    #[test]
+    fn table_partition_owns_contiguous_ranges() {
+        let p = placement(4, ShardPolicy::TablePartition);
+        let owners: Vec<u16> = (0..8).map(|t| p.owner(t, 0)).collect();
+        assert_eq!(owners, [0, 0, 1, 1, 2, 2, 3, 3]);
+        // Row-independent.
+        assert_eq!(p.owner(5, 0), p.owner(5, 12345));
+    }
+
+    #[test]
+    fn row_hash_scatters_across_shards() {
+        let p = placement(4, ShardPolicy::RowHash);
+        let mut seen = [false; 4];
+        for row in 0..64 {
+            seen[p.owner(0, row) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "64 rows must hit all 4 shards");
+    }
+
+    #[test]
+    fn replicated_rows_co_route_with_the_bag() {
+        let mut p = placement(4, ShardPolicy::RowHash);
+        p.replicated[0] = vec![7];
+        let bag = [3u64, 7, 11];
+        let mut route = Vec::new();
+        p.route_bag(0, &bag, &mut route);
+        let pinned = p.owner(0, 3).min(p.owner(0, 11));
+        assert_eq!(route, [p.owner(0, 3), pinned, p.owner(0, 11)]);
+        // A bag of only the replicated row falls back to its owner.
+        p.route_bag(0, &[7], &mut route);
+        assert_eq!(route, [p.owner(0, 7)]);
+    }
+
+    #[test]
+    fn one_shard_workload_reproduces_the_trace_bags() {
+        let trace = tracegen::TraceSpec {
+            distribution: tracegen::Distribution::Random,
+            n_tables: 3,
+            rows_per_table: 100,
+            batch_size: 4,
+            n_batches: 2,
+            bag_size: 2,
+            seed: 9,
+        }
+        .generate();
+        let arrivals: Vec<SimTime> = (0..8).map(|i| SimTime::from_ns(i * 10)).collect();
+        let p = ShardPlacement {
+            n_shards: 1,
+            n_tables: 3,
+            policy: ShardPolicy::RowHash,
+            replicated: vec![Vec::new(); 3],
+        };
+        let shards = shard_workloads(&p, &trace, &arrivals);
+        assert_eq!(shards.len(), 1);
+        let w = &shards[0];
+        assert_eq!(w.arrivals, arrivals);
+        assert_eq!(w.qids, (0..8).collect::<Vec<u64>>());
+        for qid in 0..8usize {
+            let (b, s) = (qid / 4, (qid % 4) as u32);
+            for t in 0..3 {
+                assert_eq!(w.trace.bag(b, t, s), trace.bag(b, t, s));
+            }
+        }
+    }
+
+    #[test]
+    fn workloads_partition_every_lookup() {
+        let trace = tracegen::TraceSpec {
+            distribution: tracegen::Distribution::Random,
+            n_tables: 4,
+            rows_per_table: 64,
+            batch_size: 4,
+            n_batches: 3,
+            bag_size: 3,
+            seed: 3,
+        }
+        .generate();
+        let arrivals: Vec<SimTime> = (0..12).map(|i| SimTime::from_ns(i * 5)).collect();
+        for policy in [ShardPolicy::RowHash, ShardPolicy::TablePartition] {
+            let p = ShardPlacement {
+                n_shards: 3,
+                n_tables: 4,
+                policy,
+                replicated: vec![Vec::new(); 4],
+            };
+            let shards = shard_workloads(&p, &trace, &arrivals);
+            let total: u64 = shards.iter().map(|w| w.trace.total_lookups()).sum();
+            assert_eq!(total, 4 * 12 * 3, "lookups must partition exactly");
+            let queries: usize = shards.iter().map(|w| w.qids.len()).sum();
+            assert!(queries >= 12, "every query is served somewhere");
+        }
+    }
+}

@@ -17,7 +17,10 @@
 //!   queue, the fill/max-wait [`QueryBatcher`](serving::QueryBatcher),
 //!   and streaming tail-latency accounting;
 //! * [`metrics`] — [`RunMetrics`](metrics::RunMetrics) and the warmup
-//!   counter-offset bookkeeping.
+//!   counter-offset bookkeeping;
+//! * [`cluster`] — cluster-scale sharded serving: N nodes behind a
+//!   router, pluggable row→shard placement, and the exact (bitwise
+//!   shard-count-invariant) partial-sum merge.
 //!
 //! The [`system`](crate::system) module composes these into the public
 //! façade; its API (`SlsSystem`, `SystemConfig`, `RunMetrics`, the
@@ -25,6 +28,7 @@
 
 #![deny(missing_docs)]
 
+pub mod cluster;
 pub mod config;
 pub mod metrics;
 pub mod pagemgmt_epoch;

@@ -187,6 +187,12 @@ pub struct ServingMetrics {
     /// Mean batch fill as a fraction of the configured batch size (1.0
     /// = every batch closed full, lower = max-wait timeouts fired).
     pub mean_batch_fill: f64,
+    /// Run-relative completion instant of each query, indexed by qid.
+    /// `completion[q] - arrivals[q]` is the latency the histogram
+    /// recorded; the cluster layer keys its cross-node merge on these
+    /// (a sharded query completes when its last shard's completion —
+    /// plus the inter-node hop — lands).
+    pub completion: Vec<SimTime>,
     /// The underlying pipeline metrics for the whole run.
     pub run: RunMetrics,
 }

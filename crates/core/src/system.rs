@@ -305,6 +305,7 @@ impl SlsSystem {
         // latencies and the makespan measure this run only.
         self.metrics = RunMetrics::default();
         let mut serving = ServingMetrics::default();
+        serving.completion.resize(arrivals.len(), SimTime::ZERO);
         let mut bag_latency_sum = 0u128;
         let mut dev_offset: Vec<u64> = vec![0; self.plant.devices.len()];
         let counter_offsets = self.snapshot_counters(&mut dev_offset);
@@ -373,6 +374,8 @@ impl SlsSystem {
                 serving
                     .wait
                     .record(start.saturating_since(q.arrival + shift));
+                serving.completion[q.qid as usize] =
+                    SimTime::from_ns(done.saturating_since(t0).as_ns());
             }
             serving.queries += batch.queries.len() as u64;
             serving.mean_batch_fill += batch.queries.len() as f64;

@@ -227,6 +227,67 @@ pub fn accumulate_row_scalar(acc: &mut [f32], table: &EmbeddingTable, row: u64, 
     }
 }
 
+/// Folds one row into an **exact** f64 accumulator — the arithmetic of
+/// the cluster layer's partial-sum merge plane.
+///
+/// Each term is the f32 product `w * value` (one rounding, the same
+/// value every compute site produces) widened to f64, which is exact.
+/// The accumulation itself is then *provably exact*, not merely more
+/// precise: procedural embedding values are exact multiples of 2⁻²² in
+/// [-1, 1) (see [`EmbeddingTable`]'s value construction — a 23-bit
+/// mantissa scaled by 2/2²³), so an unweighted sum is an integer
+/// multiple of 2⁻²² with magnitude below `bag_size`; f64 represents
+/// every such sum exactly until the integer part exceeds 2⁵³, i.e. for
+/// any bag under 2³⁰ rows. Exact addition is associative, so *any*
+/// grouping of the rows — per-shard partials merged in any order —
+/// yields bit-identical results. The same holds for weights that are
+/// multiples of 2⁻¹⁰ in [-4, 4): products are multiples of 2⁻³² with
+/// magnitude < 4, exact for bags under 2¹⁹ rows.
+///
+/// This is why the cluster's merged embeddings are invariant to shard
+/// count and placement policy (asserted by the shard-invariance suite);
+/// the fixed shard-index merge order is belt and suspenders, not a
+/// correctness requirement.
+///
+/// # Panics
+///
+/// Panics if `acc.len()` differs from the table dimension or `row` is
+/// out of bounds.
+pub fn accumulate_row_exact(acc: &mut [f64], table: &EmbeddingTable, row: u64, w: f32) {
+    assert_eq!(
+        acc.len(),
+        table.dim() as usize,
+        "accumulator width must match the table dimension"
+    );
+    for (e, slot) in acc.iter_mut().enumerate() {
+        *slot += f64::from(w * table.value(row, e as u32));
+    }
+}
+
+/// Sequential exact SLS: [`accumulate_row_exact`] over `indices` in
+/// order — the single-node reference the cluster merge must reproduce
+/// bit-for-bit for every shard count and placement (see
+/// [`accumulate_row_exact`] for the exactness argument).
+///
+/// # Panics
+///
+/// Panics if any index is out of bounds or the weight count mismatches.
+pub fn sls_reference_exact(
+    table: &EmbeddingTable,
+    indices: &[u64],
+    weights: Option<&[f32]>,
+) -> Vec<f64> {
+    if let Some(w) = weights {
+        assert_eq!(w.len(), indices.len(), "one weight per index required");
+    }
+    let mut acc = vec![0.0f64; table.dim() as usize];
+    for (i, &row) in indices.iter().enumerate() {
+        let w = weights.map_or(1.0, |ws| ws[i]);
+        accumulate_row_exact(&mut acc, table, row, w);
+    }
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -363,6 +424,116 @@ mod tests {
                     }
                 }
             }
+        }
+
+        /// The exact f64 merge plane is partition-invariant: splitting a
+        /// bag across k "shards" (any assignment), folding each shard's
+        /// rows in bag order, and merging the partials in shard-index
+        /// order is *bit-identical* to the sequential exact reference —
+        /// the associativity theorem the cluster layer rests on (see
+        /// [`accumulate_row_exact`]). Weights are multiples of 2⁻¹⁰ in
+        /// [-4, 4), the grid on which weighted sums stay exact.
+        #[test]
+        fn prop_exact_merge_is_partition_invariant(
+            dim in 1u32..256,
+            indices in proptest::collection::vec(0u64..64, 1..32),
+            owners in proptest::collection::vec(0usize..8, 32..33),
+            wticks in proptest::collection::vec(0u32..8192, 32..33),
+            k in 1usize..9,
+        ) {
+            let weights: Vec<f32> =
+                wticks[..indices.len()].iter().map(|&t| t as f32 / 1024.0 - 4.0).collect();
+            for table in [
+                EmbeddingTable::new(7, 64, dim, 0),
+                EmbeddingTable::new_procedural(7, 64, dim, 0),
+            ] {
+                for weighted in [false, true] {
+                    let ws = weighted.then_some(&weights[..]);
+                    let reference = sls_reference_exact(&table, &indices, ws);
+                    // Shard partials: each shard folds only its owned
+                    // positions, preserving bag order within the shard.
+                    let mut partials = vec![vec![0.0f64; dim as usize]; k];
+                    for (i, &row) in indices.iter().enumerate() {
+                        let w = ws.map_or(1.0, |x| x[i]);
+                        accumulate_row_exact(&mut partials[owners[i] % k], &table, row, w);
+                    }
+                    // Fixed shard-index merge order.
+                    let mut merged = vec![0.0f64; dim as usize];
+                    for p in &partials {
+                        for (m, v) in merged.iter_mut().zip(p) {
+                            *m += v;
+                        }
+                    }
+                    prop_assert_eq!(
+                        merged, reference,
+                        "exact merge diverged (dim {}, k {}, weighted {})",
+                        dim, k, weighted
+                    );
+                }
+            }
+        }
+
+        /// The exact plane agrees with the f32 [`sls_reference_scalar`]
+        /// to within standard f32 accumulation error (dims 1..256,
+        /// weighted and unweighted) — the bridge between the cluster's
+        /// merge plane and the single-node f32 functional checksum.
+        #[test]
+        fn prop_exact_plane_tracks_scalar_reference(
+            dim in 1u32..256,
+            indices in proptest::collection::vec(0u64..64, 1..16),
+            raw_weights in proptest::collection::vec(-4.0f32..4.0, 16..17),
+        ) {
+            let weights: Vec<f32> = raw_weights[..indices.len()].to_vec();
+            let t = EmbeddingTable::new_procedural(7, 64, dim, 0);
+            for weighted in [false, true] {
+                let ws = weighted.then_some(&weights[..]);
+                let scalar = sls_reference_scalar(&t, &indices, ws);
+                let exact = sls_reference_exact(&t, &indices, ws);
+                // Worst-case f32 fold error: one rounding per addition,
+                // each bounded by eps × the running magnitude ≤ Σ|terms|.
+                for e in 0..dim as usize {
+                    let sum_abs: f64 = indices
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &row)| {
+                            f64::from((ws.map_or(1.0, |x| x[i]) * t.value(row, e as u32)).abs())
+                        })
+                        .sum();
+                    let bound = indices.len() as f64 * f64::from(f32::EPSILON) * sum_abs + 1e-12;
+                    prop_assert!(
+                        (f64::from(scalar[e]) - exact[e]).abs() <= bound,
+                        "element {}: scalar {} vs exact {} (bound {})",
+                        e, scalar[e], exact[e], bound
+                    );
+                }
+            }
+        }
+
+        /// Where the f32 sum is itself exact — unweighted bags of ≤ 4
+        /// rows, whose sums carry at most 2²⁴ units of 2⁻²² — the merged
+        /// exact plane equals [`sls_reference_scalar`] bit-for-bit after
+        /// the f32 cast. This is the regime in which the satellite's
+        /// literal "merge equals the scalar reference" holds as stated.
+        #[test]
+        fn prop_exact_merge_equals_scalar_reference_on_small_bags(
+            dim in 1u32..256,
+            indices in proptest::collection::vec(0u64..64, 1..5),
+            k in 1usize..4,
+        ) {
+            let t = EmbeddingTable::new_procedural(7, 64, dim, 0);
+            let scalar = sls_reference_scalar(&t, &indices, None);
+            let mut partials = vec![vec![0.0f64; dim as usize]; k];
+            for (i, &row) in indices.iter().enumerate() {
+                accumulate_row_exact(&mut partials[i % k], &t, row, 1.0);
+            }
+            let mut merged = vec![0.0f64; dim as usize];
+            for p in &partials {
+                for (m, v) in merged.iter_mut().zip(p) {
+                    *m += v;
+                }
+            }
+            let cast: Vec<f32> = merged.iter().map(|&v| v as f32).collect();
+            prop_assert_eq!(cast, scalar);
         }
 
         /// Duplicate indices accumulate additively.

@@ -50,12 +50,13 @@ pub use tracegen;
 pub use pifs_core::system::{
     BufferConfig, ComputeSite, PmConfig, PmStyle, RunMetrics, SlsSystem, SystemConfig,
 };
-pub use pifs_core::BufferPolicy;
+pub use pifs_core::{BufferPolicy, ClusterConfig, ClusterMetrics, ShardPolicy, SlsCluster};
 
 /// The most common imports for driving the simulator.
 pub mod prelude {
     pub use baselines::Scheme;
     pub use dlrm::ModelConfig;
+    pub use pifs_core::engine::cluster::{ClusterConfig, ShardPolicy, SlsCluster};
     pub use pifs_core::system::{RunMetrics, SlsSystem, SystemConfig};
-    pub use tracegen::{Distribution, TraceSpec};
+    pub use tracegen::{ArrivalProcess, Distribution, TraceSpec};
 }
