@@ -22,14 +22,22 @@
 //! the routed workloads, so the sweep runner work-steals them across
 //! cores, and `merge` replays the deterministic router merge from the
 //! nodes' completion vectors.
+//!
+//! The workload is never materialized: each part re-derives the same
+//! seeded [`QueryStreamSpec`] (a few dozen bytes) and streams it
+//! through [`route_stream`], pushing only its own shard's sub-bags
+//! into the node session — O(batch) memory per part instead of a full
+//! per-point trace clone, with the differential suite
+//! (`pifs-core/tests/streaming_equivalence.rs`) pinning byte-identity
+//! to the materialized path.
 
 use pifs_core::engine::cluster::{
-    merge_cluster, shard_workloads, ClusterConfig, ShardPlacement, ShardPolicy, ShardWorkload,
+    merge_streamed, route_stream, ClusterConfig, ShardPlacement, ShardPolicy,
 };
-use pifs_core::system::{SlsSystem, SystemConfig};
+use pifs_core::system::{OpenLoopOpts, SlsSystem, SystemConfig};
 use serde_json::{json, Value};
 use simkit::SimTime;
-use tracegen::{ArrivalProcess, Trace};
+use tracegen::{ArrivalProcess, QueryStreamSpec};
 
 use crate::scenario::{workload_seed, GridScenario, ParamSpec, Point, PointParts, ResultRow};
 use crate::{scale_buffers, STD_BATCHES, STD_BATCH_SIZE};
@@ -65,14 +73,12 @@ fn qps_axis() -> ParamSpec {
 }
 
 /// Everything a point's parts and merge share, rebuilt deterministically
-/// on both sides: the cluster config, the seeded workload, and the
-/// routed per-node sub-workloads.
+/// on both sides: the cluster config, the seeded stream spec (in place
+/// of a materialized workload), and the row→shard placement.
 struct ClusterSetup {
     cfg: ClusterConfig,
-    trace: Trace,
-    arrivals: Vec<SimTime>,
+    spec: QueryStreamSpec,
     placement: ShardPlacement,
-    shards: Vec<ShardWorkload>,
 }
 
 fn setup(p: &Point) -> ClusterSetup {
@@ -101,37 +107,44 @@ fn setup(p: &Point) -> ClusterSetup {
         ],
     );
     node.seed = trace_seed;
-    let trace = tracegen::TraceSpec {
-        distribution: crate::meta_distribution(),
-        n_tables: m.n_tables,
-        rows_per_table: m.emb_num,
-        batch_size: STD_BATCH_SIZE,
-        n_batches: STD_BATCHES,
-        bag_size: m.bag_size,
-        seed: trace_seed,
-    }
-    .generate();
-    let arrivals = process.times(SERVE_QUERIES, arrival_seed);
+    let spec = QueryStreamSpec {
+        trace: tracegen::TraceSpec {
+            distribution: crate::meta_distribution(),
+            n_tables: m.n_tables,
+            rows_per_table: m.emb_num,
+            batch_size: STD_BATCH_SIZE,
+            n_batches: STD_BATCHES,
+            bag_size: m.bag_size,
+            seed: trace_seed,
+        },
+        arrival: process,
+        arrival_seed,
+    };
 
     let cfg = ClusterConfig::new(nodes, policy, node);
-    let placement = ShardPlacement::build(&cfg, &trace);
-    let shards = shard_workloads(&placement, &trace, &arrivals);
+    let placement = ShardPlacement::build_streamed(&cfg, &spec.stream());
     ClusterSetup {
         cfg,
-        trace,
-        arrivals,
+        spec,
         placement,
-        shards,
     }
 }
 
-/// Runs node `part` of the point's cluster: its routed sub-workload
-/// through a fresh node, returning the completion vector the merge
-/// keys on (run-relative ns, local-qid order).
+/// Runs node `part` of the point's cluster: streams the shared
+/// workload through the router and pushes only this shard's routed
+/// sub-bags into a fresh node session, returning the completion vector
+/// the merge keys on (run-relative ns, local-qid order).
 fn run_node_part(p: &Point, part: usize) -> Value {
     let s = setup(p);
-    let w = &s.shards[part];
-    let met = SlsSystem::new(s.cfg.node.clone()).run_open_loop(&w.trace, &w.arrivals);
+    let mut node = SlsSystem::new(s.cfg.node.clone());
+    node.open_loop_begin(s.spec.trace.n_tables, OpenLoopOpts::default());
+    let mut stream = s.spec.stream();
+    route_stream(&s.placement, &mut stream, |shard, at, sub| {
+        if shard == part {
+            node.open_loop_push(at, sub);
+        }
+    });
+    let met = node.open_loop_finish();
     json!({
         "completions_ns": met.completion.iter().map(|t| t.as_ns()).collect::<Vec<u64>>(),
         "queries": met.queries,
@@ -166,18 +179,13 @@ fn merge_node_parts(p: &Point, parts: Vec<Value>) -> Value {
                 .expect("part carries makespan_ns")
         })
         .collect();
-    let met = merge_cluster(
-        &s.cfg,
-        &s.placement,
-        &s.trace,
-        &s.arrivals,
-        &s.shards,
-        &refs,
-        &makespans,
-    );
+    let mut stream = s.spec.stream();
+    let replay = stream.clone();
+    let routed = route_stream(&s.placement, &mut stream, |_, _, _| {});
+    let met = merge_streamed(&s.cfg, &s.placement, &replay, &routed, &refs, &makespans);
 
     let qps = p.f64("qps");
-    let last_arrival_ns = s.arrivals.last().map_or(0, |t| t.as_ns());
+    let last_arrival_ns = routed.arrivals.last().map_or(0, |t| t.as_ns());
     let saturated = (last_arrival_ns as f64) < SATURATION_FRAC * met.makespan_ns as f64;
     let node_u64 = |key: &str| -> Vec<u64> {
         parts

@@ -17,6 +17,7 @@ pub mod analytic;
 pub mod characterization;
 pub mod cluster;
 pub mod custom;
+pub mod diurnal;
 pub mod latency;
 pub mod pm;
 pub mod scaling;
@@ -28,7 +29,7 @@ pub fn all() -> Vec<&'static dyn Scenario> {
     ALL.iter().map(|s| *s as &dyn Scenario).collect()
 }
 
-static ALL: [&GridScenario; 23] = [
+static ALL: [&GridScenario; 24] = [
     &analytic::TABLE1,
     &analytic::TABLE2,
     &characterization::FIG5,
@@ -50,6 +51,7 @@ static ALL: [&GridScenario; 23] = [
     &analytic::ENERGY,
     &latency::LATENCY_QPS,
     &latency::LATENCY_WAIT,
+    &diurnal::LATENCY_DIURNAL,
     &cluster::CLUSTER_QPS,
     &custom::CUSTOM,
 ];

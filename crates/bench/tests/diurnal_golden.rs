@@ -1,0 +1,149 @@
+//! Golden-snapshot and determinism regression for the `latency_diurnal`
+//! long-trace streaming sweep.
+//!
+//! `tests/golden/latency_diurnal.jsonl` was captured when the streaming
+//! serving path landed. Byte-identity here pins three things at once:
+//! the lazy `QueryStream` workload (against its seeded recipe), the
+//! windowed-latency bookkeeping, and the checkpoint warm-start cache —
+//! rows must come out identical whether a point ran cold, resumed a
+//! shorter point's checkpoint, or raced other points across runner
+//! threads. If a change to the *model* legitimately alters the numbers,
+//! recapture with `repro -- latency_diurnal` and say so in the commit.
+
+use pifs_bench::runner::SweepRunner;
+use pifs_bench::scenario::{find, point_seed, Point, ResultRow, Scenario};
+use serde_json::Value;
+
+fn golden_lines() -> Vec<String> {
+    let raw = include_str!("golden/latency_diurnal.jsonl");
+    raw.lines().map(str::to_string).collect()
+}
+
+/// Rebuilds the grid points at `indices` exactly as the full grid
+/// assigns them, so their rows are byte-comparable against the matching
+/// golden lines.
+fn diurnal_points(scenario: &dyn Scenario, indices: &[usize]) -> Vec<Point> {
+    let all = scenario.points();
+    indices
+        .iter()
+        .map(|&i| {
+            let p = &all[i];
+            assert_eq!(p.index, i, "registry grid must be in row-major order");
+            assert_eq!(p.seed, point_seed(pifs_bench::SEED, i));
+            Point::new(p.index, p.seed, p.params().to_vec())
+        })
+        .collect()
+}
+
+fn jsonl(rows: &[ResultRow]) -> Vec<String> {
+    rows.iter().map(|r| r.to_jsonl()).collect()
+}
+
+fn windows_series(row_json: &str, key: &str) -> Vec<u64> {
+    let v: Value = serde_json::from_str(row_json).expect("golden row parses");
+    v.get("data")
+        .and_then(|d| d.get("windows"))
+        .and_then(|w| w.get(key))
+        .and_then(Value::as_array)
+        .expect("windowed series")
+        .iter()
+        .map(|n| n.as_u64().expect("u64 series"))
+        .collect()
+}
+
+/// Debug-friendly smoke: the shortest duration point (15 s of simulated
+/// traffic, streamed) byte-matches its golden line — the CI smoke gate.
+#[test]
+fn latency_diurnal_first_point_matches_golden_snapshot() {
+    let scenario = find("latency_diurnal").expect("latency_diurnal registered");
+    let golden = golden_lines();
+    assert_eq!(golden.len(), scenario.points().len());
+    let points = diurnal_points(scenario, &[0]);
+    assert_eq!(points[0].u64("duration_s"), 15);
+    let rows = SweepRunner::new(2).run_points(scenario, points);
+    assert_eq!(
+        rows[0].to_jsonl(),
+        golden[0],
+        "latency_diurnal row 0 drifted from the golden snapshot"
+    );
+}
+
+/// Rows and summary are byte-identical across runner thread counts —
+/// which also races the warm-start checkpoint cache: with 4 threads the
+/// duration points run concurrently (mostly cold), serially they chain
+/// warm-starts, and the output must not tell the difference.
+#[test]
+fn latency_diurnal_is_thread_count_independent() {
+    let scenario = find("latency_diurnal").expect("latency_diurnal registered");
+    let points = |_: ()| {
+        if cfg!(debug_assertions) {
+            // 15 s + 30 s points only: the debug-budget subset (the 30 s
+            // point still warm-starts off the 15 s checkpoint serially).
+            diurnal_points(scenario, &[0, 1])
+        } else {
+            scenario.points()
+        }
+    };
+    let serial = SweepRunner::new(1).run_points(scenario, points(()));
+    let parallel = SweepRunner::new(4).run_points(scenario, points(()));
+    assert_eq!(jsonl(&serial), jsonl(&parallel), "rows drifted");
+    let summary = |rows| serde_json::to_string_pretty(&scenario.summarize(rows)).unwrap();
+    assert_eq!(summary(&serial), summary(&parallel), "summary drifted");
+}
+
+/// The full grid, byte-identical end to end, plus the acceptance
+/// properties: a ≥60 s simulated-traffic point, a clear diurnal swing
+/// in the per-window counts, and the shared-prefix window property
+/// (shorter durations' retired windows are a prefix of the longest
+/// run's — the observable face of the checkpoint warm-start contract).
+/// Release-only (the full grid streams ~52k queries).
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full grid is release-only; run with --release -- --ignored"
+)]
+fn latency_diurnal_full_grid_matches_golden_snapshot() {
+    let scenario = find("latency_diurnal").expect("latency_diurnal registered");
+    let golden = golden_lines();
+    let rows = SweepRunner::new(4).run(scenario);
+    assert_eq!(jsonl(&rows), golden);
+
+    // ≥60 s of simulated traffic served by the registered scenario.
+    let longest = rows.last().expect("grid has rows");
+    let simulated = longest
+        .data
+        .get("simulated_s")
+        .and_then(Value::as_f64)
+        .expect("simulated_s");
+    assert!(
+        simulated >= 60.0,
+        "longest point simulated only {simulated} s"
+    );
+
+    // The windowed count series traces the diurnal modulation: with
+    // amplitude 0.9 the peak/trough rate ratio is 19×; demand at least
+    // a 5× swing so a flattened arrival process cannot pass.
+    let summary = scenario.summarize(&rows);
+    let ratio = summary
+        .get("diurnal_swing")
+        .and_then(|s| s.get("modulation_ratio"))
+        .and_then(Value::as_f64)
+        .expect("modulation_ratio");
+    assert!(ratio >= 5.0, "diurnal swing washed out: ratio {ratio}");
+
+    // Shared-prefix windows: every fully-retired window of a shorter
+    // duration equals the same window of the longest run (the boundary
+    // window is phase-clipped on the shorter side, so stop before it).
+    for key in ["start_ns", "count", "p50_ns", "p99_ns"] {
+        let long = windows_series(&rows.last().unwrap().to_jsonl(), key);
+        for short_row in &rows[..rows.len() - 1] {
+            let short = windows_series(&short_row.to_jsonl(), key);
+            let shared = short.len() - 1;
+            assert_eq!(
+                short[..shared],
+                long[..shared],
+                "windows.{key}: shorter duration is not a prefix of the longest"
+            );
+        }
+    }
+}

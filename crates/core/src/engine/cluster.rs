@@ -45,10 +45,10 @@ use cxlsim::FlexBusLink;
 use dlrm::EmbeddingTable;
 use pagemgmt::{HotnessTracker, PageId};
 use simkit::{LatencyHist, SimDuration, SimTime};
-use tracegen::{Batch, TableLookups, Trace};
+use tracegen::{Batch, QueryStream, TableLookups, Trace};
 
 use super::config::SystemConfig;
-use super::serving::ServingMetrics;
+use super::serving::{OpenLoopOpts, ServingMetrics};
 use crate::system::SlsSystem;
 
 /// How embedding rows map to shards.
@@ -189,6 +189,75 @@ impl ShardPlacement {
                 rows.sort_unstable();
             }
         }
+        ShardPlacement {
+            n_shards: cfg.n_shards,
+            n_tables,
+            policy: cfg.policy,
+            replicated,
+        }
+    }
+
+    /// A placement with no replica set, constructible from the shard
+    /// dimensions alone — no trace scan. Identical to [`Self::build`]
+    /// whenever `hot_rows_per_table` is 0 (the common serving
+    /// configuration), which is what lets the streaming cluster path
+    /// route without ever materializing the workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_shards` or `n_tables` is zero.
+    pub fn from_dims(n_shards: u16, n_tables: u32, policy: ShardPolicy) -> ShardPlacement {
+        assert!(n_shards > 0, "a cluster needs at least one shard");
+        assert!(n_tables > 0, "a placement needs at least one table");
+        ShardPlacement {
+            n_shards,
+            n_tables,
+            policy,
+            replicated: vec![Vec::new(); n_tables as usize],
+        }
+    }
+
+    /// Builds the placement for a lazy stream under `cfg`: identical to
+    /// [`Self::build`] on the stream's materialized trace. With
+    /// replication off this is [`Self::from_dims`] (no workload pass at
+    /// all); with replication on, one clone of the stream is walked to
+    /// rank hotness — `stream` itself is not consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream` is not at position 0 (hotness must rank the
+    /// whole workload) or the dimensions are degenerate.
+    pub fn build_streamed(cfg: &ClusterConfig, stream: &QueryStream) -> ShardPlacement {
+        let n_tables = stream.n_tables();
+        if cfg.hot_rows_per_table == 0 {
+            return ShardPlacement::from_dims(cfg.n_shards, n_tables, cfg.policy);
+        }
+        assert_eq!(
+            stream.position(),
+            0,
+            "hotness ranking needs the whole stream"
+        );
+        let mut walk = stream.clone();
+        let mut trackers = vec![HotnessTracker::new(); n_tables as usize];
+        while walk.next_query().is_some() {
+            for t in 0..n_tables {
+                for &row in walk.bag(t) {
+                    trackers[t as usize].record(PageId(row));
+                }
+            }
+        }
+        let replicated = trackers
+            .iter()
+            .map(|tracker| {
+                let mut rows: Vec<u64> = tracker
+                    .hottest(cfg.hot_rows_per_table as usize)
+                    .into_iter()
+                    .map(|p| p.0)
+                    .collect();
+                rows.sort_unstable();
+                rows
+            })
+            .collect();
         ShardPlacement {
             n_shards: cfg.n_shards,
             n_tables,
@@ -500,6 +569,55 @@ impl SlsCluster {
         merged.per_node = per_node;
         merged
     }
+
+    /// Serves a lazy [`QueryStream`] across the cluster with bounded
+    /// routing memory: each query is routed incrementally
+    /// ([`route_stream`]) into recycled per-shard sub-bag buffers and
+    /// pushed straight into every participating node's streaming
+    /// open-loop session ([`SlsSystem::open_loop_push`]) — no
+    /// per-shard sub-trace is ever materialized. Byte-identical to
+    /// [`Self::run_open_loop`] on the stream's materialized trace and
+    /// arrival vector, including the exact functional checksums (the
+    /// merge replays a clone of the stream).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream` is not at position 0, or as
+    /// [`SlsSystem::open_loop_begin`] would for a degenerate stream.
+    pub fn run_open_loop_streamed(&mut self, stream: &mut QueryStream) -> ClusterMetrics {
+        assert_eq!(
+            stream.position(),
+            0,
+            "a streamed cluster run consumes a fresh stream"
+        );
+        let placement = ShardPlacement::build_streamed(&self.cfg, stream);
+        let replay = stream.clone();
+        let n_tables = stream.n_tables();
+        for node in &mut self.nodes {
+            node.open_loop_begin(n_tables, OpenLoopOpts::default());
+        }
+        let nodes = &mut self.nodes;
+        let routed = route_stream(&placement, stream, |s, at, sub| {
+            nodes[s].open_loop_push(at, sub);
+        });
+        let per_node: Vec<ServingMetrics> = self
+            .nodes
+            .iter_mut()
+            .map(|node| node.open_loop_finish())
+            .collect();
+        let completions: Vec<&[SimTime]> = per_node.iter().map(|m| &m.completion[..]).collect();
+        let makespans: Vec<u64> = per_node.iter().map(|m| m.makespan_ns).collect();
+        let mut merged = merge_streamed(
+            &self.cfg,
+            &placement,
+            &replay,
+            &routed,
+            &completions,
+            &makespans,
+        );
+        merged.per_node = per_node;
+        merged
+    }
 }
 
 /// The functional embedding tables of `model` (base address zero — the
@@ -624,17 +742,77 @@ pub fn merge_cluster(
         queries: arrivals.len() as u64,
         ..ClusterMetrics::default()
     };
+    // Per-participation tables-touched counts, from the sub-traces'
+    // bag emptiness (the streamed path records the same counts at
+    // routing time — `merge_timing` is shared by both).
+    let qids: Vec<&[u64]> = shards.iter().map(|w| &w.qids[..]).collect();
+    let touched: Vec<Vec<u64>> = shards
+        .iter()
+        .map(|w| {
+            (0..w.qids.len())
+                .map(|li| {
+                    (0..trace.n_tables)
+                        .filter(|&t| {
+                            !w.trace
+                                .bag(
+                                    li / w.trace.batch_size as usize,
+                                    t,
+                                    (li % w.trace.batch_size as usize) as u32,
+                                )
+                                .is_empty()
+                        })
+                        .count() as u64
+                })
+                .collect()
+        })
+        .collect();
+    let touched_refs: Vec<&[u64]> = touched.iter().map(Vec::as_slice).collect();
+    merge_timing(
+        cfg,
+        arrivals,
+        &qids,
+        &touched_refs,
+        completions,
+        node_makespans,
+        &mut m,
+    );
+    m.query_checksums = query_checksums(
+        placement,
+        &functional_tables(&cfg.node.model),
+        trace,
+        arrivals.len(),
+    );
+    m.checksum = m.query_checksums.iter().sum();
+    m
+}
+
+/// The shared timing-plane merge: queries in qid order, shards
+/// ascending, home shard (lowest participating index) answering
+/// directly and every other participant's partial serializing over the
+/// aggregation link plus one inter-node hop. `qids[s]`/`touched[s]`/
+/// `completions[s]` are aligned per local query of shard `s`. Fills
+/// `latency`, `makespan_ns`, `agg_bytes` and `mean_fanout` of `m`.
+#[allow(clippy::too_many_arguments)]
+fn merge_timing(
+    cfg: &ClusterConfig,
+    arrivals: &[SimTime],
+    qids: &[&[u64]],
+    touched: &[&[u64]],
+    completions: &[&[SimTime]],
+    node_makespans: &[u64],
+    m: &mut ClusterMetrics,
+) {
     let mut link = FlexBusLink::new(&cfg.node.cxl);
     let hop = SimDuration::from_ns(cfg.node.cxl.inter_switch_ns);
     let row_bytes = cfg.node.model.row_bytes();
-    let mut cursor = vec![0usize; shards.len()];
+    let mut cursor = vec![0usize; qids.len()];
     let mut fanout_sum = 0u64;
     let mut makespan = SimTime::from_ns(node_makespans.iter().copied().max().unwrap_or(0));
     for (qid, &arrival) in arrivals.iter().enumerate() {
         let mut done: Option<SimTime> = None;
-        for (s, w) in shards.iter().enumerate() {
+        for s in 0..qids.len() {
             let li = cursor[s];
-            if li >= w.qids.len() || w.qids[li] != qid as u64 {
+            if li >= qids[s].len() || qids[s][li] != qid as u64 {
                 continue;
             }
             cursor[s] += 1;
@@ -645,18 +823,7 @@ pub fn merge_cluster(
                 // directly (no hop — a 1-shard cluster adds nothing).
                 None => node_done,
                 Some(prev) => {
-                    let tables_touched = (0..trace.n_tables)
-                        .filter(|&t| {
-                            !w.trace
-                                .bag(
-                                    li / w.trace.batch_size as usize,
-                                    t,
-                                    (li % w.trace.batch_size as usize) as u32,
-                                )
-                                .is_empty()
-                        })
-                        .count() as u64;
-                    let landed = link.transfer(node_done, tables_touched * row_bytes) + hop;
+                    let landed = link.transfer(node_done, touched[s][li] * row_bytes) + hop;
                     // Cross-shard partials can land after every host
                     // has gone idle; they extend the fleet makespan.
                     makespan = makespan.max(landed);
@@ -674,12 +841,140 @@ pub fn merge_cluster(
     } else {
         fanout_sum as f64 / arrivals.len() as f64
     };
-    m.query_checksums = query_checksums(
-        placement,
-        &functional_tables(&cfg.node.model),
-        trace,
-        arrivals.len(),
+}
+
+/// The routing record of one streamed pass: everything the timing
+/// merge needs that a lazy stream cannot replay cheaply. Per-query
+/// state is O(participations) scalars — the routed *bags* are handed to
+/// the sink and recycled, never stored.
+#[derive(Debug, Clone, Default)]
+pub struct RoutedStream {
+    /// Arrival instant of every query, qid order.
+    pub arrivals: Vec<SimTime>,
+    /// Global qid of each of shard `s`'s local queries, ascending.
+    pub qids: Vec<Vec<u64>>,
+    /// Tables shard `s` touches for each of its local queries (aligned
+    /// with `qids[s]`): the partial-response size of the timing merge.
+    pub touched: Vec<Vec<u64>>,
+}
+
+/// Consumes `stream`, routing each query's bags across the placement's
+/// shards exactly as [`shard_workloads`] does, but incrementally: the
+/// per-shard sub-bags live in one recycled `shards × tables` buffer
+/// set, and each participating shard's sub-bags are handed to
+/// `sink(shard, arrival, sub_bags)` (table-indexed, empty for
+/// untouched tables) before the next query overwrites them. Returns
+/// the [`RoutedStream`] record the merge keys on.
+pub fn route_stream<F>(
+    placement: &ShardPlacement,
+    stream: &mut QueryStream,
+    mut sink: F,
+) -> RoutedStream
+where
+    F: FnMut(usize, SimTime, &[Vec<u64>]),
+{
+    let k = placement.n_shards as usize;
+    let n_tables = stream.n_tables();
+    let mut routed = RoutedStream {
+        arrivals: Vec::new(),
+        qids: vec![Vec::new(); k],
+        touched: vec![Vec::new(); k],
+    };
+    let mut sub: Vec<Vec<Vec<u64>>> = vec![vec![Vec::new(); n_tables as usize]; k];
+    let mut route: Vec<u16> = Vec::new();
+    while let Some((qid, at)) = stream.next_query() {
+        routed.arrivals.push(at);
+        for shard in sub.iter_mut() {
+            for bag in shard.iter_mut() {
+                bag.clear();
+            }
+        }
+        for t in 0..n_tables {
+            let bag = stream.bag(t);
+            placement.route_bag(t, bag, &mut route);
+            for (&row, &s) in bag.iter().zip(&route) {
+                sub[s as usize][t as usize].push(row);
+            }
+        }
+        for (s, shard) in sub.iter().enumerate() {
+            let tables_touched = shard.iter().filter(|bag| !bag.is_empty()).count() as u64;
+            if tables_touched > 0 {
+                sink(s, at, shard);
+                routed.qids[s].push(qid);
+                routed.touched[s].push(tables_touched);
+            }
+        }
+    }
+    routed
+}
+
+/// Merges per-node streamed serving runs into cluster metrics — the
+/// streamed counterpart of [`merge_cluster`], byte-identical on the
+/// same workload. `stream` must be a *fresh* (position-0) clone of the
+/// routed stream: the functional plane replays it to compute the exact
+/// per-query checksums the materialized path reads from the trace.
+///
+/// # Panics
+///
+/// Panics if the routed/completion/makespan shapes disagree, or if
+/// `stream` is not at position 0.
+pub fn merge_streamed(
+    cfg: &ClusterConfig,
+    placement: &ShardPlacement,
+    stream: &QueryStream,
+    routed: &RoutedStream,
+    completions: &[&[SimTime]],
+    node_makespans: &[u64],
+) -> ClusterMetrics {
+    assert_eq!(
+        routed.qids.len(),
+        completions.len(),
+        "one completion vector per shard"
     );
+    assert_eq!(
+        routed.qids.len(),
+        node_makespans.len(),
+        "one makespan per shard"
+    );
+    for (q, c) in routed.qids.iter().zip(completions) {
+        assert_eq!(
+            q.len(),
+            c.len(),
+            "completions must cover the shard's queries"
+        );
+    }
+    assert_eq!(stream.position(), 0, "checksum replay needs a fresh stream");
+    let mut m = ClusterMetrics {
+        queries: routed.arrivals.len() as u64,
+        ..ClusterMetrics::default()
+    };
+    let qids: Vec<&[u64]> = routed.qids.iter().map(Vec::as_slice).collect();
+    let touched: Vec<&[u64]> = routed.touched.iter().map(Vec::as_slice).collect();
+    merge_timing(
+        cfg,
+        &routed.arrivals,
+        &qids,
+        &touched,
+        completions,
+        node_makespans,
+        &mut m,
+    );
+    let tables = functional_tables(&cfg.node.model);
+    let mut replay = stream.clone();
+    m.query_checksums = (0..routed.arrivals.len())
+        .map(|_| {
+            replay.next_query().expect("stream shorter than the run");
+            tables
+                .iter()
+                .enumerate()
+                .map(|(t, table)| {
+                    merged_bag_embedding(placement, table, t as u32, replay.bag(t as u32))
+                        .iter()
+                        .sum::<f64>()
+                })
+                .sum()
+        })
+        .collect();
     m.checksum = m.query_checksums.iter().sum();
     m
 }

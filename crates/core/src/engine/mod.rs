@@ -20,7 +20,10 @@
 //!   counter-offset bookkeeping;
 //! * [`cluster`] — cluster-scale sharded serving: N nodes behind a
 //!   router, pluggable row→shard placement, and the exact (bitwise
-//!   shard-count-invariant) partial-sum merge.
+//!   shard-count-invariant) partial-sum merge;
+//! * [`checkpoint`] — deep-copy [`SimCheckpoint`](checkpoint::SimCheckpoint)
+//!   snapshots of a streaming serving run, for sweep warm-starts proven
+//!   state-identical to straight-through execution.
 //!
 //! The [`system`](crate::system) module composes these into the public
 //! façade; its API (`SlsSystem`, `SystemConfig`, `RunMetrics`, the
@@ -28,6 +31,7 @@
 
 #![deny(missing_docs)]
 
+pub mod checkpoint;
 pub mod cluster;
 pub mod config;
 pub mod metrics;

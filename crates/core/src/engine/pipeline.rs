@@ -46,7 +46,7 @@ pub(crate) const DECODE_NS: u64 = 1;
 /// ([`ServingScratch`](super::serving::ServingScratch)). Both run modes
 /// share this single allocation-free scratch convention — any new
 /// reusable buffer, per-bag or per-batch, belongs here.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub(crate) struct EngineScratch {
     /// Per-bag pipeline buffers.
     pub bag: BagScratch,
@@ -63,7 +63,7 @@ pub(crate) struct EngineScratch {
 /// allocation. This is the allocation-free scratch-buffer convention
 /// ARCHITECTURE.md documents — any new stage state that would otherwise
 /// be a fresh `Vec` per bag belongs here.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub(crate) struct BagScratch {
     local: Vec<(u64, u64)>,
     remote: Vec<(u64, u64)>,
@@ -89,7 +89,7 @@ pub(crate) struct BagScratch {
 /// in push order with the per-element scalar operation, so the sums are
 /// bit-identical to per-row [`dlrm::sls::accumulate_row`]. Lives in
 /// [`BagScratch`]; capacities persist across bags.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub(crate) struct BagBatch {
     /// Row ids gathered for the pending fold, in bag order.
     rows: Vec<u64>,

@@ -28,7 +28,7 @@ use std::collections::VecDeque;
 
 use simkit::{LatencyHist, SimDuration, SimTime};
 
-use super::metrics::RunMetrics;
+use super::metrics::{CounterOffsets, RunMetrics};
 
 /// Open-loop batcher knobs (see [`SystemConfig::serving`]).
 ///
@@ -73,24 +73,20 @@ pub struct ReadyBatch {
     pub close: SimTime,
 }
 
-/// Reusable buffers for [`run_open_loop`]'s dispatch phase — the
-/// serving-side member of the unified scratch convention
-/// ([`EngineScratch`]): formed batches, the per-query completion times
-/// of the batch being dispatched, and the work-partition memo keep
-/// their capacity across runs, mirroring what
-/// [`BagScratch`](super::pipeline::BagScratch) does for the per-bag
-/// path.
+/// Reusable buffers for the open-loop dispatch path — the serving-side
+/// member of the unified scratch convention ([`EngineScratch`]): the
+/// per-query completion times of the batch being dispatched and the
+/// work-partition memo keep their capacity across batches and runs,
+/// mirroring what [`BagScratch`](super::pipeline::BagScratch) does for
+/// the per-bag path.
 ///
-/// [`run_open_loop`]: crate::system::SlsSystem::run_open_loop
 /// [`EngineScratch`]: super::pipeline::EngineScratch
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub(crate) struct ServingScratch {
-    /// Batches closed by phase-1 batch formation.
-    pub formed: Vec<ReadyBatch>,
     /// Per-query completion time of the batch being dispatched.
     pub q_done: Vec<SimTime>,
     /// Work-partition memo keyed by batch size. Reset at the start of
-    /// every run: the layout also bakes in the trace's table count.
+    /// every session: the layout also bakes in the stream's table count.
     pub parts_memo: Option<(u32, Vec<Vec<dlrm::query::WorkItem>>)>,
 }
 
@@ -191,8 +187,12 @@ pub struct ServingMetrics {
     /// `completion[q] - arrivals[q]` is the latency the histogram
     /// recorded; the cluster layer keys its cross-node merge on these
     /// (a sharded query completes when its last shard's completion —
-    /// plus the inter-node hop — lands).
+    /// plus the inter-node hop — lands). Empty when the session ran
+    /// with [`OpenLoopOpts::record_completion`] off.
     pub completion: Vec<SimTime>,
+    /// Arrival-time-windowed latency summaries, in window order. Empty
+    /// unless the session ran with [`OpenLoopOpts::window_ns`] set.
+    pub windows: Vec<WindowSummary>,
     /// The underlying pipeline metrics for the whole run.
     pub run: RunMetrics,
 }
@@ -206,6 +206,223 @@ impl ServingMetrics {
             self.queries as f64 * 1e9 / self.makespan_ns as f64
         }
     }
+}
+
+/// A query's per-table row bags, however they are stored.
+///
+/// The streaming entry points ([`SlsSystem::open_loop_push`]) take the
+/// query's lookups through this trait so the same dispatch path serves
+/// a materialized [`tracegen::Trace`], a lazy
+/// [`tracegen::QueryStream`], and the cluster router's recycled
+/// per-shard sub-bag buffers.
+///
+/// [`SlsSystem::open_loop_push`]: crate::system::SlsSystem::open_loop_push
+pub trait QueryBags {
+    /// The row indices this query looks up in `table`. Out-of-range
+    /// tables may panic.
+    fn bag(&self, table: u32) -> &[u64];
+}
+
+impl QueryBags for tracegen::QueryStream {
+    fn bag(&self, table: u32) -> &[u64] {
+        tracegen::QueryStream::bag(self, table)
+    }
+}
+
+/// Per-shard routed sub-bags, table-indexed (the cluster router's
+/// recycled buffers).
+impl QueryBags for [Vec<u64>] {
+    fn bag(&self, table: u32) -> &[u64] {
+        &self[table as usize]
+    }
+}
+
+/// Options for a streaming open-loop session
+/// ([`SlsSystem::open_loop_begin`]).
+///
+/// [`SlsSystem::open_loop_begin`]: crate::system::SlsSystem::open_loop_begin
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenLoopOpts {
+    /// Record the per-query completion vector
+    /// ([`ServingMetrics::completion`]). The vector grows with the
+    /// stream — turn it off for bounded-memory long-trace runs that
+    /// only need the histograms.
+    pub record_completion: bool,
+    /// Partition the latency histogram into arrival-time windows of
+    /// this many ns ([`ServingMetrics::windows`]); `None` keeps only
+    /// the whole-run histograms. Windows finalize online as soon as no
+    /// future query can land in them, so the open set stays O(1).
+    pub window_ns: Option<u64>,
+}
+
+impl Default for OpenLoopOpts {
+    fn default() -> Self {
+        OpenLoopOpts {
+            record_completion: true,
+            window_ns: None,
+        }
+    }
+}
+
+/// One finalized arrival-time window of per-query latencies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSummary {
+    /// Window index: arrivals in `[window * window_ns, (window + 1) *
+    /// window_ns)` land here. Windows with no arrivals are skipped.
+    pub window: u64,
+    /// Window start, ns (window × the session's `window_ns`).
+    pub start_ns: u64,
+    /// Queries completed in this window.
+    pub count: u64,
+    /// Median latency, ns.
+    pub p50_ns: u64,
+    /// 99th-percentile latency, ns.
+    pub p99_ns: u64,
+    /// Mean latency, ns.
+    pub mean_ns: f64,
+    /// Maximum latency, ns.
+    pub max_ns: u64,
+}
+
+/// Streaming arrival-time-windowed latency accounting.
+///
+/// Latencies are keyed by the query's *arrival* window (shift- and
+/// placement-independent), recorded as each batch retires. A window
+/// finalizes — its histogram summarized and dropped — as soon as the
+/// batcher guarantees no future query can land in it: any batch
+/// closing at `c` holds arrivals in `[c - max_wait, c]`, and every
+/// later arrival is `>= c - max_wait`, so after dispatching that batch
+/// all windows ending at or before `c - max_wait` are complete. The
+/// open set is therefore bounded by `max_wait / window_ns + 2`
+/// entries regardless of stream length.
+#[derive(Debug, Clone)]
+pub(crate) struct LatencyWindows {
+    window_ns: u64,
+    max_wait: SimDuration,
+    /// Open windows in ascending index order (arrivals are
+    /// non-decreasing, so append-at-back keeps them sorted).
+    open: VecDeque<(u64, LatencyHist)>,
+    /// Finalized summaries, in window order.
+    done: Vec<WindowSummary>,
+}
+
+impl LatencyWindows {
+    /// Creates an empty accounting with `window_ns`-wide windows under
+    /// a batcher with `max_wait_ns`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_ns` is zero.
+    pub fn new(window_ns: u64, max_wait_ns: u64) -> Self {
+        assert!(window_ns > 0, "latency window width must be positive");
+        LatencyWindows {
+            window_ns,
+            max_wait: SimDuration::from_ns(max_wait_ns),
+            open: VecDeque::new(),
+            done: Vec::new(),
+        }
+    }
+
+    /// Records one query's latency under its arrival window.
+    pub fn record(&mut self, arrival: SimTime, latency: SimDuration) {
+        let idx = arrival.as_ns() / self.window_ns;
+        match self.open.back_mut() {
+            Some((last, hist)) if *last == idx => hist.record(latency),
+            _ => {
+                debug_assert!(
+                    self.open.back().is_none_or(|(last, _)| *last < idx),
+                    "arrivals must be non-decreasing"
+                );
+                let mut hist = LatencyHist::default();
+                hist.record(latency);
+                self.open.push_back((idx, hist));
+            }
+        }
+    }
+
+    /// Finalizes every window no future arrival can land in, given that
+    /// a batch just closed at `close` (see the type docs for why
+    /// `close - max_wait` is the safe bound).
+    pub fn on_batch_close(&mut self, close: SimTime) {
+        let bound = close.as_ns().saturating_sub(self.max_wait.as_ns());
+        while let Some((idx, _)) = self.open.front() {
+            if (idx + 1).saturating_mul(self.window_ns) > bound {
+                break;
+            }
+            let (idx, hist) = self.open.pop_front().expect("front just checked");
+            self.finalize(idx, &hist);
+        }
+    }
+
+    /// Drains every remaining window and returns the summaries.
+    pub fn finish(mut self) -> Vec<WindowSummary> {
+        while let Some((idx, hist)) = self.open.pop_front() {
+            self.finalize(idx, &hist);
+        }
+        self.done
+    }
+
+    fn finalize(&mut self, idx: u64, hist: &LatencyHist) {
+        self.done.push(WindowSummary {
+            window: idx,
+            start_ns: idx * self.window_ns,
+            count: hist.count(),
+            p50_ns: hist.percentile(0.50),
+            p99_ns: hist.percentile(0.99),
+            mean_ns: hist.mean_ns(),
+            max_ns: hist.max_ns(),
+        });
+    }
+}
+
+/// The state of one in-progress streaming open-loop run, between
+/// [`SlsSystem::open_loop_begin`] and [`SlsSystem::open_loop_finish`].
+///
+/// Holds everything `run_open_loop`'s two-phase implementation kept on
+/// the stack — the batcher, the accumulating metrics, the counter
+/// snapshots, and the warm-start time base — plus a bounded store of
+/// the pending (not yet dispatched) queries' bags: at most
+/// `batch_size` queries × `n_tables` bags, recycled at every dispatch.
+/// `Clone` is the checkpoint primitive: a cloned session (inside a
+/// cloned [`SlsSystem`](crate::system::SlsSystem)) resumes
+/// byte-identically.
+///
+/// [`SlsSystem::open_loop_begin`]: crate::system::SlsSystem::open_loop_begin
+/// [`SlsSystem::open_loop_finish`]: crate::system::SlsSystem::open_loop_finish
+#[derive(Debug, Clone)]
+pub(crate) struct OpenLoopSession {
+    /// The dynamic batcher.
+    pub batcher: QueryBatcher,
+    /// Metrics accumulated so far.
+    pub serving: ServingMetrics,
+    /// Sum of per-bag latencies (for `mean_bag_ns`).
+    pub bag_latency_sum: u128,
+    /// Device access counts at session start.
+    pub dev_offset: Vec<u64>,
+    /// Hardware counters at session start.
+    pub counter_offsets: CounterOffsets,
+    /// The warm-start time base: max host `next_free` at begin.
+    pub t0: SimTime,
+    /// `t0` as a shift applied to every arrival timestamp.
+    pub shift: SimDuration,
+    /// Batches dispatched so far (the host round-robin cursor).
+    pub batches_dispatched: u64,
+    /// Record the per-query completion vector.
+    pub record_completion: bool,
+    /// Tables per query (the partition layout input).
+    pub n_tables: u32,
+    /// Pending queries' rows, query-major then table-major, flat.
+    pub rows: Vec<u64>,
+    /// Bag boundaries into `rows`: pending query `p`, table `t` spans
+    /// `rows[offsets[p * n_tables + t]..offsets[p * n_tables + t + 1]]`
+    /// (leading sentinel 0).
+    pub offsets: Vec<usize>,
+    /// Windowed latency accounting, when requested.
+    pub windows: Option<LatencyWindows>,
+    /// Next query id to assign (== queries pushed so far).
+    pub next_qid: u64,
+    /// Latest pushed arrival (monotonicity check).
+    pub last_arrival: SimTime,
 }
 
 #[cfg(test)]

@@ -24,6 +24,7 @@ pub(crate) const SWAP_REGS: usize = 8;
 
 /// Per-host simulation state: lookup cores, FlexBus links, local DRAM,
 /// and (for RecNMP) the DIMM cache.
+#[derive(Clone)]
 pub(crate) struct HostCtx {
     /// Next-free time of each lookup core.
     pub cores: Vec<SimTime>,
@@ -41,6 +42,7 @@ pub(crate) struct HostCtx {
 
 /// Per-switch simulation state: the switch fabric model plus the PIFS
 /// process-core blocks living inside it.
+#[derive(Clone)]
 pub(crate) struct SwitchCtx {
     /// The fabric switch (transit timing, CNV flag).
     pub sw: FabricSwitch,
@@ -59,6 +61,12 @@ pub(crate) struct SwitchCtx {
 }
 
 /// The composed hardware plant of one simulated system.
+///
+/// `Clone` snapshots the entire plant — every link cursor, DRAM bank
+/// timer, buffer and process-core register — which is what makes a
+/// [`SimCheckpoint`](crate::engine::checkpoint::SimCheckpoint) a pure
+/// deep copy.
+#[derive(Clone)]
 pub(crate) struct Plant {
     /// Host/switch/device adjacency and hop latencies.
     pub topo: Topology,

@@ -60,6 +60,7 @@ pub mod system;
 
 pub use acr::{AccumulateLogic, AcrFull, ClusterId};
 pub use buffer::{BufferPolicy, OnSwitchBuffer};
+pub use engine::checkpoint::SimCheckpoint;
 pub use engine::cluster::{ClusterConfig, ClusterMetrics, ShardPolicy, SlsCluster};
 pub use forward::{ForwardController, ForwardOutcome};
 pub use iir::IngressRegistry;

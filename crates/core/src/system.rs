@@ -21,21 +21,46 @@
 use dlrm::{query, EmbeddingTable};
 use pagemgmt::{GlobalHotness, PageId, PageTable, TierCapacities};
 use simkit::SimTime;
-use tracegen::Trace;
+use tracegen::{QueryStream, Trace};
 
 use crate::engine::config::page_align;
 use crate::engine::metrics::CounterOffsets;
 use crate::engine::pagemgmt_epoch::{run_pm_epoch, EpochCtx};
 use crate::engine::pipeline::{self, process_bag, EngineCtx, EngineScratch};
-use crate::engine::serving::QueryBatcher;
+use crate::engine::serving::{LatencyWindows, OpenLoopSession, QueryBatcher, ReadyBatch};
 use crate::engine::topology::Plant;
 
 pub use crate::engine::config::{BufferConfig, ComputeSite, PmConfig, PmStyle, SystemConfig};
 pub use crate::engine::metrics::RunMetrics;
-pub use crate::engine::serving::{PendingQuery, ServingConfig, ServingMetrics};
+pub use crate::engine::serving::{
+    OpenLoopOpts, PendingQuery, QueryBags, ServingConfig, ServingMetrics, WindowSummary,
+};
+
+/// One materialized trace query viewed through [`QueryBags`]: query
+/// `qid`'s bag in `table` is sample `qid % batch_size` of trace batch
+/// `qid / batch_size` — exactly [`SlsSystem::run_open_loop`]'s mapping.
+struct TraceQueryBags<'a> {
+    trace: &'a Trace,
+    qid: u64,
+}
+
+impl QueryBags for TraceQueryBags<'_> {
+    fn bag(&self, table: u32) -> &[u64] {
+        let b = (self.qid / self.trace.batch_size as u64) as usize;
+        let s = (self.qid % self.trace.batch_size as u64) as u32;
+        self.trace.bag(b, table, s)
+    }
+}
 
 /// The composed system: the hardware `Plant`, the embedding layout and
 /// page placement, and the workload-visible run state.
+///
+/// `Clone` deep-copies the entire simulation — plant timing state, page
+/// placement, hotness, metrics, scratch, and any in-progress open-loop
+/// session — which is what a
+/// [`SimCheckpoint`](crate::engine::checkpoint::SimCheckpoint)
+/// captures.
+#[derive(Clone)]
 pub struct SlsSystem {
     cfg: SystemConfig,
     plant: Plant,
@@ -51,6 +76,9 @@ pub struct SlsSystem {
     /// open-loop dispatcher's per-run buffers (allocation-free steady
     /// state for both run modes).
     scratch: EngineScratch,
+    /// The in-progress streaming open-loop session, between
+    /// [`Self::open_loop_begin`] and [`Self::open_loop_finish`].
+    session: Option<OpenLoopSession>,
 }
 
 impl SlsSystem {
@@ -103,6 +131,7 @@ impl SlsSystem {
             metrics: RunMetrics::default(),
             epoch_dev_pages: vec![simkit::hash::FastMap::default(); n_devices],
             scratch: EngineScratch::default(),
+            session: None,
         }
     }
 
@@ -272,43 +301,58 @@ impl SlsSystem {
             "arrival timestamps must be sorted non-decreasing"
         );
 
-        // Phase 1 — batch formation. Depends only on the timestamps and
-        // the batcher knobs, never on engine state: the batcher's
-        // max-wait timer fires even while every core is busy (that is
-        // what makes the loop open).
-        // Dispatch buffers come from the unified scratch bundle, so a
-        // warm system forms and runs batches without reallocating. The
-        // partition memo is layout-dependent (it bakes in the trace's
-        // table count), so it resets every run.
-        let mut sv = std::mem::take(&mut self.scratch.serving);
-        sv.formed.clear();
-        sv.parts_memo = None;
-        let mut batcher = QueryBatcher::new(&self.cfg.serving);
+        // The materialized path is a thin client of the streaming
+        // session: push every (arrival, bags) pair in timestamp order
+        // and finish. Batch formation depends only on the timestamps
+        // and the batcher knobs, and dispatch consumes batches in
+        // formation order with a time base fixed at `begin`, so
+        // interleaving them is observably identical to the original
+        // two-phase (form-all-then-dispatch-all) implementation.
+        self.open_loop_begin(trace.n_tables, OpenLoopOpts::default());
         for (qid, &t) in arrivals.iter().enumerate() {
-            while let Some(b) = batcher.flush_due(t) {
-                sv.formed.push(b);
-            }
-            if let Some(b) = batcher.offer(qid as u64, t) {
-                sv.formed.push(b);
-            }
+            self.open_loop_push(
+                t,
+                &TraceQueryBags {
+                    trace,
+                    qid: qid as u64,
+                },
+            );
         }
-        while let Some(b) = batcher.flush_due(SimTime::from_ns(u64::MAX)) {
-            sv.formed.push(b);
-        }
+        self.open_loop_finish()
+    }
 
-        // Phase 2 — dispatch. Batches run in close order, round-robin
-        // over hosts, each starting when both the batch has closed and
-        // its host is free; the pipeline timing path is exactly
-        // `run_trace`'s. Arrival timestamps are relative to the run
-        // start: on a warm system (a prior run advanced the hosts) the
-        // whole stream is shifted past everything already simulated, so
-        // latencies and the makespan measure this run only.
+    /// Opens a streaming open-loop session: the push-based form of
+    /// [`Self::run_open_loop`] for workloads that never materialize.
+    /// Queries enter one at a time via [`Self::open_loop_push`] (each
+    /// carrying `n_tables` bags) and the session dispatches batches as
+    /// the batcher closes them, holding at most one batch of pending
+    /// bags — memory is bounded regardless of stream length.
+    /// [`Self::open_loop_finish`] drains and returns the metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a session is already active or if `n_tables` exceeds
+    /// the model's table count.
+    pub fn open_loop_begin(&mut self, n_tables: u32, opts: OpenLoopOpts) {
+        assert!(
+            self.session.is_none(),
+            "an open-loop session is already active"
+        );
+        assert!(
+            n_tables <= self.cfg.model.n_tables,
+            "stream has more tables than the model"
+        );
         self.metrics = RunMetrics::default();
-        let mut serving = ServingMetrics::default();
-        serving.completion.resize(arrivals.len(), SimTime::ZERO);
-        let mut bag_latency_sum = 0u128;
+        // The partition memo is layout-dependent (it bakes in the
+        // session's table count), so it resets every session; its
+        // buffers keep their capacity.
+        self.scratch.serving.parts_memo = None;
         let mut dev_offset: Vec<u64> = vec![0; self.plant.devices.len()];
         let counter_offsets = self.snapshot_counters(&mut dev_offset);
+        // Arrival timestamps are relative to the run start: on a warm
+        // system (a prior run advanced the hosts) the whole stream is
+        // shifted past everything already simulated, so latencies and
+        // the makespan measure this run only.
         let t0 = self
             .plant
             .hosts
@@ -316,89 +360,101 @@ impl SlsSystem {
             .map(|h| h.next_free)
             .max()
             .unwrap_or(SimTime::ZERO);
-        let shift = t0.saturating_since(SimTime::ZERO);
-        for (bi, batch) in sv.formed.iter().enumerate() {
-            let host_idx = bi % self.cfg.n_hosts as usize;
-            let start = (batch.close + shift).max(self.plant.hosts[host_idx].next_free);
-            let mut batch_done = start;
-            let n = batch.queries.len() as u32;
-            // Partition memo: every full batch shares one layout, so
-            // only the trailing part-full sizes recompute it.
-            if sv.parts_memo.as_ref().is_none_or(|(len, _)| *len != n) {
-                sv.parts_memo = Some((
-                    n,
-                    query::partition(
-                        trace.n_tables,
-                        n,
-                        self.cfg.cores_per_host,
-                        self.cfg.threading,
-                    ),
-                ));
-            }
-            let parts = &sv.parts_memo.as_ref().expect("memo just filled").1;
-            sv.q_done.clear();
-            sv.q_done.resize(batch.queries.len(), start);
-            for (core_idx, items) in parts.iter().enumerate() {
-                self.plant.hosts[host_idx].cores[core_idx] = start;
-                for item in items {
-                    for sample in item.sample_begin..item.sample_end {
-                        let q = batch.queries[sample as usize];
-                        let tb = (q.qid / trace.batch_size as u64) as usize;
-                        let ts = (q.qid % trace.batch_size as u64) as u32;
-                        let bag = trace.bag(tb, item.table, ts);
-                        let issue = self.plant.hosts[host_idx].cores[core_idx];
-                        let mut scratch = std::mem::take(&mut self.scratch.bag);
-                        let (done, core_free) = process_bag(
-                            &mut self.engine_ctx(),
-                            &mut scratch,
-                            host_idx,
-                            issue,
-                            item.table,
-                            bag,
-                        );
-                        self.scratch.bag = scratch;
-                        self.plant.hosts[host_idx].cores[core_idx] = core_free;
-                        batch_done = batch_done.max(done);
-                        sv.q_done[sample as usize] = sv.q_done[sample as usize].max(done);
-                        bag_latency_sum += done.saturating_since(issue).as_ns() as u128;
-                        self.metrics.bags += 1;
-                    }
-                }
-            }
-            // A query completes when its last bag does; the response
-            // leaves before the epoch-boundary page manager runs.
-            for (q, &done) in batch.queries.iter().zip(&sv.q_done) {
-                serving
-                    .latency
-                    .record(done.saturating_since(q.arrival + shift));
-                serving
-                    .wait
-                    .record(start.saturating_since(q.arrival + shift));
-                serving.completion[q.qid as usize] =
-                    SimTime::from_ns(done.saturating_since(t0).as_ns());
-            }
-            serving.queries += batch.queries.len() as u64;
-            serving.mean_batch_fill += batch.queries.len() as f64;
-            if self.cfg.page_mgmt.is_some() {
-                let overhead = run_pm_epoch(&mut self.epoch_ctx());
-                batch_done += overhead;
-                self.metrics.migration_ns += overhead.as_ns();
-            }
-            self.plant.hosts[host_idx].next_free = batch_done;
-        }
+        self.session = Some(OpenLoopSession {
+            batcher: QueryBatcher::new(&self.cfg.serving),
+            serving: ServingMetrics::default(),
+            bag_latency_sum: 0,
+            dev_offset,
+            counter_offsets,
+            t0,
+            shift: t0.saturating_since(SimTime::ZERO),
+            batches_dispatched: 0,
+            record_completion: opts.record_completion,
+            n_tables,
+            rows: Vec::new(),
+            offsets: vec![0],
+            windows: opts
+                .window_ns
+                .map(|w| LatencyWindows::new(w, self.cfg.serving.max_wait_ns)),
+            next_qid: 0,
+            last_arrival: SimTime::ZERO,
+        });
+    }
 
-        serving.batches = sv.formed.len() as u64;
-        serving.mean_batch_fill = if sv.formed.is_empty() {
+    /// Pushes one query into the active session: `bags` supplies its
+    /// row bag for each of the session's tables, copied into the
+    /// session's recycled pending store (so the source buffers are free
+    /// to be reused immediately). Returns the query's id — sequential
+    /// from 0 in push order. Any batch the batcher closes (the oldest
+    /// pending query timing out at or before `arrival`, or this arrival
+    /// filling the batch) dispatches inline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no session is active; debug-asserts that arrivals are
+    /// non-decreasing.
+    pub fn open_loop_push(&mut self, arrival: SimTime, bags: &(impl QueryBags + ?Sized)) -> u64 {
+        let mut s = self
+            .session
+            .take()
+            .expect("open_loop_push requires an active session (open_loop_begin)");
+        debug_assert!(
+            arrival >= s.last_arrival,
+            "arrival timestamps must be non-decreasing"
+        );
+        s.last_arrival = arrival;
+        // The batcher contract: timeouts due at or before this arrival
+        // fire first, then the arrival is admitted (possibly closing a
+        // full batch). The pending store always holds exactly the
+        // batcher's pending queries, in FIFO order.
+        while let Some(b) = s.batcher.flush_due(arrival) {
+            self.dispatch_batch(&mut s, &b);
+        }
+        let qid = s.next_qid;
+        s.next_qid += 1;
+        for t in 0..s.n_tables {
+            s.rows.extend_from_slice(bags.bag(t));
+            s.offsets.push(s.rows.len());
+        }
+        if let Some(b) = s.batcher.offer(qid, arrival) {
+            self.dispatch_batch(&mut s, &b);
+        }
+        self.session = Some(s);
+        qid
+    }
+
+    /// Closes the active session: trailing queries flush at their
+    /// max-wait deadline (exactly as they would had more traffic
+    /// followed), the last windows finalize, and the run's
+    /// [`ServingMetrics`] are returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no session is active.
+    pub fn open_loop_finish(&mut self) -> ServingMetrics {
+        let mut s = self
+            .session
+            .take()
+            .expect("open_loop_finish requires an active session (open_loop_begin)");
+        while let Some(b) = s.batcher.flush_due(SimTime::from_ns(u64::MAX)) {
+            self.dispatch_batch(&mut s, &b);
+        }
+        let mut serving = s.serving;
+        serving.batches = s.batches_dispatched;
+        serving.mean_batch_fill = if s.batches_dispatched == 0 {
             0.0
         } else {
-            serving.mean_batch_fill / (sv.formed.len() as f64 * self.cfg.serving.batch_size as f64)
+            serving.mean_batch_fill
+                / (s.batches_dispatched as f64 * self.cfg.serving.batch_size as f64)
         };
-        self.scratch.serving = sv;
+        if let Some(w) = s.windows {
+            serving.windows = w.finish();
+        }
         serving.makespan_ns = self
             .plant
             .hosts
             .iter()
-            .map(|h| h.next_free.saturating_since(t0).as_ns())
+            .map(|h| h.next_free.saturating_since(s.t0).as_ns())
             .max()
             .unwrap_or(0);
         self.metrics.total_ns = serving.makespan_ns;
@@ -406,17 +462,139 @@ impl SlsSystem {
             .plant
             .devices
             .iter()
-            .zip(&dev_offset)
+            .zip(&s.dev_offset)
             .map(|(d, &off)| d.access_count() - off)
             .collect();
-        counter_offsets.finish(&self.plant.switches, &self.plant.hosts, &mut self.metrics);
+        s.counter_offsets
+            .finish(&self.plant.switches, &self.plant.hosts, &mut self.metrics);
         self.metrics.mean_bag_ns = if self.metrics.bags == 0 {
             0.0
         } else {
-            bag_latency_sum as f64 / self.metrics.bags as f64
+            s.bag_latency_sum as f64 / self.metrics.bags as f64
         };
         serving.run = self.metrics.clone();
         serving
+    }
+
+    /// Serves a lazy [`QueryStream`] end to end: the streaming
+    /// equivalent of [`Self::run_open_loop`] on the stream's
+    /// materialized trace and arrival vector, byte-identical in every
+    /// metric, with memory bounded by one batch of pending bags instead
+    /// of the whole trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`Self::open_loop_begin`] does, or if the stream's row
+    /// space exceeds the model's.
+    pub fn run_open_loop_stream(
+        &mut self,
+        stream: &mut QueryStream,
+        opts: OpenLoopOpts,
+    ) -> ServingMetrics {
+        assert!(
+            stream.spec().trace.rows_per_table <= self.cfg.model.emb_num,
+            "stream rows exceed the model's embedding count"
+        );
+        self.open_loop_begin(stream.n_tables(), opts);
+        while let Some((_, at)) = stream.next_query() {
+            self.open_loop_push(at, &*stream);
+        }
+        self.open_loop_finish()
+    }
+
+    /// Dispatches one closed batch to the stage pipeline — the body of
+    /// `run_open_loop`'s original per-batch loop, fed from the
+    /// session's pending store instead of a materialized trace.
+    /// Batches run in close order, round-robin over hosts, each
+    /// starting when both the batch has closed and its host is free;
+    /// the pipeline timing path is exactly `run_trace`'s. The pending
+    /// store is recycled (cleared, capacity kept) on return: the
+    /// batcher drains *all* pending queries into every batch it closes,
+    /// so the store and the batch always cover the same queries.
+    fn dispatch_batch(&mut self, s: &mut OpenLoopSession, batch: &ReadyBatch) {
+        let bi = s.batches_dispatched as usize;
+        s.batches_dispatched += 1;
+        let host_idx = bi % self.cfg.n_hosts as usize;
+        let start = (batch.close + s.shift).max(self.plant.hosts[host_idx].next_free);
+        let mut batch_done = start;
+        let n = batch.queries.len() as u32;
+        debug_assert_eq!(
+            s.offsets.len(),
+            n as usize * s.n_tables as usize + 1,
+            "pending store must hold exactly the batch's queries"
+        );
+        let mut sv = std::mem::take(&mut self.scratch.serving);
+        // Partition memo: every full batch shares one layout, so only
+        // the trailing part-full sizes recompute it.
+        if sv.parts_memo.as_ref().is_none_or(|(len, _)| *len != n) {
+            sv.parts_memo = Some((
+                n,
+                query::partition(s.n_tables, n, self.cfg.cores_per_host, self.cfg.threading),
+            ));
+        }
+        let parts = &sv.parts_memo.as_ref().expect("memo just filled").1;
+        sv.q_done.clear();
+        sv.q_done.resize(batch.queries.len(), start);
+        for (core_idx, items) in parts.iter().enumerate() {
+            self.plant.hosts[host_idx].cores[core_idx] = start;
+            for item in items {
+                for sample in item.sample_begin..item.sample_end {
+                    let p = sample as usize * s.n_tables as usize + item.table as usize;
+                    let bag = &s.rows[s.offsets[p]..s.offsets[p + 1]];
+                    let issue = self.plant.hosts[host_idx].cores[core_idx];
+                    let mut scratch = std::mem::take(&mut self.scratch.bag);
+                    let (done, core_free) = process_bag(
+                        &mut self.engine_ctx(),
+                        &mut scratch,
+                        host_idx,
+                        issue,
+                        item.table,
+                        bag,
+                    );
+                    self.scratch.bag = scratch;
+                    self.plant.hosts[host_idx].cores[core_idx] = core_free;
+                    batch_done = batch_done.max(done);
+                    sv.q_done[sample as usize] = sv.q_done[sample as usize].max(done);
+                    s.bag_latency_sum += done.saturating_since(issue).as_ns() as u128;
+                    self.metrics.bags += 1;
+                }
+            }
+        }
+        // A query completes when its last bag does; the response leaves
+        // before the epoch-boundary page manager runs. Query ids are
+        // push-sequential and batches dispatch in formation order, so
+        // appending completions keeps `completion[qid]` indexing.
+        for (q, &done) in batch.queries.iter().zip(&sv.q_done) {
+            let latency = done.saturating_since(q.arrival + s.shift);
+            s.serving.latency.record(latency);
+            s.serving
+                .wait
+                .record(start.saturating_since(q.arrival + s.shift));
+            if s.record_completion {
+                debug_assert_eq!(s.serving.completion.len() as u64, q.qid);
+                s.serving
+                    .completion
+                    .push(SimTime::from_ns(done.saturating_since(s.t0).as_ns()));
+            }
+            if let Some(w) = &mut s.windows {
+                w.record(q.arrival, latency);
+            }
+        }
+        s.serving.queries += batch.queries.len() as u64;
+        s.serving.mean_batch_fill += batch.queries.len() as f64;
+        if let Some(w) = &mut s.windows {
+            w.on_batch_close(batch.close);
+        }
+        if self.cfg.page_mgmt.is_some() {
+            let overhead = run_pm_epoch(&mut self.epoch_ctx());
+            batch_done += overhead;
+            self.metrics.migration_ns += overhead.as_ns();
+        }
+        self.plant.hosts[host_idx].next_free = batch_done;
+        s.rows.clear();
+        s.offsets.clear();
+        s.offsets.push(0);
+        self.scratch.serving = sv;
     }
 
     /// Records current cumulative counters so the measured window can

@@ -1,0 +1,112 @@
+//! Bounded-memory guard for the streaming serving path: a long
+//! open-loop run driven by a [`tracegen::QueryStream`] must hold its
+//! heap footprint flat — O(batch), not O(trace) — because everything
+//! that scales with trace length is either recycled (bag buffers, the
+//! pending-query row store) or bounded (log-bucketed histograms, the
+//! batcher's ≤ batch-size queue, the windowed-latency deque whose
+//! windows retire as batches close).
+//!
+//! The binary installs [`simkit::stats::CountingAlloc`] as the global
+//! allocator and keeps a single `#[test]` so no concurrent test
+//! pollutes the process-wide counters.
+
+use pifs_core::engine::checkpoint;
+use pifs_core::system::{OpenLoopOpts, SlsSystem, SystemConfig};
+use simkit::stats::{alloc_stats, reset_alloc_peak};
+use tracegen::{ArrivalProcess, Distribution, QueryStreamSpec, TraceSpec};
+
+#[global_allocator]
+static ALLOC: simkit::stats::CountingAlloc = simkit::stats::CountingAlloc::new();
+
+#[test]
+fn streamed_open_loop_runs_in_bounded_memory() {
+    let model = dlrm::ModelConfig {
+        emb_num: 4096,
+        ..dlrm::ModelConfig::rmc1()
+    };
+    let spec = QueryStreamSpec {
+        trace: TraceSpec {
+            distribution: Distribution::MetaLike {
+                reuse_frac: 0.35,
+                s: 1.05,
+            },
+            n_tables: model.n_tables,
+            rows_per_table: model.emb_num,
+            batch_size: 16,
+            n_batches: 512, // 8192 queries
+            bag_size: model.bag_size,
+            seed: 5,
+        },
+        arrival: ArrivalProcess::Poisson { qps: 500_000.0 },
+        arrival_seed: 77,
+    };
+    // What `TraceSpec::generate` would materialize for this workload:
+    // every row index of every bag, up front.
+    let materialized_bytes = spec.trace.n_batches as u64
+        * spec.trace.n_tables as u64
+        * spec.trace.batch_size as u64
+        * spec.trace.bag_size as u64
+        * std::mem::size_of::<u64>() as u64;
+    assert!(
+        materialized_bytes >= 4 << 20,
+        "workload too small to prove anything"
+    );
+
+    let mut sys = SlsSystem::new(SystemConfig::pifs_rec(model));
+    let mut stream = spec.stream();
+    sys.open_loop_begin(
+        spec.trace.n_tables,
+        OpenLoopOpts {
+            record_completion: false, // the one intentionally O(queries) buffer
+            window_ns: Some(1_000_000),
+        },
+    );
+
+    // Warm up past one-time growth: histogram bucket vectors, hotness
+    // maps over the (finite) row space, scratch high-water marks.
+    let quarter = spec.n_queries() / 4;
+    checkpoint::advance(&mut sys, &mut stream, 2 * quarter);
+    let warm = alloc_stats().live_bytes;
+    reset_alloc_peak();
+
+    // Steady state, first half: live growth and transient peak.
+    checkpoint::advance(&mut sys, &mut stream, quarter);
+    let early_growth = alloc_stats().live_bytes.saturating_sub(warm);
+
+    // Steady state, second half.
+    checkpoint::advance(&mut sys, &mut stream, quarter);
+    let late = alloc_stats();
+    let total_growth = late.live_bytes.saturating_sub(warm);
+    let late_growth = total_growth.saturating_sub(early_growth);
+    let peak_over_warm = late.peak_live_bytes.saturating_sub(warm);
+
+    let m = sys.open_loop_finish();
+    assert_eq!(m.queries, spec.n_queries());
+    assert!(m.completion.is_empty());
+    assert!(
+        !m.windows.is_empty(),
+        "windowed summaries must have retired"
+    );
+
+    // The streamed run's transient peak above steady state must be a
+    // small fraction of what materializing the trace would pin live for
+    // the whole run.
+    assert!(
+        peak_over_warm < materialized_bytes / 8,
+        "streaming peak grew {peak_over_warm} B over warm state — \
+         not meaningfully below the {materialized_bytes} B materialized footprint"
+    );
+    // And steady state is flat: the second steady-state window may not
+    // allocate meaningfully more than the first (both should be ~0; the
+    // slack absorbs retired-window summaries and allocator jitter).
+    const SLACK: u64 = 256 << 10;
+    assert!(
+        late_growth <= early_growth + SLACK,
+        "late-window live growth {late_growth} B exceeds early-window \
+         {early_growth} B + {SLACK} B — steady state is leaking per-query memory"
+    );
+    assert!(
+        total_growth < 1 << 20,
+        "live bytes grew {total_growth} B across 4096 steady-state queries"
+    );
+}

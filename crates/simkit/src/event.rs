@@ -33,7 +33,7 @@ const MAX_SHIFT: u32 = 54;
 /// bucket width (when a narrower width would actually spread the load).
 const REFIT_LEN: usize = 16;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Entry<E> {
     time: SimTime,
     seq: u64,
@@ -53,7 +53,7 @@ impl<E> Entry<E> {
 /// sequence numbers they were created with, so a heap shared between
 /// structures (the calendar queue's overflow) preserves global FIFO
 /// tie-breaking.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct EntryHeap<E> {
     /// `entries[i]` sorts before both children at `2i + 1` and `2i + 2`.
     entries: Vec<Entry<E>>,
@@ -151,7 +151,7 @@ impl<E> EntryHeap<E> {
 /// q.push(SimTime::from_ns(3), "early");
 /// assert_eq!(q.pop().unwrap().1, "early");
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BinaryEventQueue<E> {
     heap: EntryHeap<E>,
     next_seq: u64,
@@ -214,6 +214,11 @@ impl<E> Default for BinaryEventQueue<E> {
 /// overflow vector keep their capacity across days — a reusable slab, so
 /// sustained simulation pushes no per-event allocations.
 ///
+/// Both queues are `Clone` (for `E: Clone`), and a clone is a full
+/// snapshot: it preserves pending events, sequence numbers, and the
+/// wheel geometry, so the clone drains in exactly the original's order —
+/// the property simulation checkpointing relies on.
+///
 /// # Examples
 ///
 /// ```
@@ -229,7 +234,7 @@ impl<E> Default for BinaryEventQueue<E> {
 /// assert_eq!(q.pop().unwrap().1, "late");
 /// assert!(q.pop().is_none());
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EventQueue<E> {
     /// The wheel: ring slot `a & (NB - 1)` holds absolute bucket `a`
     /// (i.e. times in `[a·2^shift, (a+1)·2^shift)`) for the unique
@@ -616,6 +621,35 @@ mod tests {
         }
         assert!(q.pop().is_none());
         assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn clone_is_a_full_snapshot() {
+        // A clone taken mid-stream must drain identically to the
+        // original — including FIFO tie-breaks (sequence counter state)
+        // and window geometry (overflow + ring occupancy).
+        let mut rng = crate::DetRng::new(99);
+        let mut q = EventQueue::new();
+        for i in 0..4_000u64 {
+            q.push(SimTime::from_ns(rng.below(1 << 20)), i);
+        }
+        for _ in 0..1_000 {
+            let _ = q.pop();
+        }
+        // Mix in a far-future overflow entry and a tie pair.
+        q.push(SimTime::from_ns(1 << 40), 9_000);
+        q.push(SimTime::from_ns(1 << 19), 9_001);
+        q.push(SimTime::from_ns(1 << 19), 9_002);
+        let mut snap = q.clone();
+        assert_eq!(snap.len(), q.len());
+        loop {
+            let a = q.pop();
+            let b = snap.pop();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 
     #[test]

@@ -32,6 +32,112 @@ pub fn events_recorded() -> u64 {
     EVENT_TALLY.with(Cell::get)
 }
 
+/// Process-wide allocation counters behind [`CountingAlloc`]. Plain
+/// atomics (not thread-locals): a global allocator runs before TLS is
+/// usable and on every thread, so these must be `static` and lock-free.
+static ALLOC_CALLS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static ALLOC_BYTES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static LIVE_BYTES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static PEAK_LIVE_BYTES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// A snapshot of the process's heap traffic under [`CountingAlloc`].
+/// All fields read zero unless a binary installs the counting allocator
+/// (see [`CountingAlloc`] for the one-liner).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Cumulative `alloc`/`realloc` calls.
+    pub calls: u64,
+    /// Cumulative bytes requested across those calls.
+    pub allocated_bytes: u64,
+    /// Bytes currently live (allocated minus freed).
+    pub live_bytes: u64,
+    /// High-water mark of `live_bytes` since process start (or the last
+    /// [`reset_alloc_peak`]).
+    pub peak_live_bytes: u64,
+}
+
+/// Reads the current [`AllocStats`] snapshot.
+pub fn alloc_stats() -> AllocStats {
+    use std::sync::atomic::Ordering::Relaxed;
+    AllocStats {
+        calls: ALLOC_CALLS.load(Relaxed),
+        allocated_bytes: ALLOC_BYTES.load(Relaxed),
+        live_bytes: LIVE_BYTES.load(Relaxed),
+        peak_live_bytes: PEAK_LIVE_BYTES.load(Relaxed),
+    }
+}
+
+/// Resets the peak-live-bytes high-water mark to the current live size,
+/// so a harness can measure the peak of one phase in isolation.
+pub fn reset_alloc_peak() {
+    use std::sync::atomic::Ordering::Relaxed;
+    PEAK_LIVE_BYTES.store(LIVE_BYTES.load(Relaxed), Relaxed);
+}
+
+/// A counting wrapper around the system allocator, for bounded-memory
+/// guard tests: cumulative call/byte tallies plus a live-bytes
+/// high-water mark, all readable through [`alloc_stats`].
+///
+/// Install it per test binary (a global allocator is process-wide, so
+/// this belongs in dedicated integration tests, not the library):
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: simkit::stats::CountingAlloc = simkit::stats::CountingAlloc::new();
+/// ```
+///
+/// Counter updates are `Relaxed` atomics — a few nanoseconds per
+/// allocation, and exact totals even under concurrency (the peak can
+/// lag a racing allocation by one update, which is noise at the
+/// megabyte scales the guard tests assert on).
+#[derive(Debug, Default)]
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    /// Creates the wrapper (const, so it can be a `static`).
+    pub const fn new() -> CountingAlloc {
+        CountingAlloc
+    }
+
+    fn on_alloc(size: usize) {
+        use std::sync::atomic::Ordering::Relaxed;
+        ALLOC_CALLS.fetch_add(1, Relaxed);
+        ALLOC_BYTES.fetch_add(size as u64, Relaxed);
+        let live = LIVE_BYTES.fetch_add(size as u64, Relaxed) + size as u64;
+        PEAK_LIVE_BYTES.fetch_max(live, Relaxed);
+    }
+
+    fn on_dealloc(size: usize) {
+        LIVE_BYTES.fetch_sub(size as u64, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+// SAFETY: defers every allocation to `std::alloc::System` unchanged;
+// the wrapper only updates atomic tallies, which allocate nothing.
+unsafe impl std::alloc::GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        let p = unsafe { std::alloc::System.alloc(layout) };
+        if !p.is_null() {
+            Self::on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        unsafe { std::alloc::System.dealloc(ptr, layout) };
+        Self::on_dealloc(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: std::alloc::Layout, new_size: usize) -> *mut u8 {
+        let p = unsafe { std::alloc::System.realloc(ptr, layout, new_size) };
+        if !p.is_null() {
+            Self::on_dealloc(layout.size());
+            Self::on_alloc(new_size);
+        }
+        p
+    }
+}
+
 /// A monotonically increasing event counter.
 ///
 /// # Examples

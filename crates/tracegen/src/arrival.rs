@@ -15,7 +15,13 @@
 //! * [`ArrivalProcess::Bursty`] — a two-state Markov-modulated Poisson
 //!   process (MMPP-2) alternating between a high-rate and a low-rate
 //!   state with exponentially distributed dwell times; time-averaged
-//!   rate stays `qps` while bursts stress the batcher and queue depth.
+//!   rate stays `qps` while bursts stress the batcher and queue depth;
+//! * [`ArrivalProcess::Diurnal`] — a non-homogeneous Poisson process
+//!   whose rate follows a sinusoid of configurable amplitude and period
+//!   around `qps`, the load shape of day/night traffic compressed to
+//!   simulation time scales. Long-horizon streaming runs use it to
+//!   sweep the engine through the latency knee and back within one
+//!   trace.
 //!
 //! Generation is deterministic: the same `(process, seed)` pair always
 //! yields the same timestamp stream (golden-value tested), seeded
@@ -51,14 +57,37 @@ pub enum ArrivalProcess {
         /// Mean dwell time per state, microseconds.
         dwell_us: f64,
     },
+    /// Sinusoidally modulated Poisson arrivals: the instantaneous rate
+    /// is `qps·(1 + amplitude·sin(2πt/period))`, approximated by
+    /// [`DIURNAL_SEGMENTS`] piecewise-constant rate segments per period
+    /// (exponential gaps within a segment; a draw that overruns the
+    /// segment boundary is redrawn at the next segment's rate, exact by
+    /// memorylessness). The sinusoid integrates to zero over a period,
+    /// so the time-averaged rate stays `qps`.
+    Diurnal {
+        /// Time-averaged arrival rate, queries per second.
+        qps: f64,
+        /// Modulation depth in `[0, 1)`: peak rate `qps·(1+amplitude)`,
+        /// trough `qps·(1-amplitude)`.
+        amplitude: f64,
+        /// Modulation period, seconds of simulated time.
+        period_s: f64,
+    },
 }
+
+/// Piecewise-constant rate segments per diurnal period. 64 keeps the
+/// staircase within a fraction of a percent of the true sinusoid while
+/// the per-segment rate stays a pure function of the segment index
+/// (checkpoint state is just the segment cursor).
+pub const DIURNAL_SEGMENTS: u64 = 64;
 
 impl ArrivalProcess {
     /// Parses a sweep-parameter spelling at a given rate: `fixed`,
-    /// `poisson`, `bursty` (defaults: burst 0.8, dwell 200 µs), or
-    /// `bursty:<burst>:<dwell_us>`. Returns `None` for unknown
-    /// spellings, non-positive `qps`, burst outside `[0, 1)`, or
-    /// non-positive dwell.
+    /// `poisson`, `bursty` (defaults: burst 0.8, dwell 200 µs),
+    /// `bursty:<burst>:<dwell_us>`, `diurnal` (defaults: amplitude 0.5,
+    /// period 1 s), or `diurnal:<amplitude>:<period_s>`. Returns `None`
+    /// for unknown spellings, non-positive `qps`, burst/amplitude
+    /// outside `[0, 1)`, or non-positive dwell/period.
     pub fn parse(spec: &str, qps: f64) -> Option<ArrivalProcess> {
         if !(qps > 0.0 && qps.is_finite()) {
             return None;
@@ -83,6 +112,20 @@ impl ArrivalProcess {
                     dwell_us,
                 }
             }
+            "diurnal" => {
+                let (amplitude, period_s) = match arg() {
+                    Some(a) => (a, arg()?),
+                    None => (0.5, 1.0),
+                };
+                if !((0.0..1.0).contains(&amplitude) && period_s > 0.0 && period_s.is_finite()) {
+                    return None;
+                }
+                ArrivalProcess::Diurnal {
+                    qps,
+                    amplitude,
+                    period_s,
+                }
+            }
             _ => return None,
         };
         match parts.next() {
@@ -96,7 +139,8 @@ impl ArrivalProcess {
         match *self {
             ArrivalProcess::Fixed { qps }
             | ArrivalProcess::Poisson { qps }
-            | ArrivalProcess::Bursty { qps, .. } => qps,
+            | ArrivalProcess::Bursty { qps, .. }
+            | ArrivalProcess::Diurnal { qps, .. } => qps,
         }
     }
 
@@ -129,11 +173,14 @@ pub struct ArrivalGen {
     /// Exact arrival clock in f64 nanoseconds (timestamps are rounded
     /// per-emission, so rounding error does not accumulate).
     clock_ns: f64,
-    /// Fixed: arrivals emitted so far.
+    /// Fixed: arrivals emitted so far. Diurnal: current rate-segment
+    /// index (monotone; the rate depends on it modulo
+    /// [`DIURNAL_SEGMENTS`]).
     emitted: u64,
     /// Bursty: currently in the high-rate state.
     high: bool,
-    /// Bursty: nanoseconds left in the current state's dwell.
+    /// Bursty: nanoseconds left in the current state's dwell. Diurnal:
+    /// nanoseconds left in the current rate segment.
     dwell_left_ns: f64,
 }
 
@@ -164,9 +211,27 @@ impl ArrivalGen {
                 "dwell time must be positive and finite"
             );
         }
+        if let ArrivalProcess::Diurnal {
+            amplitude,
+            period_s,
+            ..
+        } = process
+        {
+            assert!(
+                (0.0..1.0).contains(&amplitude),
+                "diurnal amplitude must be in [0, 1)"
+            );
+            assert!(
+                period_s > 0.0 && period_s.is_finite(),
+                "diurnal period must be positive and finite"
+            );
+        }
         let mut rng = DetRng::new(seed);
         let dwell_left_ns = match process {
             ArrivalProcess::Bursty { dwell_us, .. } => exp_draw(&mut rng, dwell_us * 1_000.0),
+            ArrivalProcess::Diurnal { period_s, .. } => {
+                period_s * NS_PER_S / DIURNAL_SEGMENTS as f64
+            }
             _ => 0.0,
         };
         ArrivalGen {
@@ -217,6 +282,36 @@ impl ArrivalGen {
                     self.clock_ns += self.dwell_left_ns;
                     self.high = !self.high;
                     self.dwell_left_ns = exp_draw(&mut self.rng, dwell_us * 1_000.0);
+                }
+                self.clock_ns.round()
+            }
+            ArrivalProcess::Diurnal {
+                qps,
+                amplitude,
+                period_s,
+            } => {
+                let seg_ns = period_s * NS_PER_S / DIURNAL_SEGMENTS as f64;
+                loop {
+                    // Segment rate at the segment's midpoint phase: a
+                    // pure function of the segment index, so the only
+                    // checkpoint state is (index, remaining dwell).
+                    let phase = (self.emitted % DIURNAL_SEGMENTS) as f64 + 0.5;
+                    let rate = qps
+                        * (1.0
+                            + amplitude
+                                * (std::f64::consts::TAU * phase / DIURNAL_SEGMENTS as f64).sin());
+                    let gap = exp_draw(&mut self.rng, NS_PER_S / rate);
+                    if gap <= self.dwell_left_ns {
+                        self.dwell_left_ns -= gap;
+                        self.clock_ns += gap;
+                        break;
+                    }
+                    // Overran the segment: consume the remainder and
+                    // redraw at the next segment's rate (memorylessness
+                    // makes the redraw distribution-exact).
+                    self.clock_ns += self.dwell_left_ns;
+                    self.emitted += 1;
+                    self.dwell_left_ns = seg_ns;
                 }
                 self.clock_ns.round()
             }
@@ -282,6 +377,46 @@ mod tests {
     }
 
     #[test]
+    fn diurnal_stream_matches_golden_values() {
+        let p = ArrivalProcess::Diurnal {
+            qps: 100_000.0,
+            amplitude: 0.5,
+            period_s: 0.01,
+        };
+        let t = first_n(p, 2024, 20);
+        assert_eq!(
+            t,
+            [
+                9515, 10514, 13975, 15181, 32509, 40356, 41791, 50646, 52451, 57884, 63926, 81631,
+                99767, 110339, 111874, 123267, 160107, 175504, 181011, 187498
+            ]
+        );
+    }
+
+    #[test]
+    fn diurnal_rate_tracks_the_sinusoid() {
+        // With a 10 ms period, arrivals in the first half-period (rate
+        // above mean) must outnumber arrivals in the second (rate below
+        // mean) by a clear margin.
+        let p = ArrivalProcess::Diurnal {
+            qps: 1_000_000.0,
+            amplitude: 0.8,
+            period_s: 0.01,
+        };
+        let t = first_n(p, 17, 12_000);
+        let half_ns = 5_000_000u64;
+        let first_half = t.iter().filter(|&&ns| ns < half_ns).count();
+        let second_half = t
+            .iter()
+            .filter(|&&ns| (half_ns..2 * half_ns).contains(&ns))
+            .count();
+        assert!(
+            first_half > 2 * second_half,
+            "peak-phase arrivals {first_half} vs trough-phase {second_half}"
+        );
+    }
+
+    #[test]
     fn streams_are_reproducible_and_seed_sensitive() {
         for p in [
             ArrivalProcess::Fixed { qps: 50_000.0 },
@@ -290,6 +425,11 @@ mod tests {
                 qps: 50_000.0,
                 burst: 0.5,
                 dwell_us: 100.0,
+            },
+            ArrivalProcess::Diurnal {
+                qps: 50_000.0,
+                amplitude: 0.5,
+                period_s: 0.01,
             },
         ] {
             assert_eq!(first_n(p, 7, 100), first_n(p, 7, 100), "{p:?}");
@@ -309,6 +449,11 @@ mod tests {
                 burst: 0.9,
                 dwell_us: 50.0,
             },
+            ArrivalProcess::Diurnal {
+                qps: 250_000.0,
+                amplitude: 0.9,
+                period_s: 0.002,
+            },
         ] {
             let t = first_n(p, 3, 10_000);
             for w in t.windows(2) {
@@ -327,6 +472,11 @@ mod tests {
                 qps: 100_000.0,
                 burst: 0.8,
                 dwell_us: 200.0,
+            },
+            ArrivalProcess::Diurnal {
+                qps: 100_000.0,
+                amplitude: 0.5,
+                period_s: 0.01,
             },
         ] {
             let n = 50_000;
@@ -386,6 +536,24 @@ mod tests {
                 dwell_us: 100.0
             })
         );
+        assert_eq!(
+            ArrivalProcess::parse("diurnal", 500.0),
+            Some(ArrivalProcess::Diurnal {
+                qps: 500.0,
+                amplitude: 0.5,
+                period_s: 1.0
+            })
+        );
+        assert_eq!(
+            ArrivalProcess::parse("diurnal:0.8:0.05", 500.0),
+            Some(ArrivalProcess::Diurnal {
+                qps: 500.0,
+                amplitude: 0.8,
+                period_s: 0.05
+            })
+        );
+        assert_eq!(ArrivalProcess::parse("diurnal:1.2:0.05", 500.0), None);
+        assert_eq!(ArrivalProcess::parse("diurnal:0.5", 500.0), None);
         assert_eq!(ArrivalProcess::parse("bursty:1.5:100", 500.0), None);
         assert_eq!(ArrivalProcess::parse("bursty:0.5", 500.0), None);
         assert_eq!(ArrivalProcess::parse("poisson:1", 500.0), None);

@@ -33,9 +33,11 @@
 pub mod analysis;
 pub mod arrival;
 pub mod dist;
+pub mod stream;
 pub mod trace;
 
 pub use analysis::TraceProfile;
 pub use arrival::{ArrivalGen, ArrivalProcess};
 pub use dist::Distribution;
+pub use stream::{QueryStream, QueryStreamSpec};
 pub use trace::{Batch, TableLookups, Trace, TraceSpec};

@@ -1,0 +1,149 @@
+//! Property tests for [`QueryStream`]: the lazy iterator must be
+//! *exactly* the materialized path, for arbitrary workloads — the
+//! byte-identity contract every streaming entry point upstream
+//! (serving, cluster, sweep runner) rests on.
+
+use proptest::prelude::*;
+use simkit::{DetRng, SimTime};
+use tracegen::{ArrivalProcess, Distribution, QueryStreamSpec, TraceSpec};
+
+/// Decodes a distribution family from two sampled knobs.
+fn distribution(family: u8, knob: f64) -> Distribution {
+    match family % 5 {
+        0 => Distribution::Random,
+        1 => Distribution::Uniform,
+        2 => Distribution::Zipfian { s: 0.5 + knob },
+        3 => Distribution::Normal {
+            sigma_frac: 0.05 + knob / 4.0,
+        },
+        _ => Distribution::MetaLike {
+            reuse_frac: knob.min(0.9),
+            s: 1.05,
+        },
+    }
+}
+
+/// Decodes an arrival family from a sampled selector.
+fn arrival(family: u8, qps: f64) -> ArrivalProcess {
+    match family % 4 {
+        0 => ArrivalProcess::Fixed { qps },
+        1 => ArrivalProcess::Poisson { qps },
+        2 => ArrivalProcess::Bursty {
+            qps,
+            burst: 0.8,
+            dwell_us: 200.0,
+        },
+        _ => ArrivalProcess::Diurnal {
+            qps,
+            amplitude: 0.5,
+            period_s: 0.001,
+        },
+    }
+}
+
+proptest! {
+    /// For arbitrary (distribution, dimensions, arrival, qps, seeds):
+    /// every query the stream emits has the timestamp of
+    /// `ArrivalProcess::times` and, for every table, the bag of the
+    /// materialized `Trace::generate` output.
+    #[test]
+    fn prop_stream_equals_materialized_trace(
+        dist_family in 0u8..5,
+        dist_knob in 0.0f64..1.0,
+        arrival_family in 0u8..4,
+        qps in 10_000.0f64..10_000_000.0,
+        n_tables in 1u32..5,
+        rows in 16u64..2_000,
+        batch_size in 1u32..17,
+        n_batches in 1u32..9,
+        bag_size in 1u32..9,
+        seed in 0u64..u64::MAX,
+    ) {
+        let spec = QueryStreamSpec {
+            trace: TraceSpec {
+                distribution: distribution(dist_family, dist_knob),
+                n_tables,
+                rows_per_table: rows,
+                batch_size,
+                n_batches,
+                bag_size,
+                seed,
+            },
+            arrival: arrival(arrival_family, qps),
+            arrival_seed: seed ^ 0x5EED,
+        };
+        let trace = spec.trace.generate();
+        let times: Vec<SimTime> =
+            spec.arrival.times(spec.n_queries() as usize, spec.arrival_seed);
+        let mut stream = spec.stream();
+        for expect_qid in 0..spec.n_queries() {
+            let (qid, at) = stream.next_query().expect("stream shorter than trace");
+            prop_assert_eq!(qid, expect_qid);
+            prop_assert_eq!(at, times[qid as usize]);
+            let batch = (qid / batch_size as u64) as usize;
+            let sample = (qid % batch_size as u64) as u32;
+            for table in 0..n_tables {
+                prop_assert_eq!(stream.bag(table), trace.bag(batch, table, sample));
+            }
+        }
+        prop_assert_eq!(stream.next_query(), None);
+    }
+
+    /// A checkpoint taken at an arbitrary cursor position (a clone of
+    /// the stream) replays the exact continuation — queries, times, and
+    /// bags — the original goes on to produce.
+    #[test]
+    fn prop_checkpointed_stream_resumes_identically(
+        dist_family in 0u8..5,
+        arrival_family in 0u8..4,
+        seed in 0u64..u64::MAX,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let spec = QueryStreamSpec {
+            trace: TraceSpec {
+                distribution: distribution(dist_family, 0.5),
+                n_tables: 3,
+                rows_per_table: 256,
+                batch_size: 8,
+                n_batches: 6,
+                bag_size: 4,
+                seed,
+            },
+            arrival: arrival(arrival_family, 200_000.0),
+            arrival_seed: seed.wrapping_add(1),
+        };
+        let mut stream = spec.stream();
+        let cut = (cut_frac * spec.n_queries() as f64) as u64;
+        for _ in 0..cut {
+            let _ = stream.next_query();
+        }
+        let mut resumed = stream.clone();
+        loop {
+            let a = stream.next_query();
+            let b = resumed.next_query();
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+            for table in 0..stream.n_tables() {
+                prop_assert_eq!(stream.bag(table), resumed.bag(table));
+            }
+        }
+    }
+
+    /// The RNG cursor underneath it all: a `DetRng` state snapshot
+    /// taken mid-stream restores to a generator that replays the exact
+    /// continuation.
+    #[test]
+    fn prop_rng_cursor_round_trips(seed in 0u64..u64::MAX, advance in 0usize..256) {
+        let mut g = DetRng::new(seed);
+        for _ in 0..advance {
+            let _ = g.next_u64();
+        }
+        let mut restored = DetRng::from_state(g.state());
+        prop_assert_eq!(&restored, &g);
+        for _ in 0..64 {
+            prop_assert_eq!(restored.next_u64(), g.next_u64());
+        }
+    }
+}
