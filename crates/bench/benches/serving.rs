@@ -27,6 +27,16 @@ fn bench_serving(c: &mut Criterion) {
         b.iter(|| black_box(p.times(N, 7).len()))
     });
 
+    g.bench_function("fault_schedule_generate", |b| {
+        // Seeded fault-event generation: the per-point setup cost a
+        // cluster_faults sweep adds over its fault-free sibling.
+        let spec = simkit::FaultSpec::parse("failstop:16000").expect("fault spec");
+        b.iter(|| {
+            let sched = simkit::FaultSchedule::generate(spec, 2024, 4, 100_000_000);
+            black_box(sched.events().len())
+        })
+    });
+
     g.bench_function("latency_hist_record", |b| {
         // Record + tail read: the per-query accounting cost.
         let samples: Vec<u64> = {

@@ -188,22 +188,32 @@ fn scenario_rows_json(rows: &[pifs_bench::scenario::ResultRow]) -> serde_json::V
     )
 }
 
-/// Validates axes whose semantics are shared across scenarios (`model`,
-/// `scheme`, `trace`) before any simulation starts, so typos die with a
-/// clean message instead of panicking inside a worker thread.
+/// Validates axes whose semantics are shared across scenarios
+/// (`model`, `scheme`, `trace`, `arrival`, `policy`, `fault`, `shed`)
+/// before any simulation starts, so typos die with a clean message —
+/// the parser's own, where the spelling has structure — instead of
+/// panicking inside a worker thread.
 fn validate_axis_values(key: &str, values: &[ParamValue]) {
     for value in values {
         let spelled = value.to_string();
-        let ok = match key {
-            "model" => dlrm::ModelConfig::by_name(&spelled).is_some(),
-            "scheme" => baselines::Scheme::all()
+        let why = match key {
+            "model" => (dlrm::ModelConfig::by_name(&spelled).is_none())
+                .then(|| format!("unknown model {spelled:?}")),
+            "scheme" => (!baselines::Scheme::all()
                 .iter()
-                .any(|s| s.label().eq_ignore_ascii_case(&spelled)),
-            "trace" => tracegen::Distribution::parse(&spelled).is_some(),
-            _ => true, // scenario-specific; checked by its run function
+                .any(|s| s.label().eq_ignore_ascii_case(&spelled)))
+            .then(|| format!("unknown scheme {spelled:?}")),
+            "trace" => (tracegen::Distribution::parse(&spelled).is_none())
+                .then(|| format!("unknown trace distribution {spelled:?}")),
+            // The rate is per-point; validate the spelling at a dummy 1 qps.
+            "arrival" => tracegen::ArrivalProcess::parse(&spelled, 1.0).err(),
+            "policy" => pifs_core::engine::cluster::ShardPolicy::parse(&spelled).err(),
+            "fault" => simkit::FaultSpec::parse(&spelled).err(),
+            "shed" => pifs_core::system::ShedPolicy::parse(&spelled).err(),
+            _ => None, // scenario-specific; checked by its run function
         };
-        if !ok {
-            die(&format!("--param {key}: unknown value {spelled:?}"));
+        if let Some(why) = why {
+            die(&format!("--param {key}: {why}"));
         }
     }
 }

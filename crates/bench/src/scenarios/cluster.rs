@@ -86,9 +86,9 @@ fn setup(p: &Point) -> ClusterSetup {
     let qps = p.f64("qps");
     let arrival_spec = p.str("arrival");
     let process = ArrivalProcess::parse(arrival_spec, qps)
-        .unwrap_or_else(|| panic!("param \"arrival\": bad spec {arrival_spec:?} at {qps} qps"));
-    let policy = ShardPolicy::parse(p.str("policy"))
-        .unwrap_or_else(|| panic!("param \"policy\": bad spec {:?}", p.str("policy")));
+        .unwrap_or_else(|e| panic!("param \"arrival\": {e}"));
+    let policy =
+        ShardPolicy::parse(p.str("policy")).unwrap_or_else(|e| panic!("param \"policy\": {e}"));
     let nodes = p.u64("nodes") as u16;
 
     let mut node = scale_buffers(SystemConfig::pifs_rec(m.clone()));
@@ -139,11 +139,16 @@ fn run_node_part(p: &Point, part: usize) -> Value {
     let mut node = SlsSystem::new(s.cfg.node.clone());
     node.open_loop_begin(s.spec.trace.n_tables, OpenLoopOpts::default());
     let mut stream = s.spec.stream();
-    route_stream(&s.placement, &mut stream, |shard, at, sub| {
-        if shard == part {
-            node.open_loop_push(at, sub);
-        }
-    });
+    route_stream(
+        &s.placement,
+        &s.cfg.faults,
+        &mut stream,
+        |shard, at, sub| {
+            if shard == part {
+                node.open_loop_push(at, sub);
+            }
+        },
+    );
     let met = node.open_loop_finish();
     json!({
         "completions_ns": met.completion.iter().map(|t| t.as_ns()).collect::<Vec<u64>>(),
@@ -181,8 +186,17 @@ fn merge_node_parts(p: &Point, parts: Vec<Value>) -> Value {
         .collect();
     let mut stream = s.spec.stream();
     let replay = stream.clone();
-    let routed = route_stream(&s.placement, &mut stream, |_, _, _| {});
-    let met = merge_streamed(&s.cfg, &s.placement, &replay, &routed, &refs, &makespans);
+    let routed = route_stream(&s.placement, &s.cfg.faults, &mut stream, |_, _, _| {});
+    let sheds: Vec<&[u64]> = vec![&[]; refs.len()];
+    let met = merge_streamed(
+        &s.cfg,
+        &s.placement,
+        &replay,
+        &routed,
+        &refs,
+        &sheds,
+        &makespans,
+    );
 
     let qps = p.f64("qps");
     let last_arrival_ns = routed.arrivals.last().map_or(0, |t| t.as_ns());

@@ -93,7 +93,7 @@ fn run_diurnal_point(p: &Point) -> Value {
     );
     let arrival_spec = p.str("arrival");
     let process = ArrivalProcess::parse(arrival_spec, qps)
-        .unwrap_or_else(|| panic!("param \"arrival\": bad spec {arrival_spec:?} at {qps} qps"));
+        .unwrap_or_else(|e| panic!("param \"arrival\": {e}"));
 
     let mut cfg = scale_buffers(p.scheme().config(m.clone()));
     cfg.apply_knob("serving.max_wait_us", MAX_WAIT_US)

@@ -1,0 +1,411 @@
+//! The `cluster_faults` scenario: resilient serving under injected
+//! faults.
+//!
+//! [`CLUSTER_FAULTS`] holds a 4-node RMC1 cluster at fixed placement
+//! (`row_hash`, Poisson arrivals) and sweeps the seeded fault schedule
+//! (fail-stop, slow-down, link degradation — [`simkit::faults`]) ×
+//! SLA-aware shedding × hot-row replication × offered rate, reporting
+//! the three resilience curves the fault-free `cluster_qps` family
+//! cannot: **p99 of the answers that did complete, availability
+//! (full-coverage fraction), and mean per-query coverage**. The
+//! summary turns the curves into the capacity question operators
+//! actually ask — how much *stable* QPS does each fault family cost
+//! against the fault-free frontier, and what does re-buying that
+//! headroom cost in [`tco`] dollars.
+//!
+//! Comparability conventions match `cluster_qps`: trace seeded from
+//! the model, arrivals from `(model, arrival, qps)` — and the fault
+//! schedule from `(model, fault)` only, so every (shed, replicas, qps)
+//! cell of a fault row faces the *identical* event sequence (the
+//! horizon-prefix property of [`FaultSchedule::generate`] keeps
+//! schedules agreeing across qps-dependent horizons). The `fault=none`
+//! column is byte-identical to an un-faulted build of the same
+//! workload — the zero-overhead bar the golden suite pins.
+//!
+//! Points decompose into one sub-point part per node, exactly as
+//! `cluster_qps`: parts re-derive the seeded stream, route it with the
+//! liveness-aware router, and return completion vectors plus the
+//! local qids their shedder refused; `merge` replays the degraded
+//! router merge and the exact functional plane.
+
+use pifs_core::engine::cluster::{
+    merge_streamed, route_stream, ClusterConfig, ShardPlacement, ShardPolicy,
+};
+use pifs_core::system::{OpenLoopOpts, SlsSystem, SystemConfig};
+use serde_json::{json, Value};
+use simkit::{FaultSchedule, FaultSpec, SimTime};
+use tracegen::{ArrivalProcess, QueryStreamSpec};
+
+use crate::scenario::{workload_seed, GridScenario, ParamSpec, Point, PointParts, ResultRow};
+use crate::{scale_buffers, STD_BATCHES, STD_BATCH_SIZE};
+
+/// Queries per serving run (matches the cluster family).
+const SERVE_QUERIES: usize = (STD_BATCHES * STD_BATCH_SIZE) as usize;
+
+/// Fleet size. Fixed: the resilience axes are the sweep, not scale-out
+/// (that is `cluster_qps`).
+const NODES: u16 = 4;
+
+/// Batcher max-wait, µs (same floor as the latency/cluster families).
+const MAX_WAIT_US: &str = "10";
+
+/// Deadline the SLA-aware shedder refuses work against, µs. Tighter
+/// than the frontier's p99 bar ([`P99_SLA_NS`]): a query is refused
+/// only when even the least-loaded host cannot *start* it inside this
+/// budget, which a 25 µs end-to-end p99 run never trips — 8 µs puts
+/// the trigger right at the overload knee of the swept rates.
+const SLA_US: &str = "8";
+
+/// Router-side deadline for cross-shard partials, ns. 100 µs: far
+/// above the healthy merge tail, so only fault-stretched partials
+/// trip it.
+const PARTIAL_TIMEOUT_NS: u64 = 100_000;
+
+/// Saturation fraction (see `latency.rs`).
+const SATURATION_FRAC: f64 = 0.90;
+
+/// The p99 SLA of the stable-QPS frontier, ns (same bar as
+/// `cluster_qps`).
+const P99_SLA_NS: f64 = 25_000.0;
+
+/// Availability floor of the frontier: a cell must answer at least
+/// this fraction of offered queries at full coverage to count as
+/// stable.
+const AVAILABILITY_BAR: f64 = 0.5;
+
+/// The fault axis: the fault-free bar, three fail-stop rates (events
+/// per node-second — chosen so deaths land inside the ~100 µs serving
+/// window), one slow-down family and one link-degradation family.
+const FAULT_AXIS: [&str; 6] = [
+    "none",
+    "failstop:4000",
+    "failstop:16000",
+    "failstop:64000",
+    "slow:16000:4",
+    "link:16000:8",
+];
+
+/// Everything a point's parts and merge share, rebuilt
+/// deterministically on both sides.
+struct FaultSetup {
+    cfg: ClusterConfig,
+    spec: QueryStreamSpec,
+    placement: ShardPlacement,
+}
+
+fn setup(p: &Point) -> FaultSetup {
+    let m = p.model();
+    let qps = p.f64("qps");
+    let fault = FaultSpec::parse(p.str("fault")).unwrap_or_else(|e| panic!("param \"fault\": {e}"));
+    let process =
+        ArrivalProcess::parse("poisson", qps).unwrap_or_else(|e| panic!("param \"qps\": {e}"));
+
+    let mut node = scale_buffers(SystemConfig::pifs_rec(m.clone()));
+    node.apply_knob("serving.max_wait_us", MAX_WAIT_US)
+        .expect("max_wait_us knob");
+    node.apply_knob("serving.shed_policy", p.str("shed"))
+        .unwrap_or_else(|e| panic!("param \"shed\": {e}"));
+    node.apply_knob("serving.sla_us", SLA_US)
+        .expect("sla_us knob");
+
+    // Same queries for every point of a model; same timestamps for
+    // every (fault, shed, replicas) cell at a given qps; same fault
+    // events for every (shed, replicas, qps) cell of a fault row.
+    let trace_seed = workload_seed(crate::SEED, &[p.get("model").expect("model param")]);
+    let arrival_seed = workload_seed(
+        crate::SEED,
+        &[
+            p.get("model").expect("model param"),
+            p.get("qps").expect("qps param"),
+        ],
+    );
+    let fault_seed = workload_seed(
+        crate::SEED,
+        &[
+            p.get("model").expect("model param"),
+            p.get("fault").expect("fault param"),
+        ],
+    );
+    node.seed = trace_seed;
+    let spec = QueryStreamSpec {
+        trace: tracegen::TraceSpec {
+            distribution: crate::meta_distribution(),
+            n_tables: m.n_tables,
+            rows_per_table: m.emb_num,
+            batch_size: STD_BATCH_SIZE,
+            n_batches: STD_BATCHES,
+            bag_size: m.bag_size,
+            seed: trace_seed,
+        },
+        arrival: process,
+        arrival_seed,
+    };
+
+    // Cover the offered window with headroom; the horizon-prefix
+    // property keeps the schedule consistent across qps cells.
+    let horizon_ns = (SERVE_QUERIES as f64 / qps * 1.5e9).ceil() as u64;
+    let mut cfg = ClusterConfig::new(NODES, ShardPolicy::RowHash, node);
+    cfg.hot_rows_per_table = p.u64("replicas") as u32;
+    cfg.faults = FaultSchedule::generate(fault, fault_seed, NODES, horizon_ns);
+    cfg.partial_timeout_ns = Some(PARTIAL_TIMEOUT_NS);
+    let placement = ShardPlacement::build_streamed(&cfg, &spec.stream());
+    FaultSetup {
+        cfg,
+        spec,
+        placement,
+    }
+}
+
+/// Runs node `part` of the point's cluster: streams the shared
+/// workload through the liveness-aware router, pushing only this
+/// shard's routed sub-bags into a fresh (slowdown-scheduled, possibly
+/// shedding) node session.
+fn run_node_part(p: &Point, part: usize) -> Value {
+    let s = setup(p);
+    let mut node = SlsSystem::new(s.cfg.node.clone());
+    node.set_slowdowns(s.cfg.faults.slow_intervals(part as u16));
+    node.open_loop_begin(s.spec.trace.n_tables, OpenLoopOpts::default());
+    let mut stream = s.spec.stream();
+    route_stream(
+        &s.placement,
+        &s.cfg.faults,
+        &mut stream,
+        |shard, at, sub| {
+            if shard == part {
+                node.open_loop_push(at, sub);
+            }
+        },
+    );
+    let met = node.open_loop_finish();
+    json!({
+        "completions_ns": met.completion.iter().map(|t| t.as_ns()).collect::<Vec<u64>>(),
+        "shed_qids": met.shed_qids,
+        "queries": met.queries,
+        "shed": met.shed,
+        "makespan_ns": met.makespan_ns,
+    })
+}
+
+/// Merges the nodes' part values into the point row: replay the
+/// degraded router merge (failover, sheds, timeouts, hedges) over the
+/// completion vectors, then attach the exact functional checksum and
+/// the resilience accounting.
+fn merge_node_parts(p: &Point, parts: Vec<Value>) -> Value {
+    let s = setup(p);
+    let completions: Vec<Vec<SimTime>> = parts
+        .iter()
+        .map(|v| {
+            v.get("completions_ns")
+                .and_then(Value::as_array)
+                .expect("part carries completions_ns")
+                .iter()
+                .map(|n| SimTime::from_ns(n.as_u64().expect("ns value")))
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&[SimTime]> = completions.iter().map(Vec::as_slice).collect();
+    let makespans: Vec<u64> = parts
+        .iter()
+        .map(|v| {
+            v.get("makespan_ns")
+                .and_then(Value::as_u64)
+                .expect("part carries makespan_ns")
+        })
+        .collect();
+    let mut stream = s.spec.stream();
+    let replay = stream.clone();
+    let routed = route_stream(&s.placement, &s.cfg.faults, &mut stream, |_, _, _| {});
+    // Nodes shed by local qid; the merge keys on global qids.
+    let sheds: Vec<Vec<u64>> = parts
+        .iter()
+        .enumerate()
+        .map(|(n, v)| {
+            v.get("shed_qids")
+                .and_then(Value::as_array)
+                .expect("part carries shed_qids")
+                .iter()
+                .map(|lq| routed.qids[n][lq.as_u64().expect("local qid") as usize])
+                .collect()
+        })
+        .collect();
+    let shed_refs: Vec<&[u64]> = sheds.iter().map(Vec::as_slice).collect();
+    let met = merge_streamed(
+        &s.cfg,
+        &s.placement,
+        &replay,
+        &routed,
+        &refs,
+        &shed_refs,
+        &makespans,
+    );
+
+    let qps = p.f64("qps");
+    let last_arrival_ns = routed.arrivals.last().map_or(0, |t| t.as_ns());
+    let saturated = (last_arrival_ns as f64) < SATURATION_FRAC * met.makespan_ns as f64;
+    json!({
+        "offered_qps": qps,
+        "achieved_qps": met.achieved_qps(),
+        "saturated": saturated,
+        "p50_ns": met.latency.percentile(0.50),
+        "p99_ns": met.latency.percentile(0.99),
+        "mean_ns": met.latency.mean_ns(),
+        "queries": met.queries,
+        "fully_served": met.fully_served,
+        "degraded": met.degraded,
+        "shed": met.shed,
+        "lost": met.lost,
+        "timeouts": met.timeouts,
+        "hedges": met.hedges,
+        "failovers": met.failovers,
+        "availability": met.availability(),
+        "mean_coverage": met.mean_coverage,
+        "total_lookups": met.total_lookups,
+        "served_lookups": met.served_lookups,
+        "makespan_ns": met.makespan_ns,
+        "mean_fanout": met.mean_fanout,
+        "agg_bytes": met.agg_bytes,
+        "checksum": met.checksum,
+        "fault_events": s.cfg.faults.events().len(),
+    })
+}
+
+/// Composes parts + merge so the plain `run` contract holds by
+/// construction.
+fn run_faults_point(p: &Point) -> Value {
+    let n = NODES as usize;
+    merge_node_parts(p, (0..n).map(|i| run_node_part(p, i)).collect())
+}
+
+fn get_f64(row: &ResultRow, key: &str) -> f64 {
+    row.data
+        .get(key)
+        .and_then(Value::as_f64)
+        .unwrap_or_else(|| panic!("row carries {key}"))
+}
+
+fn param(row: &ResultRow, name: &str) -> String {
+    row.params
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.to_string())
+        .unwrap_or_else(|| panic!("row carries param {name}"))
+}
+
+fn is_saturated(row: &ResultRow) -> bool {
+    row.data.get("saturated").and_then(Value::as_bool) == Some(true)
+}
+
+/// A resilience curve's key: (fault, shed, replicas).
+type CurveKey = (String, String, u64);
+
+/// Groups rows by (fault, shed, replicas), preserving grid order
+/// (`qps` is the innermost axis, so each group is a contiguous
+/// ascending-qps chunk).
+fn curves(rows: &[ResultRow]) -> Vec<(CurveKey, Vec<&ResultRow>)> {
+    let mut out: Vec<(CurveKey, Vec<&ResultRow>)> = Vec::new();
+    for row in rows {
+        let key = (
+            param(row, "fault"),
+            param(row, "shed"),
+            param(row, "replicas")
+                .parse::<u64>()
+                .expect("replicas param"),
+        );
+        match out.last_mut() {
+            Some((k, group)) if *k == key => group.push(row),
+            _ => out.push((key, vec![row])),
+        }
+    }
+    out
+}
+
+/// The operator headline: per fault family, the highest offered rate
+/// any (shed, replicas) cell sustains — unsaturated, p99 under the
+/// SLA, availability above the bar — and what re-buying the headroom
+/// the fault ate costs at [`tco::SystemBom::pifs_rec`] node pricing.
+fn stable_frontier(rows: &[ResultRow]) -> Value {
+    let node_tco = tco::SystemBom::pifs_rec(410, 1638).tco().total_usd();
+    let stable_qps = |fault: &str| -> f64 {
+        rows.iter()
+            .filter(|r| {
+                param(r, "fault") == fault
+                    && !is_saturated(r)
+                    && get_f64(r, "p99_ns") <= P99_SLA_NS
+                    && get_f64(r, "availability") >= AVAILABILITY_BAR
+            })
+            .map(|r| get_f64(r, "offered_qps"))
+            .fold(0.0f64, f64::max)
+    };
+    let baseline = stable_qps("none");
+    let mut per_fault: Vec<Value> = Vec::new();
+    for fault in FAULT_AXIS {
+        let stable = stable_qps(fault);
+        // Fleet factor to restore the fault-free frontier: extra
+        // nodes bought pro rata to the stable-QPS shortfall. Null when
+        // no cell of the fault row is stable at all.
+        let (overprovision, extra_tco) = if stable > 0.0 {
+            let f = baseline / stable;
+            (json!(f), json!(node_tco * NODES as f64 * (f - 1.0)))
+        } else {
+            (Value::Null, Value::Null)
+        };
+        per_fault.push(json!({
+            "fault": fault,
+            "max_stable_qps": stable,
+            "overprovision_factor": overprovision,
+            "extra_fleet_tco_usd": extra_tco,
+        }));
+    }
+    json!(per_fault)
+}
+
+/// `cluster_faults`: resilience curves (p99 / availability / coverage
+/// vs offered QPS) per fault family × shed policy × replication, with
+/// the fault-tax stable-QPS frontier.
+pub static CLUSTER_FAULTS: GridScenario = GridScenario {
+    id: "cluster_faults",
+    title: "Cluster serving under injected faults (availability, coverage, fault-tax frontier)",
+    params: || {
+        vec![
+            ParamSpec::strs("model", ["RMC1"]),
+            ParamSpec::strs("fault", FAULT_AXIS),
+            ParamSpec::strs("shed", ["none", "deadline"]),
+            ParamSpec::u64s("replicas", [0, 64]),
+            ParamSpec::u64s("qps", [4_000_000, 16_000_000, 128_000_000]),
+        ]
+    },
+    points: None,
+    run: run_faults_point,
+    parts: Some(PointParts {
+        count: |_| NODES as usize,
+        run: run_node_part,
+        merge: merge_node_parts,
+    }),
+    summarize: |rows| {
+        let mut curve_objs = serde_json::Map::new();
+        for ((fault, shed, replicas), group) in curves(rows) {
+            curve_objs.insert(
+                format!("{fault}/{shed}/r{replicas}"),
+                json!({
+                    "offered_qps": group.iter().map(|r| get_f64(r, "offered_qps")).collect::<Vec<f64>>(),
+                    "p99_ns": group.iter().map(|r| get_f64(r, "p99_ns")).collect::<Vec<f64>>(),
+                    "availability": group.iter().map(|r| get_f64(r, "availability")).collect::<Vec<f64>>(),
+                    "mean_coverage": group.iter().map(|r| get_f64(r, "mean_coverage")).collect::<Vec<f64>>(),
+                    "shed": group.iter().map(|r| get_f64(r, "shed")).collect::<Vec<f64>>(),
+                    "failovers": group.iter().map(|r| get_f64(r, "failovers")).collect::<Vec<f64>>(),
+                }),
+            );
+        }
+        json!({
+            "queries_per_point": SERVE_QUERIES,
+            "nodes": NODES,
+            "p99_sla_ns": P99_SLA_NS,
+            "availability_bar": AVAILABILITY_BAR,
+            "partial_timeout_ns": PARTIAL_TIMEOUT_NS,
+            "curves": Value::Object(curve_objs),
+            "stable_qps_frontier": stable_frontier(rows),
+        })
+    },
+    free_params: false,
+    in_all: false,
+};

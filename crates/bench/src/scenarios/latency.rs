@@ -65,7 +65,7 @@ fn run_serving_point(p: &crate::scenario::Point) -> Value {
     let qps = p.f64("qps");
     let arrival_spec = p.str("arrival");
     let process = ArrivalProcess::parse(arrival_spec, qps)
-        .unwrap_or_else(|| panic!("param \"arrival\": bad spec {arrival_spec:?} at {qps} qps"));
+        .unwrap_or_else(|e| panic!("param \"arrival\": {e}"));
 
     let mut cfg = scale_buffers(p.scheme().config(m.clone()));
     cfg.apply_knob(

@@ -18,6 +18,7 @@ pub mod characterization;
 pub mod cluster;
 pub mod custom;
 pub mod diurnal;
+pub mod faults;
 pub mod latency;
 pub mod pm;
 pub mod scaling;
@@ -29,7 +30,7 @@ pub fn all() -> Vec<&'static dyn Scenario> {
     ALL.iter().map(|s| *s as &dyn Scenario).collect()
 }
 
-static ALL: [&GridScenario; 24] = [
+static ALL: [&GridScenario; 25] = [
     &analytic::TABLE1,
     &analytic::TABLE2,
     &characterization::FIG5,
@@ -53,5 +54,6 @@ static ALL: [&GridScenario; 24] = [
     &latency::LATENCY_WAIT,
     &diurnal::LATENCY_DIURNAL,
     &cluster::CLUSTER_QPS,
+    &faults::CLUSTER_FAULTS,
     &custom::CUSTOM,
 ];

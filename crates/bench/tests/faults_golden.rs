@@ -1,0 +1,251 @@
+//! Golden-snapshot and determinism regression for the resilience
+//! `cluster_faults` sweep.
+//!
+//! `tests/golden/cluster_faults.jsonl` was captured when the fault-
+//! injection layer landed. The sweep's JSONL output must stay
+//! byte-identical to it for any runner thread count — the cluster
+//! determinism bar extended through the seeded fault schedules, the
+//! liveness-aware router, the degraded merge, and the SLA shedder. If
+//! a change to the *model* legitimately alters the numbers, recapture
+//! with `repro -- cluster_faults` and say so in the commit.
+
+use pifs_bench::runner::SweepRunner;
+use pifs_bench::scenario::{find, point_seed, Point, Scenario};
+use serde_json::Value;
+
+fn golden_lines() -> Vec<String> {
+    let raw = include_str!("golden/cluster_faults.jsonl");
+    raw.lines().map(str::to_string).collect()
+}
+
+/// Rebuilds the grid points at `indices` exactly as the full grid
+/// assigns them, so their rows are byte-comparable against the
+/// matching golden lines.
+fn fault_points(scenario: &dyn Scenario, indices: &[usize]) -> Vec<Point> {
+    let all = scenario.points();
+    indices
+        .iter()
+        .map(|&i| {
+            let p = &all[i];
+            assert_eq!(p.index, i, "registry grid must be in row-major order");
+            assert_eq!(p.seed, point_seed(pifs_bench::SEED, i));
+            Point::new(p.index, p.seed, p.params().to_vec())
+        })
+        .collect()
+}
+
+/// Debug-friendly 4-point subset covering each resilience mechanism
+/// once: the zero-fault bar, a fail-stop cell that degrades, the same
+/// cell with replicas failing over, and the deadline shedder at the
+/// overload rate — byte-compared against the golden lines (the CI
+/// smoke gate), then cross-checked for the semantics each row pins.
+#[test]
+fn cluster_faults_subset_rows_match_golden_snapshot() {
+    let scenario = find("cluster_faults").expect("cluster_faults registered");
+    let golden = golden_lines();
+    assert_eq!(golden.len(), scenario.points().len());
+    // Grid: fault (6) x shed (2) x replicas (2) x qps (3), qps
+    // fastest. Row 0 = none/none/r0 @ 4M, 8 = none/deadline/r0 @
+    // 128M, 24 = failstop:16000/none/r0 @ 4M, 27 = same fault with 64
+    // replicas/table.
+    let indices = [0usize, 8, 24, 27];
+    let points = fault_points(scenario, &indices);
+    assert_eq!(points[0].str("fault"), "none");
+    assert_eq!(points[1].str("shed"), "deadline");
+    assert_eq!(points[2].str("fault"), "failstop:16000");
+    assert_eq!(points[3].u64("replicas"), 64);
+    let rows = SweepRunner::new(2).run_points(scenario, points);
+    for (row, &i) in rows.iter().zip(&indices) {
+        assert_eq!(
+            row.to_jsonl(),
+            golden[i],
+            "cluster_faults row {i} drifted from the golden snapshot"
+        );
+    }
+    let get = |r: usize, key: &str| -> f64 {
+        rows[r]
+            .data
+            .get(key)
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| panic!("row {r} carries {key}"))
+    };
+    assert_eq!(
+        get(0, "availability"),
+        1.0,
+        "fault-free runs answer everything"
+    );
+    assert!(
+        get(1, "shed") > 0.0,
+        "overload must trip the deadline shedder"
+    );
+    assert!(
+        get(2, "availability") < 1.0,
+        "fail-stop deaths must cost availability"
+    );
+    assert!(
+        get(3, "mean_coverage") > get(2, "mean_coverage"),
+        "replication must recover coverage"
+    );
+    assert!(get(3, "failovers") > 0.0, "replicas must absorb failovers");
+}
+
+/// The fault sweep is byte-identical across runner thread counts —
+/// rows and summary both. At 4 threads different workers simulate
+/// different nodes of the same faulted point, and the degraded merge
+/// must not care.
+#[test]
+fn cluster_faults_is_thread_count_independent() {
+    let scenario = find("cluster_faults").expect("cluster_faults registered");
+    let points = |_: ()| {
+        let all = scenario.points();
+        if cfg!(debug_assertions) {
+            // Same subset as the golden smoke test (keeps debug CI
+            // fast) — 16 node-simulations across the 4 points.
+            fault_points(scenario, &[0, 8, 24, 27])
+        } else {
+            all
+        }
+    };
+    let serial = SweepRunner::new(1).run_points(scenario, points(()));
+    let parallel = SweepRunner::new(4).run_points(scenario, points(()));
+    let jsonl = |rows: &[pifs_bench::scenario::ResultRow]| {
+        rows.iter().map(|r| r.to_jsonl()).collect::<Vec<_>>()
+    };
+    assert_eq!(
+        jsonl(&serial),
+        jsonl(&parallel),
+        "cluster_faults rows drifted"
+    );
+    let summary = |rows| serde_json::to_string_pretty(&scenario.summarize(rows)).unwrap();
+    assert_eq!(
+        summary(&serial),
+        summary(&parallel),
+        "cluster_faults summary drifted"
+    );
+}
+
+/// The full 72-point grid, byte-identical end to end, plus the
+/// acceptance properties the issue pins: availability falls strictly
+/// as the fail-stop rate rises (at the stable rate, bare fleet),
+/// replication strictly recovers coverage at every fail-stop rate,
+/// timing-only faults keep every query answered at full coverage, the
+/// deadline shedder never worsens the overload tail, and the stable-
+/// QPS frontier answers (with a TCO figure) for every recoverable
+/// fault family. Release-only.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full grid is release-only; run with --release -- --ignored"
+)]
+fn cluster_faults_full_grid_matches_golden_snapshot() {
+    let scenario = find("cluster_faults").expect("cluster_faults registered");
+    let golden = golden_lines();
+    let rows = SweepRunner::new(4).run(scenario);
+    let produced: Vec<String> = rows.iter().map(|r| r.to_jsonl()).collect();
+    assert_eq!(produced, golden);
+
+    let cell = |fault: &str, shed: &str, replicas: u64, qps: u64| {
+        rows.iter()
+            .find(|r| {
+                let p = |n: &str| {
+                    r.params
+                        .iter()
+                        .find(|(name, _)| name == n)
+                        .map(|(_, v)| v.to_string())
+                        .expect("param")
+                };
+                p("fault") == fault
+                    && p("shed") == shed
+                    && p("replicas") == replicas.to_string()
+                    && p("qps") == qps.to_string()
+            })
+            .unwrap_or_else(|| panic!("cell {fault}/{shed}/r{replicas}/{qps} present"))
+    };
+    let get = |row: &pifs_bench::scenario::ResultRow, key: &str| -> f64 {
+        row.data
+            .get(key)
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| panic!("row carries {key}"))
+    };
+
+    // Availability strictly decreasing as the fail-stop rate rises.
+    let failstops = ["none", "failstop:4000", "failstop:16000", "failstop:64000"];
+    let avail: Vec<f64> = failstops
+        .iter()
+        .map(|f| get(cell(f, "none", 0, 4_000_000), "availability"))
+        .collect();
+    for (pair, w) in avail.windows(2).enumerate() {
+        assert!(
+            w[0] > w[1],
+            "availability must fall strictly with the fail-stop rate \
+             ({} -> {}: {} vs {})",
+            failstops[pair],
+            failstops[pair + 1],
+            w[0],
+            w[1]
+        );
+    }
+    // Replication strictly recovers coverage at every fail-stop rate.
+    for fault in &failstops[1..] {
+        let bare = get(cell(fault, "none", 0, 4_000_000), "mean_coverage");
+        let replicated = get(cell(fault, "none", 64, 4_000_000), "mean_coverage");
+        assert!(
+            replicated > bare,
+            "{fault}: replication must recover coverage ({replicated} vs {bare})"
+        );
+    }
+    // Timing-only faults lose nothing: every query answered, full
+    // coverage, and the same functional checksum as the clean run.
+    for fault in ["slow:16000:4", "link:16000:8"] {
+        for qps in [4_000_000, 16_000_000] {
+            let row = cell(fault, "none", 0, qps);
+            assert_eq!(get(row, "availability"), 1.0, "{fault}@{qps}: availability");
+            assert_eq!(get(row, "mean_coverage"), 1.0, "{fault}@{qps}: coverage");
+            assert_eq!(
+                get(row, "checksum").to_bits(),
+                get(cell("none", "none", 0, qps), "checksum").to_bits(),
+                "{fault}@{qps}: timing faults cannot move a checksum bit"
+            );
+        }
+    }
+    // The deadline shedder sheds at the overload rate and never
+    // worsens the tail of the answers that do complete.
+    let open = cell("none", "none", 0, 128_000_000);
+    let shedding = cell("none", "deadline", 0, 128_000_000);
+    assert!(
+        get(shedding, "shed") > 0.0,
+        "overload must trip the shedder"
+    );
+    assert!(
+        get(shedding, "p99_ns") <= get(open, "p99_ns"),
+        "shedding must not worsen the overload tail"
+    );
+
+    let summary = scenario.summarize(&rows);
+    let frontier = summary
+        .get("stable_qps_frontier")
+        .and_then(Value::as_array)
+        .expect("frontier");
+    assert_eq!(frontier.len(), 6, "one frontier answer per fault family");
+    let entry = |fault: &str| -> &Value {
+        frontier
+            .iter()
+            .find(|e| e.get("fault").and_then(Value::as_str) == Some(fault))
+            .expect("frontier entry")
+    };
+    assert_eq!(
+        entry("none")
+            .get("overprovision_factor")
+            .and_then(Value::as_f64),
+        Some(1.0),
+        "the fault-free fleet needs no headroom"
+    );
+    for fault in ["slow:16000:4", "link:16000:8"] {
+        assert!(
+            entry(fault)
+                .get("extra_fleet_tco_usd")
+                .is_some_and(|v| v.as_f64().is_some()),
+            "{fault}: recoverable families price their headroom"
+        );
+    }
+}

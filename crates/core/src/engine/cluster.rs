@@ -37,6 +37,37 @@
 //! property that lets the bench runner fan the per-node sims out as
 //! sub-point parts.
 //!
+//! # Resilience
+//!
+//! A [`ClusterConfig::faults`] schedule (seeded, pure data — see
+//! [`simkit::faults`]) makes nodes die, slow down, or the aggregation
+//! link degrade, and the layer answers in kind:
+//!
+//! * **Failover** — routing consults node liveness at each query's
+//!   arrival instant. A dead shard's replicated rows fail over to a
+//!   live shard (the replica set covers them); its unreplicated rows
+//!   are *lost* and the query completes in **degraded mode**, its
+//!   per-query coverage (fraction of lookups served) accounted
+//!   exactly. Full-coverage answers stay bit-identical to the
+//!   fault-free run — the f64 merge plane is exact, so regrouping
+//!   partials around a failover cannot move a bit.
+//! * **Partial timeout + hedge** — with
+//!   [`ClusterConfig::partial_timeout_ns`] set, a cross-shard partial
+//!   landing after `arrival + timeout` counts a timeout; if every row
+//!   of that partial is replicated, the router's one deterministic
+//!   hedged retry answers from a replica at `arrival + timeout + hop`,
+//!   otherwise the partial's lookups are lost and the merge proceeds
+//!   degraded.
+//! * **Shedding** — per-node admission control
+//!   ([`ShedPolicy`](super::serving::ShedPolicy)) surfaces here as
+//!   shed participations: a shed sub-query serves none of its lookups,
+//!   and a query shed by every participating shard counts as a shed
+//!   query, not a served one.
+//!
+//! The empty schedule takes none of these paths: a zero-fault cluster
+//! run is byte-identical to one predating this module (determinism
+//! rule 6 in ARCHITECTURE.md).
+//!
 //! [`CxlParams::inter_switch_ns`]: cxlsim::CxlParams::inter_switch_ns
 
 #![deny(missing_docs)]
@@ -44,6 +75,7 @@
 use cxlsim::FlexBusLink;
 use dlrm::EmbeddingTable;
 use pagemgmt::{HotnessTracker, PageId};
+use simkit::faults::FaultSchedule;
 use simkit::{LatencyHist, SimDuration, SimTime};
 use tracegen::{Batch, QueryStream, TableLookups, Trace};
 
@@ -71,11 +103,14 @@ pub enum ShardPolicy {
 
 impl ShardPolicy {
     /// Parses the scenario-axis spelling (`row_hash`/`table_partition`).
-    pub fn parse(s: &str) -> Option<ShardPolicy> {
+    /// The error says what was wrong, per the unified parse contract.
+    pub fn parse(s: &str) -> Result<ShardPolicy, String> {
         match s {
-            "row_hash" => Some(ShardPolicy::RowHash),
-            "table_partition" => Some(ShardPolicy::TablePartition),
-            _ => None,
+            "row_hash" => Ok(ShardPolicy::RowHash),
+            "table_partition" => Ok(ShardPolicy::TablePartition),
+            other => Err(format!(
+                "unknown shard policy {other:?} (row_hash|table_partition)"
+            )),
         }
     }
 
@@ -134,19 +169,32 @@ pub struct ClusterConfig {
     /// every shard count. Replication never changes functional results
     /// — replicas carry the same procedural values as the owner — it
     /// only lets the router co-locate a hot row's lookup with a bag's
-    /// other rows to shrink cross-shard fan-out.
+    /// other rows to shrink cross-shard fan-out, and (under faults)
+    /// gives a dead shard's rows somewhere to fail over to.
     pub hot_rows_per_table: u32,
+    /// The fault schedule this run injects (see [`simkit::faults`]).
+    /// The empty schedule — the [`Self::new`] default — keeps every
+    /// path byte-identical to a fault-free build.
+    pub faults: FaultSchedule,
+    /// Per-query deadline for cross-shard partials, ns: a partial
+    /// landing at the router after `arrival + timeout` counts a
+    /// timeout and is hedged to a replica (when its rows are all
+    /// replicated) or declared lost. `None` (the default) waits
+    /// forever, the historical behaviour.
+    pub partial_timeout_ns: Option<u64>,
     /// The configuration every node is built from.
     pub node: SystemConfig,
 }
 
 impl ClusterConfig {
-    /// A cluster of `n_shards` nodes, no replication.
+    /// A cluster of `n_shards` nodes, no replication, no faults.
     pub fn new(n_shards: u16, policy: ShardPolicy, node: SystemConfig) -> Self {
         ClusterConfig {
             n_shards,
             policy,
             hot_rows_per_table: 0,
+            faults: FaultSchedule::none(n_shards),
+            partial_timeout_ns: None,
             node,
         }
     }
@@ -266,6 +314,11 @@ impl ShardPlacement {
         }
     }
 
+    /// The routing sentinel for a lookup no live shard can serve: its
+    /// owner is dead and no replica covers it. Lost lookups are counted
+    /// into the query's coverage, never enqueued anywhere.
+    pub const LOST: u16 = u16::MAX;
+
     /// Number of shards.
     pub fn n_shards(&self) -> u16 {
         self.n_shards
@@ -306,6 +359,64 @@ impl ShardPlacement {
                 *slot = pinned.unwrap_or_else(|| self.owner(table, row));
             }
         }
+    }
+
+    /// Liveness-aware [`Self::route_bag`]: the fault schedule is
+    /// consulted at the query's arrival instant `at`. A dead owner's
+    /// replicated rows fail over — to the bag's pinned live shard, the
+    /// owner if it still lives, or the lowest live shard — while its
+    /// unreplicated rows route to [`Self::LOST`] (no copy exists
+    /// anywhere else). Returns the number of failed-over rows. With an
+    /// empty schedule this *is* `route_bag`, bit for bit.
+    pub fn route_bag_at(
+        &self,
+        table: u32,
+        rows: &[u64],
+        at: SimTime,
+        faults: &FaultSchedule,
+        out: &mut Vec<u16>,
+    ) -> u64 {
+        if faults.is_none() {
+            self.route_bag(table, rows, out);
+            return 0;
+        }
+        // Replicated rows get a placeholder distinct from LOST; dead
+        // unreplicated owners route to LOST immediately. `pinned` only
+        // ever holds a live shard.
+        const REPL: u16 = u16::MAX - 1;
+        out.clear();
+        let mut pinned: Option<u16> = None;
+        for &row in rows {
+            if self.is_replicated(table, row) {
+                out.push(REPL);
+            } else {
+                let s = self.owner(table, row);
+                if faults.alive(s, at) {
+                    pinned = Some(pinned.map_or(s, |p| p.min(s)));
+                    out.push(s);
+                } else {
+                    out.push(Self::LOST);
+                }
+            }
+        }
+        let mut failovers = 0u64;
+        for (slot, &row) in out.iter_mut().zip(rows) {
+            if *slot == REPL {
+                let owner = self.owner(table, row);
+                let owner_alive = faults.alive(owner, at);
+                *slot = match pinned {
+                    Some(p) => p,
+                    None if owner_alive => owner,
+                    None => (0..self.n_shards)
+                        .find(|&s| faults.alive(s, at))
+                        .unwrap_or(Self::LOST),
+                };
+                if !owner_alive && *slot != Self::LOST {
+                    failovers += 1;
+                }
+            }
+        }
+        failovers
     }
 }
 
@@ -402,9 +513,12 @@ impl ShardTraceBuilder {
 /// Routes `(trace, arrivals)` across the placement's shards: query `q`
 /// is split into per-shard sub-bags (each shard receives, per table,
 /// exactly the rows it serves, in bag order), and a query is enqueued
-/// only on shards serving at least one of its rows. For a 1-shard
-/// placement the sole workload reproduces the input trace's bags and
-/// arrival stream verbatim.
+/// only on shards serving at least one of its rows. Routing consults
+/// `faults` at each arrival (pass the empty schedule for the
+/// historical behaviour). For a 1-shard fault-free placement the sole
+/// workload reproduces the input trace's bags and arrival stream
+/// verbatim. Returns the per-shard workloads plus the
+/// [`RoutedStream`] record the merge keys on.
 ///
 /// # Panics
 ///
@@ -412,9 +526,10 @@ impl ShardTraceBuilder {
 /// `arrivals` exceeds the trace's sample capacity.
 pub fn shard_workloads(
     placement: &ShardPlacement,
+    faults: &FaultSchedule,
     trace: &Trace,
     arrivals: &[SimTime],
-) -> Vec<ShardWorkload> {
+) -> (Vec<ShardWorkload>, RoutedStream) {
     let capacity = trace.batches.len() as u64 * trace.batch_size as u64;
     assert!(
         arrivals.len() as u64 <= capacity,
@@ -438,37 +553,62 @@ pub fn shard_workloads(
             qids: Vec::new(),
         })
         .collect();
+    let mut routed = RoutedStream {
+        qids: vec![Vec::new(); k],
+        touched: vec![Vec::new(); k],
+        lookups: vec![Vec::new(); k],
+        hedgeable: vec![Vec::new(); k],
+        ..RoutedStream::default()
+    };
 
     // Per-query scratch: sub-bags[shard][table] and the routing vector.
     let mut sub: Vec<Vec<Vec<u64>>> = vec![vec![Vec::new(); n_tables]; k];
     let mut route: Vec<u16> = Vec::new();
+    let mut all_repl: Vec<bool> = vec![true; k];
     for (qid, &at) in arrivals.iter().enumerate() {
         let batch = qid / trace.batch_size as usize;
         let sample = (qid % trace.batch_size as usize) as u32;
+        routed.arrivals.push(at);
         for shard in sub.iter_mut() {
             for bag in shard.iter_mut() {
                 bag.clear();
             }
         }
+        all_repl.iter_mut().for_each(|r| *r = true);
+        let mut total = 0u64;
+        let mut lost = 0u64;
         for t in 0..trace.n_tables {
             let bag = trace.bag(batch, t, sample);
-            placement.route_bag(t, bag, &mut route);
+            routed.failovers += placement.route_bag_at(t, bag, at, faults, &mut route);
+            total += bag.len() as u64;
             for (&row, &s) in bag.iter().zip(&route) {
+                if s == ShardPlacement::LOST {
+                    lost += 1;
+                    continue;
+                }
                 sub[s as usize][t as usize].push(row);
+                all_repl[s as usize] &= placement.is_replicated(t, row);
             }
         }
+        routed.total_lookups.push(total);
+        routed.lost_lookups.push(lost);
         for (s, shard) in sub.iter().enumerate() {
-            if shard.iter().any(|bag| !bag.is_empty()) {
+            let tables_touched = shard.iter().filter(|bag| !bag.is_empty()).count() as u64;
+            if tables_touched > 0 {
                 builders[s].push_query(shard);
                 out[s].arrivals.push(at);
                 out[s].qids.push(qid as u64);
+                routed.qids[s].push(qid as u64);
+                routed.touched[s].push(tables_touched);
+                routed.lookups[s].push(shard.iter().map(|bag| bag.len() as u64).sum());
+                routed.hedgeable[s].push(all_repl[s]);
             }
         }
     }
     for (w, b) in out.iter_mut().zip(builders) {
         w.trace = b.finish(trace.rows_per_table, trace.bag_size);
     }
-    out
+    (out, routed)
 }
 
 /// What one cluster run measured.
@@ -495,6 +635,28 @@ pub struct ClusterMetrics {
     pub query_checksums: Vec<f64>,
     /// Each node's own serving metrics, shard-index order.
     pub per_node: Vec<ServingMetrics>,
+    /// Queries answered with every offered lookup (full coverage).
+    pub fully_served: u64,
+    /// Queries answered with at least one lookup missing (routing
+    /// loss, shed participation, or dropped partial).
+    pub degraded: u64,
+    /// Queries every participating shard shed — no answer at all.
+    pub shed: u64,
+    /// Queries with no live participant at arrival — no answer at all.
+    pub lost: u64,
+    /// Cross-shard partials that missed the per-query timeout.
+    pub timeouts: u64,
+    /// Timed-out partials answered by a deterministic replica hedge.
+    pub hedges: u64,
+    /// Lookups rerouted from a dead owner to a replica shard.
+    pub failovers: u64,
+    /// Lookups the workload offered across all queries.
+    pub total_lookups: u64,
+    /// Lookups that made it into some merged answer.
+    pub served_lookups: u64,
+    /// Mean per-query coverage (served/offered lookups), averaged over
+    /// every offered query — unanswered queries count as zero.
+    pub mean_coverage: f64,
 }
 
 impl ClusterMetrics {
@@ -504,6 +666,17 @@ impl ClusterMetrics {
             0.0
         } else {
             self.queries as f64 * 1e9 / self.makespan_ns as f64
+        }
+    }
+
+    /// Fraction of offered queries answered at full coverage — the SLO
+    /// the `cluster_faults` frontier bars on. `1.0` when nothing was
+    /// offered.
+    pub fn availability(&self) -> f64 {
+        if self.queries == 0 {
+            1.0
+        } else {
+            self.fully_served as f64 / self.queries as f64
         }
     }
 }
@@ -548,22 +721,39 @@ impl SlsCluster {
     /// arrival stream, trace exceeding the model).
     pub fn run_open_loop(&mut self, trace: &Trace, arrivals: &[SimTime]) -> ClusterMetrics {
         let placement = ShardPlacement::build(&self.cfg, trace);
-        let shards = shard_workloads(&placement, trace, arrivals);
+        let (shards, routed) = shard_workloads(&placement, &self.cfg.faults, trace, arrivals);
+        let cfg = &self.cfg;
         let per_node: Vec<ServingMetrics> = self
             .nodes
             .iter_mut()
             .zip(&shards)
-            .map(|(node, w)| node.run_open_loop(&w.trace, &w.arrivals))
+            .enumerate()
+            .map(|(s, (node, w))| {
+                node.set_slowdowns(cfg.faults.slow_intervals(s as u16));
+                node.run_open_loop(&w.trace, &w.arrivals)
+            })
             .collect();
         let completions: Vec<&[SimTime]> = per_node.iter().map(|m| &m.completion[..]).collect();
         let makespans: Vec<u64> = per_node.iter().map(|m| m.makespan_ns).collect();
+        // Nodes shed by *local* qid; the merge keys on global qids.
+        let sheds: Vec<Vec<u64>> = per_node
+            .iter()
+            .enumerate()
+            .map(|(s, pm)| {
+                pm.shed_qids
+                    .iter()
+                    .map(|&lq| routed.qids[s][lq as usize])
+                    .collect()
+            })
+            .collect();
+        let shed_refs: Vec<&[u64]> = sheds.iter().map(Vec::as_slice).collect();
         let mut merged = merge_cluster(
             &self.cfg,
             &placement,
             trace,
-            arrivals,
-            &shards,
+            &routed,
             &completions,
+            &shed_refs,
             &makespans,
         );
         merged.per_node = per_node;
@@ -593,11 +783,12 @@ impl SlsCluster {
         let placement = ShardPlacement::build_streamed(&self.cfg, stream);
         let replay = stream.clone();
         let n_tables = stream.n_tables();
-        for node in &mut self.nodes {
+        for (s, node) in self.nodes.iter_mut().enumerate() {
+            node.set_slowdowns(self.cfg.faults.slow_intervals(s as u16));
             node.open_loop_begin(n_tables, OpenLoopOpts::default());
         }
         let nodes = &mut self.nodes;
-        let routed = route_stream(&placement, stream, |s, at, sub| {
+        let routed = route_stream(&placement, &self.cfg.faults, stream, |s, at, sub| {
             nodes[s].open_loop_push(at, sub);
         });
         let per_node: Vec<ServingMetrics> = self
@@ -607,12 +798,25 @@ impl SlsCluster {
             .collect();
         let completions: Vec<&[SimTime]> = per_node.iter().map(|m| &m.completion[..]).collect();
         let makespans: Vec<u64> = per_node.iter().map(|m| m.makespan_ns).collect();
+        // Nodes shed by *local* qid; the merge keys on global qids.
+        let sheds: Vec<Vec<u64>> = per_node
+            .iter()
+            .enumerate()
+            .map(|(s, pm)| {
+                pm.shed_qids
+                    .iter()
+                    .map(|&lq| routed.qids[s][lq as usize])
+                    .collect()
+            })
+            .collect();
+        let shed_refs: Vec<&[u64]> = sheds.iter().map(Vec::as_slice).collect();
         let mut merged = merge_streamed(
             &self.cfg,
             &placement,
             &replay,
             &routed,
             &completions,
+            &shed_refs,
             &makespans,
         );
         merged.per_node = per_node;
@@ -639,12 +843,44 @@ pub fn merged_bag_embedding(
     table_idx: u32,
     bag: &[u64],
 ) -> Vec<f64> {
+    merged_bag_embedding_at(
+        placement,
+        &FaultSchedule::none(placement.n_shards),
+        SimTime::ZERO,
+        &[],
+        table,
+        table_idx,
+        bag,
+    )
+}
+
+/// Fault-aware variant of [`merged_bag_embedding`]: routes the bag at
+/// instant `at` under `faults` ([`ShardPlacement::route_bag_at`]) and
+/// merges only the surviving partials — rows routed to no live shard
+/// are skipped, as are the `excluded` shards' partial sums (the timing
+/// merge's shed and timed-out participations). With the empty schedule
+/// and no exclusions this *is* [`merged_bag_embedding`] bitwise:
+/// dropping whole partials never re-associates the surviving ones, so
+/// a full-coverage answer under faults is bit-identical to the
+/// fault-free merge.
+pub fn merged_bag_embedding_at(
+    placement: &ShardPlacement,
+    faults: &FaultSchedule,
+    at: SimTime,
+    excluded: &[u16],
+    table: &EmbeddingTable,
+    table_idx: u32,
+    bag: &[u64],
+) -> Vec<f64> {
     let dim = table.dim() as usize;
     let mut route = Vec::new();
-    placement.route_bag(table_idx, bag, &mut route);
+    placement.route_bag_at(table_idx, bag, at, faults, &mut route);
     let mut merged = vec![0.0f64; dim];
     let mut partial = vec![0.0f64; dim];
     for shard in 0..placement.n_shards {
+        if excluded.contains(&shard) {
+            continue;
+        }
         partial.iter_mut().for_each(|v| *v = 0.0);
         let mut any = false;
         for (&row, &s) in bag.iter().zip(&route) {
@@ -671,16 +907,56 @@ pub fn query_checksums(
     trace: &Trace,
     n_queries: usize,
 ) -> Vec<f64> {
-    (0..n_queries)
-        .map(|qid| {
+    let arrivals = vec![SimTime::ZERO; n_queries];
+    query_checksums_at(
+        placement,
+        &FaultSchedule::none(placement.n_shards),
+        &arrivals,
+        &[],
+        tables,
+        trace,
+    )
+}
+
+/// Fault-aware per-query checksums: each query's bags are routed at
+/// its arrival instant under `faults` and merged without the
+/// `excluded` participations `(qid, shard)` — the qid-ascending shed
+/// and dropped-partial record the timing merge emits. Full-coverage
+/// queries are bit-identical to the fault-free [`query_checksums`];
+/// an entirely unanswered query checksums to `0.0`.
+pub fn query_checksums_at(
+    placement: &ShardPlacement,
+    faults: &FaultSchedule,
+    arrivals: &[SimTime],
+    excluded: &[(u64, u16)],
+    tables: &[EmbeddingTable],
+    trace: &Trace,
+) -> Vec<f64> {
+    let mut cursor = 0usize;
+    let mut skip: Vec<u16> = Vec::new();
+    arrivals
+        .iter()
+        .enumerate()
+        .map(|(qid, &at)| {
+            skip.clear();
+            while cursor < excluded.len() && excluded[cursor].0 < qid as u64 {
+                cursor += 1;
+            }
+            while cursor < excluded.len() && excluded[cursor].0 == qid as u64 {
+                skip.push(excluded[cursor].1);
+                cursor += 1;
+            }
             let batch = qid / trace.batch_size as usize;
             let sample = (qid % trace.batch_size as usize) as u32;
             tables
                 .iter()
                 .enumerate()
                 .map(|(t, table)| {
-                    merged_bag_embedding(
+                    merged_bag_embedding_at(
                         placement,
+                        faults,
+                        at,
+                        &skip,
                         table,
                         t as u32,
                         trace.bag(batch, t as u32, sample),
@@ -695,235 +971,41 @@ pub fn query_checksums(
 
 /// Merges per-node serving runs into cluster metrics. `completions[s]`
 /// is node `s`'s run-relative per-query completion vector
-/// ([`ServingMetrics::completion`]), local-qid order, and
-/// `node_makespans[s]` its [`ServingMetrics::makespan_ns`].
+/// ([`ServingMetrics::completion`]), local-qid order (shed queries
+/// included — their entry is the arrival instant), `sheds[s]` the
+/// *global* qids node `s` shed (ascending), and `node_makespans[s]`
+/// its [`ServingMetrics::makespan_ns`].
 ///
 /// Timing plane: queries merge in qid order, shards ascending. The
-/// query's *home* shard (lowest participating index) answers directly;
-/// every other participant's partial — one response of
-/// `tables_touched × row_bytes` — serializes over the shared
-/// aggregation [`FlexBusLink`] and pays one
-/// [`inter_switch_ns`](cxlsim::CxlParams::inter_switch_ns) hop. The
-/// merged completion is the max over the home completion and the landed
-/// partials. The cluster makespan is the instant the fleet goes idle:
-/// the max over the node makespans (when every host frees), raised to
-/// any cross-shard partial that lands later — so a 1-shard cluster's
-/// makespan is *exactly* its node's.
+/// query's *home* shard (lowest participating index that did not shed
+/// it) answers directly; every other participant's partial — one
+/// response of `tables_touched × row_bytes` — serializes over the
+/// shared aggregation [`FlexBusLink`] and pays one
+/// [`inter_switch_ns`](cxlsim::CxlParams::inter_switch_ns) hop, both
+/// stretched by any active link-degradation fault. A partial landing
+/// past [`ClusterConfig::partial_timeout_ns`] is hedged to a replica
+/// (when one covers every row) or dropped, completing the query
+/// degraded. The merged completion is the max over the home completion
+/// and the landed partials. The cluster makespan is the instant the
+/// fleet goes idle: the max over the node makespans (when every host
+/// frees), raised to any cross-shard partial that lands later — so a
+/// 1-shard cluster's makespan is *exactly* its node's.
 ///
-/// Functional plane: [`query_checksums`] under the same placement.
+/// Functional plane: [`query_checksums_at`] under the same placement,
+/// fault schedule and exclusion record — full-coverage answers are
+/// bit-identical to the fault-free merge.
 ///
 /// # Panics
 ///
-/// Panics if the shard/completion/makespan shapes disagree with the
-/// workloads.
+/// Panics if the routed/completion/shed/makespan shapes disagree.
+#[allow(clippy::too_many_arguments)]
 pub fn merge_cluster(
     cfg: &ClusterConfig,
     placement: &ShardPlacement,
     trace: &Trace,
-    arrivals: &[SimTime],
-    shards: &[ShardWorkload],
-    completions: &[&[SimTime]],
-    node_makespans: &[u64],
-) -> ClusterMetrics {
-    assert_eq!(
-        shards.len(),
-        completions.len(),
-        "one completion vector per shard"
-    );
-    assert_eq!(shards.len(), node_makespans.len(), "one makespan per shard");
-    for (w, c) in shards.iter().zip(completions) {
-        assert_eq!(
-            w.qids.len(),
-            c.len(),
-            "completions must cover the shard's queries"
-        );
-    }
-    let mut m = ClusterMetrics {
-        queries: arrivals.len() as u64,
-        ..ClusterMetrics::default()
-    };
-    // Per-participation tables-touched counts, from the sub-traces'
-    // bag emptiness (the streamed path records the same counts at
-    // routing time — `merge_timing` is shared by both).
-    let qids: Vec<&[u64]> = shards.iter().map(|w| &w.qids[..]).collect();
-    let touched: Vec<Vec<u64>> = shards
-        .iter()
-        .map(|w| {
-            (0..w.qids.len())
-                .map(|li| {
-                    (0..trace.n_tables)
-                        .filter(|&t| {
-                            !w.trace
-                                .bag(
-                                    li / w.trace.batch_size as usize,
-                                    t,
-                                    (li % w.trace.batch_size as usize) as u32,
-                                )
-                                .is_empty()
-                        })
-                        .count() as u64
-                })
-                .collect()
-        })
-        .collect();
-    let touched_refs: Vec<&[u64]> = touched.iter().map(Vec::as_slice).collect();
-    merge_timing(
-        cfg,
-        arrivals,
-        &qids,
-        &touched_refs,
-        completions,
-        node_makespans,
-        &mut m,
-    );
-    m.query_checksums = query_checksums(
-        placement,
-        &functional_tables(&cfg.node.model),
-        trace,
-        arrivals.len(),
-    );
-    m.checksum = m.query_checksums.iter().sum();
-    m
-}
-
-/// The shared timing-plane merge: queries in qid order, shards
-/// ascending, home shard (lowest participating index) answering
-/// directly and every other participant's partial serializing over the
-/// aggregation link plus one inter-node hop. `qids[s]`/`touched[s]`/
-/// `completions[s]` are aligned per local query of shard `s`. Fills
-/// `latency`, `makespan_ns`, `agg_bytes` and `mean_fanout` of `m`.
-#[allow(clippy::too_many_arguments)]
-fn merge_timing(
-    cfg: &ClusterConfig,
-    arrivals: &[SimTime],
-    qids: &[&[u64]],
-    touched: &[&[u64]],
-    completions: &[&[SimTime]],
-    node_makespans: &[u64],
-    m: &mut ClusterMetrics,
-) {
-    let mut link = FlexBusLink::new(&cfg.node.cxl);
-    let hop = SimDuration::from_ns(cfg.node.cxl.inter_switch_ns);
-    let row_bytes = cfg.node.model.row_bytes();
-    let mut cursor = vec![0usize; qids.len()];
-    let mut fanout_sum = 0u64;
-    let mut makespan = SimTime::from_ns(node_makespans.iter().copied().max().unwrap_or(0));
-    for (qid, &arrival) in arrivals.iter().enumerate() {
-        let mut done: Option<SimTime> = None;
-        for s in 0..qids.len() {
-            let li = cursor[s];
-            if li >= qids[s].len() || qids[s][li] != qid as u64 {
-                continue;
-            }
-            cursor[s] += 1;
-            fanout_sum += 1;
-            let node_done = completions[s][li];
-            done = Some(match done {
-                // Home shard: the lowest participating index, answering
-                // directly (no hop — a 1-shard cluster adds nothing).
-                None => node_done,
-                Some(prev) => {
-                    let landed = link.transfer(node_done, touched[s][li] * row_bytes) + hop;
-                    // Cross-shard partials can land after every host
-                    // has gone idle; they extend the fleet makespan.
-                    makespan = makespan.max(landed);
-                    prev.max(landed)
-                }
-            });
-        }
-        let done = done.expect("every query is served by at least one shard");
-        m.latency.record(done.saturating_since(arrival));
-    }
-    m.makespan_ns = makespan.as_ns();
-    m.agg_bytes = link.total_bytes();
-    m.mean_fanout = if arrivals.is_empty() {
-        0.0
-    } else {
-        fanout_sum as f64 / arrivals.len() as f64
-    };
-}
-
-/// The routing record of one streamed pass: everything the timing
-/// merge needs that a lazy stream cannot replay cheaply. Per-query
-/// state is O(participations) scalars — the routed *bags* are handed to
-/// the sink and recycled, never stored.
-#[derive(Debug, Clone, Default)]
-pub struct RoutedStream {
-    /// Arrival instant of every query, qid order.
-    pub arrivals: Vec<SimTime>,
-    /// Global qid of each of shard `s`'s local queries, ascending.
-    pub qids: Vec<Vec<u64>>,
-    /// Tables shard `s` touches for each of its local queries (aligned
-    /// with `qids[s]`): the partial-response size of the timing merge.
-    pub touched: Vec<Vec<u64>>,
-}
-
-/// Consumes `stream`, routing each query's bags across the placement's
-/// shards exactly as [`shard_workloads`] does, but incrementally: the
-/// per-shard sub-bags live in one recycled `shards × tables` buffer
-/// set, and each participating shard's sub-bags are handed to
-/// `sink(shard, arrival, sub_bags)` (table-indexed, empty for
-/// untouched tables) before the next query overwrites them. Returns
-/// the [`RoutedStream`] record the merge keys on.
-pub fn route_stream<F>(
-    placement: &ShardPlacement,
-    stream: &mut QueryStream,
-    mut sink: F,
-) -> RoutedStream
-where
-    F: FnMut(usize, SimTime, &[Vec<u64>]),
-{
-    let k = placement.n_shards as usize;
-    let n_tables = stream.n_tables();
-    let mut routed = RoutedStream {
-        arrivals: Vec::new(),
-        qids: vec![Vec::new(); k],
-        touched: vec![Vec::new(); k],
-    };
-    let mut sub: Vec<Vec<Vec<u64>>> = vec![vec![Vec::new(); n_tables as usize]; k];
-    let mut route: Vec<u16> = Vec::new();
-    while let Some((qid, at)) = stream.next_query() {
-        routed.arrivals.push(at);
-        for shard in sub.iter_mut() {
-            for bag in shard.iter_mut() {
-                bag.clear();
-            }
-        }
-        for t in 0..n_tables {
-            let bag = stream.bag(t);
-            placement.route_bag(t, bag, &mut route);
-            for (&row, &s) in bag.iter().zip(&route) {
-                sub[s as usize][t as usize].push(row);
-            }
-        }
-        for (s, shard) in sub.iter().enumerate() {
-            let tables_touched = shard.iter().filter(|bag| !bag.is_empty()).count() as u64;
-            if tables_touched > 0 {
-                sink(s, at, shard);
-                routed.qids[s].push(qid);
-                routed.touched[s].push(tables_touched);
-            }
-        }
-    }
-    routed
-}
-
-/// Merges per-node streamed serving runs into cluster metrics — the
-/// streamed counterpart of [`merge_cluster`], byte-identical on the
-/// same workload. `stream` must be a *fresh* (position-0) clone of the
-/// routed stream: the functional plane replays it to compute the exact
-/// per-query checksums the materialized path reads from the trace.
-///
-/// # Panics
-///
-/// Panics if the routed/completion/makespan shapes disagree, or if
-/// `stream` is not at position 0.
-pub fn merge_streamed(
-    cfg: &ClusterConfig,
-    placement: &ShardPlacement,
-    stream: &QueryStream,
     routed: &RoutedStream,
     completions: &[&[SimTime]],
+    sheds: &[&[u64]],
     node_makespans: &[u64],
 ) -> ClusterMetrics {
     assert_eq!(
@@ -936,6 +1018,301 @@ pub fn merge_streamed(
         node_makespans.len(),
         "one makespan per shard"
     );
+    assert_eq!(routed.qids.len(), sheds.len(), "one shed list per shard");
+    for (q, c) in routed.qids.iter().zip(completions) {
+        assert_eq!(
+            q.len(),
+            c.len(),
+            "completions must cover the shard's queries"
+        );
+    }
+    let mut m = ClusterMetrics {
+        queries: routed.arrivals.len() as u64,
+        ..ClusterMetrics::default()
+    };
+    let excluded = merge_timing(cfg, routed, sheds, completions, node_makespans, &mut m);
+    m.query_checksums = query_checksums_at(
+        placement,
+        &cfg.faults,
+        &routed.arrivals,
+        &excluded,
+        &functional_tables(&cfg.node.model),
+        trace,
+    );
+    m.checksum = m.query_checksums.iter().sum();
+    m
+}
+
+/// The shared timing-plane merge: queries in qid order, shards
+/// ascending, home shard (lowest participating index that did not shed
+/// the query) answering directly and every other live participant's
+/// partial serializing over the aggregation link plus one inter-node
+/// hop — link-degradation faults stretch both, and partials past the
+/// per-query timeout are hedged or dropped. Fills the timing and
+/// resilience counters of `m` and returns the excluded participations
+/// `(qid, shard)` — shed or dropped — qid-ascending, shards ascending
+/// within a qid, for the functional merge to skip.
+fn merge_timing(
+    cfg: &ClusterConfig,
+    routed: &RoutedStream,
+    sheds: &[&[u64]],
+    completions: &[&[SimTime]],
+    node_makespans: &[u64],
+    m: &mut ClusterMetrics,
+) -> Vec<(u64, u16)> {
+    let faulty = !cfg.faults.is_none();
+    let mut link = FlexBusLink::new(&cfg.node.cxl);
+    let hop = SimDuration::from_ns(cfg.node.cxl.inter_switch_ns);
+    let row_bytes = cfg.node.model.row_bytes();
+    let n_shards = routed.qids.len();
+    let mut cursor = vec![0usize; n_shards];
+    let mut shed_cursor = vec![0usize; n_shards];
+    let mut excluded: Vec<(u64, u16)> = Vec::new();
+    let mut fanout_sum = 0u64;
+    let mut coverage_sum = 0.0f64;
+    let mut makespan = SimTime::from_ns(node_makespans.iter().copied().max().unwrap_or(0));
+    for (qid, &arrival) in routed.arrivals.iter().enumerate() {
+        let mut done: Option<SimTime> = None;
+        let mut participations = 0u64;
+        let mut lost_rows = routed.lost_lookups[qid];
+        for s in 0..n_shards {
+            let li = cursor[s];
+            if li >= routed.qids[s].len() || routed.qids[s][li] != qid as u64 {
+                continue;
+            }
+            cursor[s] += 1;
+            participations += 1;
+            fanout_sum += 1;
+            while shed_cursor[s] < sheds[s].len() && sheds[s][shed_cursor[s]] < qid as u64 {
+                shed_cursor[s] += 1;
+            }
+            if shed_cursor[s] < sheds[s].len() && sheds[s][shed_cursor[s]] == qid as u64 {
+                // The node refused this participation: its rows are
+                // forfeit and its partial never merges.
+                lost_rows += routed.lookups[s][li];
+                excluded.push((qid as u64, s as u16));
+                continue;
+            }
+            let node_done = completions[s][li];
+            done = Some(match done {
+                // Home shard: the lowest participating index that did
+                // not shed, answering directly (no hop — a 1-shard
+                // cluster adds nothing).
+                None => node_done,
+                Some(prev) => {
+                    let mut bytes = routed.touched[s][li] * row_bytes;
+                    let mut part_hop = hop;
+                    if faulty {
+                        let lm = cfg.faults.link_mult(node_done);
+                        if lm > 1.0 {
+                            bytes = (bytes as f64 * lm).ceil() as u64;
+                            part_hop =
+                                SimDuration::from_ns((hop.as_ns() as f64 * lm).ceil() as u64);
+                        }
+                    }
+                    let landed = link.transfer(node_done, bytes) + part_hop;
+                    // Cross-shard partials can land after every host
+                    // has gone idle; they extend the fleet makespan
+                    // (the bytes cross the link whether or not the
+                    // router still wants them).
+                    makespan = makespan.max(landed);
+                    match cfg.partial_timeout_ns {
+                        Some(t) if landed.saturating_since(arrival).as_ns() > t => {
+                            m.timeouts += 1;
+                            if routed.hedgeable[s][li] {
+                                // Deterministic hedge: some replica
+                                // shard holds every row of the partial,
+                                // so the merge books one re-issued
+                                // response landing a hop after the
+                                // deadline (the retry bytes skip the
+                                // shared link — a deliberate
+                                // simplification).
+                                m.hedges += 1;
+                                let hedged = arrival + SimDuration::from_ns(t) + hop;
+                                makespan = makespan.max(hedged);
+                                prev.max(hedged)
+                            } else {
+                                // No replica covers it: drop the
+                                // partial and answer degraded.
+                                lost_rows += routed.lookups[s][li];
+                                excluded.push((qid as u64, s as u16));
+                                prev
+                            }
+                        }
+                        _ => prev.max(landed),
+                    }
+                }
+            });
+        }
+        let total = routed.total_lookups[qid];
+        m.total_lookups += total;
+        match done {
+            None if participations == 0 => m.lost += 1,
+            None => m.shed += 1,
+            Some(done) => {
+                m.latency.record(done.saturating_since(arrival));
+                let served = total - lost_rows;
+                m.served_lookups += served;
+                if lost_rows == 0 {
+                    m.fully_served += 1;
+                } else {
+                    m.degraded += 1;
+                }
+                if total > 0 {
+                    coverage_sum += served as f64 / total as f64;
+                }
+            }
+        }
+    }
+    m.makespan_ns = makespan.as_ns();
+    m.agg_bytes = link.total_bytes();
+    m.failovers = routed.failovers;
+    m.mean_fanout = if routed.arrivals.is_empty() {
+        0.0
+    } else {
+        fanout_sum as f64 / routed.arrivals.len() as f64
+    };
+    m.mean_coverage = if routed.arrivals.is_empty() {
+        0.0
+    } else {
+        coverage_sum / routed.arrivals.len() as f64
+    };
+    excluded
+}
+
+/// The routing record of one pass over the workload: everything the
+/// timing merge needs that a lazy stream cannot replay cheaply.
+/// Per-query state is O(participations) scalars — the routed *bags*
+/// are handed to the sink and recycled, never stored. Both the
+/// materialized ([`shard_workloads`]) and streamed ([`route_stream`])
+/// paths produce one, so the merge is shared.
+#[derive(Debug, Clone, Default)]
+pub struct RoutedStream {
+    /// Arrival instant of every query, qid order.
+    pub arrivals: Vec<SimTime>,
+    /// Global qid of each of shard `s`'s local queries, ascending.
+    pub qids: Vec<Vec<u64>>,
+    /// Tables shard `s` touches for each of its local queries (aligned
+    /// with `qids[s]`): the partial-response size of the timing merge.
+    pub touched: Vec<Vec<u64>>,
+    /// Rows shard `s` serves for each of its local queries (aligned
+    /// with `qids[s]`): the coverage a dropped partial forfeits.
+    pub lookups: Vec<Vec<u64>>,
+    /// Whether every row of the participation is replicated (aligned
+    /// with `qids[s]`): a timed-out partial can be hedged to a replica
+    /// shard only when some other shard holds all of its rows.
+    pub hedgeable: Vec<Vec<bool>>,
+    /// Rows each query offered, qid order.
+    pub total_lookups: Vec<u64>,
+    /// Rows each query lost at routing time (dead owner, no replica),
+    /// qid order.
+    pub lost_lookups: Vec<u64>,
+    /// Lookups that failed over from a dead owner to a replica shard.
+    pub failovers: u64,
+}
+
+/// Consumes `stream`, routing each query's bags across the placement's
+/// shards exactly as [`shard_workloads`] does, but incrementally: the
+/// per-shard sub-bags live in one recycled `shards × tables` buffer
+/// set, and each participating shard's sub-bags are handed to
+/// `sink(shard, arrival, sub_bags)` (table-indexed, empty for
+/// untouched tables) before the next query overwrites them. Routing
+/// consults `faults` at each arrival ([`ShardPlacement::route_bag_at`]
+/// — pass the empty schedule for the historical behaviour). Returns
+/// the [`RoutedStream`] record the merge keys on.
+pub fn route_stream<F>(
+    placement: &ShardPlacement,
+    faults: &FaultSchedule,
+    stream: &mut QueryStream,
+    mut sink: F,
+) -> RoutedStream
+where
+    F: FnMut(usize, SimTime, &[Vec<u64>]),
+{
+    let k = placement.n_shards as usize;
+    let n_tables = stream.n_tables();
+    let mut routed = RoutedStream {
+        qids: vec![Vec::new(); k],
+        touched: vec![Vec::new(); k],
+        lookups: vec![Vec::new(); k],
+        hedgeable: vec![Vec::new(); k],
+        ..RoutedStream::default()
+    };
+    let mut sub: Vec<Vec<Vec<u64>>> = vec![vec![Vec::new(); n_tables as usize]; k];
+    let mut route: Vec<u16> = Vec::new();
+    let mut all_repl: Vec<bool> = vec![true; k];
+    while let Some((qid, at)) = stream.next_query() {
+        routed.arrivals.push(at);
+        for shard in sub.iter_mut() {
+            for bag in shard.iter_mut() {
+                bag.clear();
+            }
+        }
+        all_repl.iter_mut().for_each(|r| *r = true);
+        let mut total = 0u64;
+        let mut lost = 0u64;
+        for t in 0..n_tables {
+            let bag = stream.bag(t);
+            routed.failovers += placement.route_bag_at(t, bag, at, faults, &mut route);
+            total += bag.len() as u64;
+            for (&row, &s) in bag.iter().zip(&route) {
+                if s == ShardPlacement::LOST {
+                    lost += 1;
+                    continue;
+                }
+                sub[s as usize][t as usize].push(row);
+                all_repl[s as usize] &= placement.is_replicated(t, row);
+            }
+        }
+        routed.total_lookups.push(total);
+        routed.lost_lookups.push(lost);
+        for (s, shard) in sub.iter().enumerate() {
+            let tables_touched = shard.iter().filter(|bag| !bag.is_empty()).count() as u64;
+            if tables_touched > 0 {
+                sink(s, at, shard);
+                routed.qids[s].push(qid);
+                routed.touched[s].push(tables_touched);
+                routed.lookups[s].push(shard.iter().map(|bag| bag.len() as u64).sum());
+                routed.hedgeable[s].push(all_repl[s]);
+            }
+        }
+    }
+    routed
+}
+
+/// Merges per-node streamed serving runs into cluster metrics — the
+/// streamed counterpart of [`merge_cluster`], byte-identical on the
+/// same workload (faults, sheds and all). `stream` must be a *fresh*
+/// (position-0) clone of the routed stream: the functional plane
+/// replays it to compute the exact per-query checksums the
+/// materialized path reads from the trace. `sheds[s]` is the global
+/// qids node `s` shed, ascending.
+///
+/// # Panics
+///
+/// Panics if the routed/completion/shed/makespan shapes disagree, or
+/// if `stream` is not at position 0.
+#[allow(clippy::too_many_arguments)]
+pub fn merge_streamed(
+    cfg: &ClusterConfig,
+    placement: &ShardPlacement,
+    stream: &QueryStream,
+    routed: &RoutedStream,
+    completions: &[&[SimTime]],
+    sheds: &[&[u64]],
+    node_makespans: &[u64],
+) -> ClusterMetrics {
+    assert_eq!(
+        routed.qids.len(),
+        completions.len(),
+        "one completion vector per shard"
+    );
+    assert_eq!(
+        routed.qids.len(),
+        node_makespans.len(),
+        "one makespan per shard"
+    );
+    assert_eq!(routed.qids.len(), sheds.len(), "one shed list per shard");
     for (q, c) in routed.qids.iter().zip(completions) {
         assert_eq!(
             q.len(),
@@ -948,29 +1325,37 @@ pub fn merge_streamed(
         queries: routed.arrivals.len() as u64,
         ..ClusterMetrics::default()
     };
-    let qids: Vec<&[u64]> = routed.qids.iter().map(Vec::as_slice).collect();
-    let touched: Vec<&[u64]> = routed.touched.iter().map(Vec::as_slice).collect();
-    merge_timing(
-        cfg,
-        &routed.arrivals,
-        &qids,
-        &touched,
-        completions,
-        node_makespans,
-        &mut m,
-    );
+    let excluded = merge_timing(cfg, routed, sheds, completions, node_makespans, &mut m);
     let tables = functional_tables(&cfg.node.model);
     let mut replay = stream.clone();
+    let mut cursor = 0usize;
+    let mut skip: Vec<u16> = Vec::new();
     m.query_checksums = (0..routed.arrivals.len())
-        .map(|_| {
-            replay.next_query().expect("stream shorter than the run");
+        .map(|qid| {
+            let (_, at) = replay.next_query().expect("stream shorter than the run");
+            skip.clear();
+            while cursor < excluded.len() && excluded[cursor].0 < qid as u64 {
+                cursor += 1;
+            }
+            while cursor < excluded.len() && excluded[cursor].0 == qid as u64 {
+                skip.push(excluded[cursor].1);
+                cursor += 1;
+            }
             tables
                 .iter()
                 .enumerate()
                 .map(|(t, table)| {
-                    merged_bag_embedding(placement, table, t as u32, replay.bag(t as u32))
-                        .iter()
-                        .sum::<f64>()
+                    merged_bag_embedding_at(
+                        placement,
+                        &cfg.faults,
+                        at,
+                        &skip,
+                        table,
+                        t as u32,
+                        replay.bag(t as u32),
+                    )
+                    .iter()
+                    .sum::<f64>()
                 })
                 .sum()
         })
@@ -1044,8 +1429,10 @@ mod tests {
             policy: ShardPolicy::RowHash,
             replicated: vec![Vec::new(); 3],
         };
-        let shards = shard_workloads(&p, &trace, &arrivals);
+        let (shards, routed) = shard_workloads(&p, &FaultSchedule::none(1), &trace, &arrivals);
         assert_eq!(shards.len(), 1);
+        assert_eq!(routed.failovers, 0);
+        assert_eq!(routed.lost_lookups, vec![0; 8]);
         let w = &shards[0];
         assert_eq!(w.arrivals, arrivals);
         assert_eq!(w.qids, (0..8).collect::<Vec<u64>>());
@@ -1077,8 +1464,9 @@ mod tests {
                 policy,
                 replicated: vec![Vec::new(); 4],
             };
-            let shards = shard_workloads(&p, &trace, &arrivals);
+            let (shards, routed) = shard_workloads(&p, &FaultSchedule::none(3), &trace, &arrivals);
             let total: u64 = shards.iter().map(|w| w.trace.total_lookups()).sum();
+            assert_eq!(routed.total_lookups.iter().sum::<u64>(), total);
             assert_eq!(total, 4 * 12 * 3, "lookups must partition exactly");
             let queries: usize = shards.iter().map(|w| w.qids.len()).sum();
             assert!(queries >= 12, "every query is served somewhere");

@@ -232,7 +232,9 @@ impl SystemConfig {
     /// and `buffer` (`off`). Setting a `pm.*` or `buffer.*` knob on a
     /// config where that subsystem is disabled enables it with defaults
     /// first. The open-loop batcher exposes `serving.batch_size` and
-    /// `serving.max_wait_us` (microseconds; fractional values allowed).
+    /// `serving.max_wait_us` (microseconds; fractional values allowed),
+    /// and the admission controller `serving.shed_policy`
+    /// (`none | queue:<depth> | deadline`) and `serving.sla_us`.
     ///
     /// # Errors
     ///
@@ -345,6 +347,17 @@ impl SystemConfig {
                 }
                 self.serving.max_wait_ns = (us * 1_000.0).round() as u64;
             }
+            "serving.shed_policy" => {
+                self.serving.shed = super::serving::ShedPolicy::parse(value)
+                    .map_err(|e| format!("knob serving.shed_policy: {e}"))?;
+            }
+            "serving.sla_us" => {
+                let us: f64 = parse(key, value)?;
+                if !(us > 0.0 && us.is_finite()) {
+                    return Err(format!("knob serving.sla_us: bad value {value:?}"));
+                }
+                self.serving.sla_ns = (us * 1_000.0).round() as u64;
+            }
             _ => return Err(format!("unknown SystemConfig knob {key:?}")),
         }
         Ok(())
@@ -387,6 +400,8 @@ mod tests {
             ("ooo", "true"),
             ("serving.batch_size", "16"),
             ("serving.max_wait_us", "12.5"),
+            ("serving.shed_policy", "queue:48"),
+            ("serving.sla_us", "30"),
         ] {
             c.apply_knob(k, v).unwrap();
         }
@@ -404,6 +419,11 @@ mod tests {
         assert!(c.ooo);
         assert_eq!(c.serving.batch_size, 16);
         assert_eq!(c.serving.max_wait_ns, 12_500);
+        assert_eq!(
+            c.serving.shed,
+            super::super::serving::ShedPolicy::QueueDepth { max_pending: 48 }
+        );
+        assert_eq!(c.serving.sla_ns, 30_000);
     }
 
     #[test]
@@ -413,6 +433,13 @@ mod tests {
         assert!(c.apply_knob("serving.batch_size", "0").is_err());
         assert!(c.apply_knob("serving.max_wait_us", "-1").is_err());
         assert!(c.apply_knob("serving.max_wait_us", "inf").is_err());
+        assert!(c.apply_knob("serving.sla_us", "0").is_err());
+        // The shed-policy parser's reason is surfaced through the knob.
+        let err = c.apply_knob("serving.shed_policy", "queue:0").unwrap_err();
+        assert!(
+            err.contains("serving.shed_policy") && err.contains(">= 1"),
+            "{err}"
+        );
         assert_eq!(c, before);
     }
 

@@ -41,6 +41,12 @@ pub struct ServingConfig {
     /// Maximum time the oldest pending query may wait before its batch
     /// closes part-full, ns.
     pub max_wait_ns: u64,
+    /// Admission-control policy: which arrivals are shed instead of
+    /// queued (`serving.shed_policy` knob).
+    pub shed: ShedPolicy,
+    /// The per-query latency SLA the deadline shedder admits against,
+    /// ns (`serving.sla_us` knob). Unused by the other policies.
+    pub sla_ns: u64,
 }
 
 impl Default for ServingConfig {
@@ -48,6 +54,74 @@ impl Default for ServingConfig {
         ServingConfig {
             batch_size: 32,
             max_wait_ns: 50_000, // 50 µs: a few batch service times
+            shed: ShedPolicy::None,
+            sla_ns: 25_000, // the bench family's 25 µs p99 SLA
+        }
+    }
+}
+
+/// SLA-aware admission control: when the serving queue is hopeless, an
+/// arrival is *shed* — counted, never queued — so overload degrades
+/// into lost answers at bounded latency instead of unbounded queueing.
+///
+/// [`ShedPolicy::None`] is the default and leaves the admission path
+/// observationally identical to a build without shedding (the
+/// fault-free byte-identity bar).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Admit everything (the historical behaviour).
+    None,
+    /// Shed when the batcher already holds `max_pending` queries: a
+    /// queue-depth cap.
+    QueueDepth {
+        /// Pending-query ceiling; arrivals beyond it are shed.
+        max_pending: u32,
+    },
+    /// Shed when even the least-loaded host's backlog already exceeds
+    /// the SLA at the arrival instant — the query would blow its
+    /// deadline before service *begins*, so answering it helps nobody.
+    Deadline,
+}
+
+impl ShedPolicy {
+    /// Parses the knob spelling `none | queue:<depth> | deadline`.
+    /// Errors say why the spec was rejected.
+    pub fn parse(spec: &str) -> Result<ShedPolicy, String> {
+        let mut parts = spec.split(':');
+        let head = parts.next().unwrap_or("").to_ascii_lowercase();
+        let parsed = match head.as_str() {
+            "none" => ShedPolicy::None,
+            "deadline" => ShedPolicy::Deadline,
+            "queue" => {
+                let raw = parts
+                    .next()
+                    .ok_or_else(|| format!("shed policy {spec:?}: missing depth"))?;
+                let depth = raw.parse::<u32>().map_err(|_| {
+                    format!("shed policy {spec:?}: depth {raw:?} is not a positive integer")
+                })?;
+                if depth == 0 {
+                    return Err(format!("shed policy {spec:?}: depth must be >= 1"));
+                }
+                ShedPolicy::QueueDepth { max_pending: depth }
+            }
+            other => {
+                return Err(format!(
+                    "unknown shed policy {other:?} (none|queue:<depth>|deadline)"
+                ))
+            }
+        };
+        if parts.next().is_some() {
+            return Err(format!("shed policy {spec:?}: trailing arguments"));
+        }
+        Ok(parsed)
+    }
+
+    /// A short stable label for curve keys.
+    pub fn label(&self) -> String {
+        match *self {
+            ShedPolicy::None => "none".to_string(),
+            ShedPolicy::QueueDepth { max_pending } => format!("queue:{max_pending}"),
+            ShedPolicy::Deadline => "deadline".to_string(),
         }
     }
 }
@@ -193,6 +267,16 @@ pub struct ServingMetrics {
     /// Arrival-time-windowed latency summaries, in window order. Empty
     /// unless the session ran with [`OpenLoopOpts::window_ns`] set.
     pub windows: Vec<WindowSummary>,
+    /// Arrivals the admission controller shed (never queued, no
+    /// latency recorded). `queries` counts only served queries, so
+    /// `queries + shed` is the offered load.
+    pub shed: u64,
+    /// The shed queries' ids, ascending. With
+    /// [`OpenLoopOpts::record_completion`] on, a shed qid's
+    /// [`completion`](Self::completion) entry is its arrival instant —
+    /// the slot exists (downstream merges index by qid) but spans zero
+    /// service.
+    pub shed_qids: Vec<u64>,
     /// The underlying pipeline metrics for the whole run.
     pub run: RunMetrics,
 }
@@ -204,6 +288,17 @@ impl ServingMetrics {
             0.0
         } else {
             self.queries as f64 * 1e9 / self.makespan_ns as f64
+        }
+    }
+
+    /// Fraction of offered queries that were served (1.0 when nothing
+    /// was offered): the node-local availability ratio.
+    pub fn availability(&self) -> f64 {
+        let offered = self.queries + self.shed;
+        if offered == 0 {
+            1.0
+        } else {
+            self.queries as f64 / offered as f64
         }
     }
 }
@@ -423,6 +518,12 @@ pub(crate) struct OpenLoopSession {
     pub next_qid: u64,
     /// Latest pushed arrival (monotonicity check).
     pub last_arrival: SimTime,
+    /// Shed queries awaiting their slot in the completion vector
+    /// (qid, arrival): completions index by qid, and a shed query's
+    /// neighbours may still be pending when it is dropped, so its entry
+    /// is spliced in as the surrounding batches retire. Only populated
+    /// when completions are recorded and the shed policy is active.
+    pub shed_completions: VecDeque<(u64, SimTime)>,
 }
 
 #[cfg(test)]
@@ -433,6 +534,7 @@ mod tests {
         QueryBatcher::new(&ServingConfig {
             batch_size,
             max_wait_ns,
+            ..ServingConfig::default()
         })
     }
 
@@ -527,5 +629,41 @@ mod tests {
     #[should_panic(expected = "batch size must be positive")]
     fn zero_batch_size_rejected() {
         let _ = batcher(0, 1_000);
+    }
+
+    #[test]
+    fn shed_policy_parse_covers_spellings_and_reports_why_it_rejects() {
+        assert_eq!(ShedPolicy::parse("none"), Ok(ShedPolicy::None));
+        assert_eq!(ShedPolicy::parse("deadline"), Ok(ShedPolicy::Deadline));
+        assert_eq!(
+            ShedPolicy::parse("queue:64"),
+            Ok(ShedPolicy::QueueDepth { max_pending: 64 })
+        );
+        assert!(ShedPolicy::parse("fifo")
+            .unwrap_err()
+            .contains("unknown shed policy"));
+        assert!(ShedPolicy::parse("queue")
+            .unwrap_err()
+            .contains("missing depth"));
+        assert!(ShedPolicy::parse("queue:0").unwrap_err().contains(">= 1"));
+        assert!(ShedPolicy::parse("queue:x")
+            .unwrap_err()
+            .contains("not a positive integer"));
+        assert!(ShedPolicy::parse("deadline:5")
+            .unwrap_err()
+            .contains("trailing"));
+        for spec in ["none", "deadline", "queue:8"] {
+            let parsed = ShedPolicy::parse(spec).unwrap();
+            assert_eq!(ShedPolicy::parse(&parsed.label()), Ok(parsed));
+        }
+    }
+
+    #[test]
+    fn availability_counts_shed_against_offered() {
+        let mut m = ServingMetrics::default();
+        assert_eq!(m.availability(), 1.0);
+        m.queries = 30;
+        m.shed = 10;
+        assert_eq!(m.availability(), 0.75);
     }
 }

@@ -20,7 +20,7 @@
 
 use dlrm::{query, EmbeddingTable};
 use pagemgmt::{GlobalHotness, PageId, PageTable, TierCapacities};
-use simkit::SimTime;
+use simkit::{SimDuration, SimTime};
 use tracegen::{QueryStream, Trace};
 
 use crate::engine::config::page_align;
@@ -33,7 +33,7 @@ use crate::engine::topology::Plant;
 pub use crate::engine::config::{BufferConfig, ComputeSite, PmConfig, PmStyle, SystemConfig};
 pub use crate::engine::metrics::RunMetrics;
 pub use crate::engine::serving::{
-    OpenLoopOpts, PendingQuery, QueryBags, ServingConfig, ServingMetrics, WindowSummary,
+    OpenLoopOpts, PendingQuery, QueryBags, ServingConfig, ServingMetrics, ShedPolicy, WindowSummary,
 };
 
 /// One materialized trace query viewed through [`QueryBags`]: query
@@ -79,6 +79,14 @@ pub struct SlsSystem {
     /// The in-progress streaming open-loop session, between
     /// [`Self::open_loop_begin`] and [`Self::open_loop_finish`].
     session: Option<OpenLoopSession>,
+    /// Service slow-down windows `(start_ns, end_ns, mult)` from an
+    /// externally supplied fault schedule (see
+    /// [`simkit::faults::FaultSchedule::slow_intervals`]): a batch
+    /// whose dispatch starts inside a window has its service span
+    /// dilated by the window's multiplier. Empty (the default) keeps
+    /// the dispatch path byte-identical to a fault-free build. Plain
+    /// data, so checkpoints carry the fault state automatically.
+    slowdowns: Vec<(u64, u64, f64)>,
 }
 
 impl SlsSystem {
@@ -132,7 +140,21 @@ impl SlsSystem {
             epoch_dev_pages: vec![simkit::hash::FastMap::default(); n_devices],
             scratch: EngineScratch::default(),
             session: None,
+            slowdowns: Vec::new(),
         }
+    }
+
+    /// Installs the node's service slow-down windows (replacing any
+    /// previous set): `(start_ns, end_ns, mult)` triples, typically
+    /// [`simkit::faults::FaultSchedule::slow_intervals`]. A dispatched
+    /// batch starting at `t` with some window `start <= t < end` has
+    /// its end-to-end service span multiplied by the largest matching
+    /// `mult` — completions and host occupancy stretch together, while
+    /// device micro-timing stays on the base plane. An empty set (the
+    /// default) leaves dispatch byte-identical to a build without this
+    /// mechanism.
+    pub fn set_slowdowns(&mut self, windows: Vec<(u64, u64, f64)>) {
+        self.slowdowns = windows;
     }
 
     /// The configuration this system was built from.
@@ -378,6 +400,7 @@ impl SlsSystem {
                 .map(|w| LatencyWindows::new(w, self.cfg.serving.max_wait_ns)),
             next_qid: 0,
             last_arrival: SimTime::ZERO,
+            shed_completions: std::collections::VecDeque::new(),
         });
     }
 
@@ -412,6 +435,21 @@ impl SlsSystem {
         }
         let qid = s.next_qid;
         s.next_qid += 1;
+        // SLA-aware admission control: a shed arrival consumes its qid
+        // (downstream merges index by qid) but is never queued — no
+        // bags copied, no latency recorded. Its completion slot, when
+        // recorded, is the arrival instant itself (zero service),
+        // spliced into qid order as neighbouring batches retire.
+        if self.should_shed(&s, arrival) {
+            s.serving.shed += 1;
+            s.serving.shed_qids.push(qid);
+            if s.record_completion {
+                s.shed_completions
+                    .push_back((qid, SimTime::from_ns(arrival.as_ns())));
+            }
+            self.session = Some(s);
+            return qid;
+        }
         for t in 0..s.n_tables {
             s.rows.extend_from_slice(bags.bag(t));
             s.offsets.push(s.rows.len());
@@ -421,6 +459,28 @@ impl SlsSystem {
         }
         self.session = Some(s);
         qid
+    }
+
+    /// Whether the active shed policy drops an arrival at `arrival`
+    /// given the current queue and host state.
+    fn should_shed(&self, s: &OpenLoopSession, arrival: SimTime) -> bool {
+        match self.cfg.serving.shed {
+            ShedPolicy::None => false,
+            ShedPolicy::QueueDepth { max_pending } => s.batcher.len() >= max_pending as usize,
+            ShedPolicy::Deadline => {
+                // Even the least-loaded host cannot start service
+                // before the arrival's deadline: the answer would be
+                // late no matter what, so drop it at the door.
+                let soonest = self
+                    .plant
+                    .hosts
+                    .iter()
+                    .map(|h| h.next_free)
+                    .min()
+                    .unwrap_or(SimTime::ZERO);
+                soonest.saturating_since(arrival + s.shift).as_ns() > self.cfg.serving.sla_ns
+            }
+        }
     }
 
     /// Closes the active session: trailing queries flush at their
@@ -438,6 +498,11 @@ impl SlsSystem {
             .expect("open_loop_finish requires an active session (open_loop_begin)");
         while let Some(b) = s.batcher.flush_due(SimTime::from_ns(u64::MAX)) {
             self.dispatch_batch(&mut s, &b);
+        }
+        // Trailing shed queries (nothing after them ever dispatched).
+        while let Some((shed_qid, at)) = s.shed_completions.pop_front() {
+            debug_assert_eq!(s.serving.completion.len() as u64, shed_qid);
+            s.serving.completion.push(at);
         }
         let mut serving = s.serving;
         serving.batches = s.batches_dispatched;
@@ -564,6 +629,29 @@ impl SlsSystem {
         // before the epoch-boundary page manager runs. Query ids are
         // push-sequential and batches dispatch in formation order, so
         // appending completions keeps `completion[qid]` indexing.
+        // Service slow-down dilation: a batch starting inside a fault
+        // window stretches end to end — every query completion and the
+        // host's busy span — by the window's multiplier, so queueing
+        // backs up behind the slow node exactly as it would in life.
+        if !self.slowdowns.is_empty() {
+            let t = start.as_ns();
+            let mult = self
+                .slowdowns
+                .iter()
+                .filter(|&&(a, b, _)| a <= t && t < b)
+                .map(|&(_, _, m)| m)
+                .fold(1.0f64, f64::max);
+            if mult > 1.0 {
+                let stretch = |done: SimTime| {
+                    let span = done.saturating_since(start).as_ns();
+                    start + SimDuration::from_ns((span as f64 * mult).round() as u64)
+                };
+                batch_done = stretch(batch_done);
+                for done in sv.q_done.iter_mut() {
+                    *done = stretch(*done);
+                }
+            }
+        }
         for (q, &done) in batch.queries.iter().zip(&sv.q_done) {
             let latency = done.saturating_since(q.arrival + s.shift);
             s.serving.latency.record(latency);
@@ -571,6 +659,17 @@ impl SlsSystem {
                 .wait
                 .record(start.saturating_since(q.arrival + s.shift));
             if s.record_completion {
+                // Shed neighbours with smaller qids retire first: the
+                // completion vector indexes by qid.
+                while s
+                    .shed_completions
+                    .front()
+                    .is_some_and(|&(shed_qid, _)| shed_qid < q.qid)
+                {
+                    let (shed_qid, at) = s.shed_completions.pop_front().expect("front checked");
+                    debug_assert_eq!(s.serving.completion.len() as u64, shed_qid);
+                    s.serving.completion.push(at);
+                }
                 debug_assert_eq!(s.serving.completion.len() as u64, q.qid);
                 s.serving
                     .completion

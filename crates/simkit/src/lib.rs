@@ -21,6 +21,9 @@
 //!   experiment harness.
 //! * [`rng`] — a small deterministic RNG so that every figure regenerates
 //!   bit-identically.
+//! * [`faults`] — seeded fault schedules (fail-stop, slow-down, link
+//!   degradation) generated as pure data, so faulty runs stay exactly as
+//!   reproducible as fault-free ones.
 //!
 //! # Examples
 //!
@@ -37,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod faults;
 pub mod hash;
 pub mod link;
 pub mod queue;
@@ -45,6 +49,7 @@ pub mod stats;
 pub mod time;
 
 pub use event::{BinaryEventQueue, EventQueue};
+pub use faults::{FaultEvent, FaultKind, FaultSchedule, FaultSpec};
 pub use link::BandwidthLink;
 pub use queue::BoundedQueue;
 pub use rng::DetRng;

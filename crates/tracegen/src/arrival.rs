@@ -85,26 +85,44 @@ impl ArrivalProcess {
     /// Parses a sweep-parameter spelling at a given rate: `fixed`,
     /// `poisson`, `bursty` (defaults: burst 0.8, dwell 200 µs),
     /// `bursty:<burst>:<dwell_us>`, `diurnal` (defaults: amplitude 0.5,
-    /// period 1 s), or `diurnal:<amplitude>:<period_s>`. Returns `None`
-    /// for unknown spellings, non-positive `qps`, burst/amplitude
-    /// outside `[0, 1)`, or non-positive dwell/period.
-    pub fn parse(spec: &str, qps: f64) -> Option<ArrivalProcess> {
+    /// period 1 s), or `diurnal:<amplitude>:<period_s>`. The error
+    /// names the offending piece: unknown spellings, non-positive
+    /// `qps`, burst/amplitude outside `[0, 1)`, or non-positive
+    /// dwell/period.
+    pub fn parse(spec: &str, qps: f64) -> Result<ArrivalProcess, String> {
         if !(qps > 0.0 && qps.is_finite()) {
-            return None;
+            return Err(format!(
+                "arrival rate must be positive and finite, got {qps}"
+            ));
         }
         let mut parts = spec.split(':');
-        let head = parts.next()?.to_ascii_lowercase();
-        let mut arg = || parts.next()?.parse::<f64>().ok();
+        let head = parts.next().unwrap_or_default().to_ascii_lowercase();
+        let mut arg = |what: &str| -> Result<Option<f64>, String> {
+            match parts.next() {
+                None => Ok(None),
+                Some(raw) => raw
+                    .parse::<f64>()
+                    .map(Some)
+                    .map_err(|_| format!("{what} {raw:?} is not a number")),
+            }
+        };
         let process = match head.as_str() {
             "fixed" => ArrivalProcess::Fixed { qps },
             "poisson" => ArrivalProcess::Poisson { qps },
             "bursty" => {
-                let (burst, dwell_us) = match arg() {
-                    Some(b) => (b, arg()?),
+                let (burst, dwell_us) = match arg("burst fraction")? {
+                    Some(b) => {
+                        let dwell = arg("dwell")?
+                            .ok_or_else(|| "bursty:<burst> is missing its dwell (µs)".to_string())?;
+                        (b, dwell)
+                    }
                     None => (0.8, 200.0),
                 };
-                if !((0.0..1.0).contains(&burst) && dwell_us > 0.0 && dwell_us.is_finite()) {
-                    return None;
+                if !(0.0..1.0).contains(&burst) {
+                    return Err(format!("burst fraction {burst} must lie in [0, 1)"));
+                }
+                if !(dwell_us > 0.0 && dwell_us.is_finite()) {
+                    return Err(format!("dwell {dwell_us} must be positive and finite"));
                 }
                 ArrivalProcess::Bursty {
                     qps,
@@ -113,12 +131,19 @@ impl ArrivalProcess {
                 }
             }
             "diurnal" => {
-                let (amplitude, period_s) = match arg() {
-                    Some(a) => (a, arg()?),
+                let (amplitude, period_s) = match arg("amplitude")? {
+                    Some(a) => {
+                        let period = arg("period")?
+                            .ok_or_else(|| "diurnal:<amplitude> is missing its period (s)".to_string())?;
+                        (a, period)
+                    }
                     None => (0.5, 1.0),
                 };
-                if !((0.0..1.0).contains(&amplitude) && period_s > 0.0 && period_s.is_finite()) {
-                    return None;
+                if !(0.0..1.0).contains(&amplitude) {
+                    return Err(format!("amplitude {amplitude} must lie in [0, 1)"));
+                }
+                if !(period_s > 0.0 && period_s.is_finite()) {
+                    return Err(format!("period {period_s} must be positive and finite"));
                 }
                 ArrivalProcess::Diurnal {
                     qps,
@@ -126,11 +151,15 @@ impl ArrivalProcess {
                     period_s,
                 }
             }
-            _ => return None,
+            other => {
+                return Err(format!(
+                    "unknown arrival process {other:?} (fixed|poisson|bursty[:burst:dwell_us]|diurnal[:amplitude:period_s])"
+                ))
+            }
         };
         match parts.next() {
-            Some(_) => None, // trailing junk
-            None => Some(process),
+            Some(junk) => Err(format!("trailing arrival argument {junk:?}")),
+            None => Ok(process),
         }
     }
 
@@ -511,18 +540,18 @@ mod tests {
     }
 
     #[test]
-    fn parse_covers_families_and_rejects_junk() {
+    fn parse_covers_families_and_reports_why_it_rejects() {
         assert_eq!(
             ArrivalProcess::parse("poisson", 1000.0),
-            Some(ArrivalProcess::Poisson { qps: 1000.0 })
+            Ok(ArrivalProcess::Poisson { qps: 1000.0 })
         );
         assert_eq!(
             ArrivalProcess::parse("Fixed", 10.0),
-            Some(ArrivalProcess::Fixed { qps: 10.0 })
+            Ok(ArrivalProcess::Fixed { qps: 10.0 })
         );
         assert_eq!(
             ArrivalProcess::parse("bursty", 500.0),
-            Some(ArrivalProcess::Bursty {
+            Ok(ArrivalProcess::Bursty {
                 qps: 500.0,
                 burst: 0.8,
                 dwell_us: 200.0
@@ -530,7 +559,7 @@ mod tests {
         );
         assert_eq!(
             ArrivalProcess::parse("bursty:0.5:100", 500.0),
-            Some(ArrivalProcess::Bursty {
+            Ok(ArrivalProcess::Bursty {
                 qps: 500.0,
                 burst: 0.5,
                 dwell_us: 100.0
@@ -538,7 +567,7 @@ mod tests {
         );
         assert_eq!(
             ArrivalProcess::parse("diurnal", 500.0),
-            Some(ArrivalProcess::Diurnal {
+            Ok(ArrivalProcess::Diurnal {
                 qps: 500.0,
                 amplitude: 0.5,
                 period_s: 1.0
@@ -546,19 +575,21 @@ mod tests {
         );
         assert_eq!(
             ArrivalProcess::parse("diurnal:0.8:0.05", 500.0),
-            Some(ArrivalProcess::Diurnal {
+            Ok(ArrivalProcess::Diurnal {
                 qps: 500.0,
                 amplitude: 0.8,
                 period_s: 0.05
             })
         );
-        assert_eq!(ArrivalProcess::parse("diurnal:1.2:0.05", 500.0), None);
-        assert_eq!(ArrivalProcess::parse("diurnal:0.5", 500.0), None);
-        assert_eq!(ArrivalProcess::parse("bursty:1.5:100", 500.0), None);
-        assert_eq!(ArrivalProcess::parse("bursty:0.5", 500.0), None);
-        assert_eq!(ArrivalProcess::parse("poisson:1", 500.0), None);
-        assert_eq!(ArrivalProcess::parse("poisson", 0.0), None);
-        assert_eq!(ArrivalProcess::parse("sawtooth", 500.0), None);
+        let err = |spec: &str, qps: f64| ArrivalProcess::parse(spec, qps).unwrap_err();
+        assert!(err("diurnal:1.2:0.05", 500.0).contains("[0, 1)"));
+        assert!(err("diurnal:0.5", 500.0).contains("missing its period"));
+        assert!(err("bursty:1.5:100", 500.0).contains("[0, 1)"));
+        assert!(err("bursty:0.5", 500.0).contains("missing its dwell"));
+        assert!(err("bursty:x:100", 500.0).contains("not a number"));
+        assert!(err("poisson:1", 500.0).contains("trailing"));
+        assert!(err("poisson", 0.0).contains("positive and finite"));
+        assert!(err("sawtooth", 500.0).contains("unknown arrival process"));
     }
 
     #[test]

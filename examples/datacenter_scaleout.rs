@@ -92,4 +92,36 @@ fn main() {
     println!("table); row hashing scatters rows and pays the partial-sum merge");
     println!("hop. The checksum column is identical everywhere: the f64 merge");
     println!("plane is exact, so sharding cannot move a single bit.");
+
+    println!();
+    println!("-- failover: fail-stop faults vs hot-row replication --");
+    // The same 4-node fleet under seeded fail-stop schedules. Without
+    // replicas a dead owner's rows are simply lost (coverage falls);
+    // replicating the hottest rows on every shard gives the router
+    // somewhere to fail over to, buying availability back.
+    for fault in ["none", "failstop:8000", "failstop:32000"] {
+        for replicas in [0u32, 64] {
+            let spec = FaultSpec::parse(fault).expect("fault spec");
+            let mut cfg = ClusterConfig::new(
+                4,
+                ShardPolicy::RowHash,
+                SystemConfig::pifs_rec(model.clone()),
+            );
+            cfg.hot_rows_per_table = replicas;
+            cfg.faults = FaultSchedule::generate(spec, 2024, 4, 1_000_000);
+            let m = SlsCluster::new(cfg).run_open_loop(&trace, &arrivals);
+            println!(
+                "  {fault:>15}, {replicas:>2} replicas/table: avail {:>6.3}  coverage {:>6.3}  failovers {:>4}",
+                m.availability(),
+                m.mean_coverage,
+                m.failovers
+            );
+        }
+    }
+    println!();
+    println!("Availability degrades as the fail-stop rate rises; the replica");
+    println!("column recovers coverage because replicated hot rows survive an");
+    println!("owner's death. Full-coverage answers stay bit-identical to the");
+    println!("fault-free checksum: dropping a partial never re-associates the");
+    println!("surviving exact sums.");
 }

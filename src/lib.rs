@@ -48,15 +48,17 @@ pub use tco;
 pub use tracegen;
 
 pub use pifs_core::system::{
-    BufferConfig, ComputeSite, PmConfig, PmStyle, RunMetrics, SlsSystem, SystemConfig,
+    BufferConfig, ComputeSite, PmConfig, PmStyle, RunMetrics, ShedPolicy, SlsSystem, SystemConfig,
 };
 pub use pifs_core::{BufferPolicy, ClusterConfig, ClusterMetrics, ShardPolicy, SlsCluster};
+pub use simkit::{FaultSchedule, FaultSpec};
 
 /// The most common imports for driving the simulator.
 pub mod prelude {
     pub use baselines::Scheme;
     pub use dlrm::ModelConfig;
     pub use pifs_core::engine::cluster::{ClusterConfig, ShardPolicy, SlsCluster};
-    pub use pifs_core::system::{RunMetrics, SlsSystem, SystemConfig};
+    pub use pifs_core::system::{RunMetrics, ShedPolicy, SlsSystem, SystemConfig};
+    pub use simkit::{FaultSchedule, FaultSpec};
     pub use tracegen::{ArrivalProcess, Distribution, TraceSpec};
 }
