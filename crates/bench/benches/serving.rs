@@ -70,6 +70,38 @@ fn bench_serving(c: &mut Criterion) {
         })
     });
 
+    g.bench_function("controller_tick", |b| {
+        // The adaptive controller's steady-state per-batch cost:
+        // record + on_batch + epoch_due across a mixed load pattern.
+        // This path runs at every batch boundary of every adaptive
+        // serving point, so it must stay O(ns)-cheap relative to batch
+        // service time.
+        use pifs_core::engine::controller::ServingController;
+        use pifs_core::engine::serving::ServingConfig;
+        let cfg = ServingConfig {
+            controller: pifs_core::engine::controller::ControllerPolicy::Adaptive,
+            ..ServingConfig::default()
+        };
+        let mut hotness = pagemgmt::GlobalHotness::new(4);
+        for p in 0..256u64 {
+            hotness
+                .host_mut((p % 4) as usize)
+                .record(pagemgmt::PageId(p));
+        }
+        b.iter(|| {
+            let mut ctl = ServingController::new(&cfg);
+            let mut moved = 0u32;
+            for i in 0..256u64 {
+                ctl.record_latency(simkit::SimDuration::from_ns((i % 64) * 1_000));
+                if ctl.on_batch((i % 40) as u32, (i % 3) * 60_000).is_some() {
+                    moved += 1;
+                }
+                black_box(ctl.epoch_due(&hotness));
+            }
+            black_box((moved, ctl.batch_size(), ctl.epoch_period()))
+        })
+    });
+
     // One end-to-end open-loop point near the PIFS-Rec knee: the number
     // a latency_qps sweep pays per grid point.
     g.bench_function("open_loop_pifs_rec", |b| {

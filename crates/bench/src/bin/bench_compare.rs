@@ -9,11 +9,16 @@
 //! flags regressions beyond the threshold (default 20 %), and lists
 //! benchmarks that appear in only one file. Exit status is 0 unless a
 //! regression crossed the threshold in a gated benchmark: `--strict`
-//! gates every target, while `--strict-family TARGET` (repeatable)
-//! gates only the named target family, leaving the rest warn-only. CI
-//! runs the hand-tuned kernel families (`sls_kernel`, `instr_codec`)
-//! strictly — they are deterministic enough to gate — and everything
-//! else warn-only, so a noisy runner cannot fail the build on a
+//! gates every target, while `--strict-family SPEC` (repeatable) gates
+//! only the matching benchmarks, leaving the rest warn-only. A spec
+//! matches a whole target family (`sls_kernel`) or one benchmark by
+//! its qualified id (`serving/controller_tick`) — the latter gates a
+//! deterministic micro-bench inside an otherwise noisy family. CI
+//! runs the
+//! hand-tuned kernel families (`sls_kernel`, `instr_codec`) and the
+//! controller decision path (`serving/controller_tick`) strictly —
+//! they are deterministic enough to gate — and everything else
+//! warn-only, so a noisy runner cannot fail the build on a
 //! macro-benchmark wobble.
 
 use std::collections::BTreeMap;
@@ -37,9 +42,9 @@ fn main() {
             }
             "--strict" => strict = true,
             "--strict-family" => {
-                let v = args
-                    .next()
-                    .unwrap_or_else(|| die("--strict-family needs a target name"));
+                let v = args.next().unwrap_or_else(|| {
+                    die("--strict-family needs a target, id, or target/id spec")
+                });
                 strict_families.push(v);
             }
             "--help" | "-h" => {
@@ -80,7 +85,7 @@ fn main() {
         let delta_pct = (fresh_ns - base_ns) / base_ns * 100.0;
         let flag = if delta_pct > threshold {
             regressions += 1;
-            if strict_families.iter().any(|f| f == target) {
+            if strict_families.iter().any(|f| f == target || f == id) {
                 gated_regressions += 1;
             }
             "  <-- REGRESSION"

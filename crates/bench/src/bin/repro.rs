@@ -142,8 +142,18 @@ fn sweep(runner: &SweepRunner, args: &[String]) {
         if let Some(spec) = specs.iter_mut().find(|s| s.name == key) {
             spec.values = values;
         } else if scenario.accepts_free_params() {
-            // Forwarded to SystemConfig::apply_knob by the scenario; leak
-            // the name to satisfy ParamSpec's static lifetime.
+            // Forwarded to SystemConfig::apply_knob by the scenario:
+            // dry-run each value against a default config now, so a bad
+            // knob (`serving.batch_size=0`, an unknown key) is a
+            // sweep-level error here instead of a worker-thread panic
+            // mid-grid. Leak the name to satisfy ParamSpec's static
+            // lifetime.
+            for value in &values {
+                let mut probe = pifs_core::system::SystemConfig::pifs_rec_default();
+                if let Err(why) = probe.apply_knob(key, &value.to_string()) {
+                    die(&format!("--param {key}: {why}"));
+                }
+            }
             let name: &'static str = Box::leak(key.to_string().into_boxed_str());
             specs.push(ParamSpec { name, values });
         } else {
@@ -189,10 +199,12 @@ fn scenario_rows_json(rows: &[pifs_bench::scenario::ResultRow]) -> serde_json::V
 }
 
 /// Validates axes whose semantics are shared across scenarios
-/// (`model`, `scheme`, `trace`, `arrival`, `policy`, `fault`, `shed`)
-/// before any simulation starts, so typos die with a clean message —
-/// the parser's own, where the spelling has structure — instead of
-/// panicking inside a worker thread.
+/// (`model`, `scheme`, `trace`, `arrival`, `traffic`, `policy`,
+/// `fault`, `shed`, `controller`, and the serving batcher knobs)
+/// before any simulation starts, so typos and degenerate values
+/// (`batch_size=0`) die with a clean message — the parser's own, where
+/// the spelling has structure — instead of panicking inside a worker
+/// thread.
 fn validate_axis_values(key: &str, values: &[ParamValue]) {
     for value in values {
         let spelled = value.to_string();
@@ -207,15 +219,30 @@ fn validate_axis_values(key: &str, values: &[ParamValue]) {
                 .then(|| format!("unknown trace distribution {spelled:?}")),
             // The rate is per-point; validate the spelling at a dummy 1 qps.
             "arrival" => tracegen::ArrivalProcess::parse(&spelled, 1.0).err(),
+            "traffic" => pifs_bench::scenarios::adaptive::parse_traffic(&spelled, 1.0).err(),
             "policy" => pifs_core::engine::cluster::ShardPolicy::parse(&spelled).err(),
             "fault" => simkit::FaultSpec::parse(&spelled).err(),
             "shed" => pifs_core::system::ShedPolicy::parse(&spelled).err(),
+            "controller" => pifs_core::engine::controller::ControllerPolicy::parse(&spelled).err(),
+            // Batcher knob axes route through apply_knob inside the
+            // worker; dry-run the same knob here so `batch_size=0`
+            // (or a junk max-wait) is a sweep-level error.
+            "batch_size" => serving_knob_err("serving.batch_size", &spelled),
+            "max_wait_us" => serving_knob_err("serving.max_wait_us", &spelled),
             _ => None, // scenario-specific; checked by its run function
         };
         if let Some(why) = why {
             die(&format!("--param {key}: {why}"));
         }
     }
+}
+
+/// Dry-runs one serving knob against a default config, returning the
+/// knob's own rejection message if the value is invalid.
+fn serving_knob_err(knob: &str, spelled: &str) -> Option<String> {
+    pifs_core::system::SystemConfig::pifs_rec_default()
+        .apply_knob(knob, spelled)
+        .err()
 }
 
 /// `repro -- list`: the registry as a table of ids, grids, and titles.

@@ -39,6 +39,7 @@ use serde_json::{json, Value};
 use simkit::SimTime;
 use tracegen::{ArrivalProcess, QueryStreamSpec};
 
+use super::stability;
 use crate::scenario::{workload_seed, GridScenario, ParamSpec, Point, PointParts, ResultRow};
 use crate::{scale_buffers, STD_BATCHES, STD_BATCH_SIZE};
 
@@ -143,7 +144,7 @@ fn run_node_part(p: &Point, part: usize) -> Value {
         &s.placement,
         &s.cfg.faults,
         &mut stream,
-        |shard, at, sub| {
+        |shard, _tenant, at, sub| {
             if shard == part {
                 node.open_loop_push(at, sub);
             }
@@ -186,7 +187,7 @@ fn merge_node_parts(p: &Point, parts: Vec<Value>) -> Value {
         .collect();
     let mut stream = s.spec.stream();
     let replay = stream.clone();
-    let routed = route_stream(&s.placement, &s.cfg.faults, &mut stream, |_, _, _| {});
+    let routed = route_stream(&s.placement, &s.cfg.faults, &mut stream, |_, _, _, _| {});
     let sheds: Vec<&[u64]> = vec![&[]; refs.len()];
     let met = merge_streamed(
         &s.cfg,
@@ -356,23 +357,14 @@ pub static CLUSTER_QPS: GridScenario = GridScenario {
             let qps: Vec<f64> = group.iter().map(|r| get_f64(r, "offered_qps")).collect();
             let p99: Vec<f64> = group.iter().map(|r| get_f64(r, "p99_ns")).collect();
             let achieved: Vec<f64> = group.iter().map(|r| get_f64(r, "achieved_qps")).collect();
-            let base_p99 = p99.first().copied().unwrap_or(0.0);
-            let knee = group
-                .iter()
-                .position(|r| is_saturated(r) || get_f64(r, "p99_ns") > 2.0 * base_p99);
-            let max_stable = group
-                .iter()
-                .zip(&achieved)
-                .filter(|(r, _)| !is_saturated(r))
-                .map(|(_, &a)| a)
-                .fold(0.0f64, f64::max);
+            let (knee, max_stable) = stability::stability_json(&stability::serving_points(&group));
             curve_objs.insert(
                 format!("{policy}/n{nodes}"),
                 json!({
                     "offered_qps": qps,
                     "achieved_qps": achieved,
                     "p99_ns": p99,
-                    "knee_qps": knee.map(|i| qps[i]),
+                    "knee_qps": knee,
                     "max_stable_qps": max_stable,
                     "mean_fanout": group.iter().map(|r| get_f64(r, "mean_fanout")).collect::<Vec<f64>>(),
                 }),

@@ -36,6 +36,7 @@ use serde_json::{json, Value};
 use simkit::{FaultSchedule, FaultSpec, SimTime};
 use tracegen::{ArrivalProcess, QueryStreamSpec};
 
+use super::stability;
 use crate::scenario::{workload_seed, GridScenario, ParamSpec, Point, PointParts, ResultRow};
 use crate::{scale_buffers, STD_BATCHES, STD_BATCH_SIZE};
 
@@ -170,7 +171,7 @@ fn run_node_part(p: &Point, part: usize) -> Value {
         &s.placement,
         &s.cfg.faults,
         &mut stream,
-        |shard, at, sub| {
+        |shard, _tenant, at, sub| {
             if shard == part {
                 node.open_loop_push(at, sub);
             }
@@ -214,7 +215,7 @@ fn merge_node_parts(p: &Point, parts: Vec<Value>) -> Value {
         .collect();
     let mut stream = s.spec.stream();
     let replay = stream.clone();
-    let routed = route_stream(&s.placement, &s.cfg.faults, &mut stream, |_, _, _| {});
+    let routed = route_stream(&s.placement, &s.cfg.faults, &mut stream, |_, _, _, _| {});
     // Nodes shed by local qid; the merge keys on global qids.
     let sheds: Vec<Vec<u64>> = parts
         .iter()
@@ -325,16 +326,28 @@ fn curves(rows: &[ResultRow]) -> Vec<(CurveKey, Vec<&ResultRow>)> {
 /// the fault ate costs at [`tco::SystemBom::pifs_rec`] node pricing.
 fn stable_frontier(rows: &[ResultRow]) -> Value {
     let node_tco = tco::SystemBom::pifs_rec(410, 1638).tco().total_usd();
-    let stable_qps = |fault: &str| -> f64 {
-        rows.iter()
-            .filter(|r| {
-                param(r, "fault") == fault
-                    && !is_saturated(r)
-                    && get_f64(r, "p99_ns") <= P99_SLA_NS
-                    && get_f64(r, "availability") >= AVAILABILITY_BAR
+    // The fault frontier folds the *offered* rate, and its stability
+    // predicate layers the SLA and availability bars on top of plain
+    // saturation — expressed as stability points so the max-stable
+    // reduction (and its honest null when no cell is stable) is the
+    // shared one.
+    let stable_qps = |fault: &str| -> Option<f64> {
+        let points: Vec<stability::StabilityPoint> = rows
+            .iter()
+            .filter(|r| param(r, "fault") == fault)
+            .map(|r| {
+                let offered = get_f64(r, "offered_qps");
+                stability::StabilityPoint {
+                    stable_qps: offered,
+                    offered_qps: offered,
+                    p99_ns: get_f64(r, "p99_ns"),
+                    saturated: is_saturated(r)
+                        || get_f64(r, "p99_ns") > P99_SLA_NS
+                        || get_f64(r, "availability") < AVAILABILITY_BAR,
+                }
             })
-            .map(|r| get_f64(r, "offered_qps"))
-            .fold(0.0f64, f64::max)
+            .collect();
+        stability::max_stable_qps(&points)
     };
     let baseline = stable_qps("none");
     let mut per_fault: Vec<Value> = Vec::new();
@@ -342,12 +355,13 @@ fn stable_frontier(rows: &[ResultRow]) -> Value {
         let stable = stable_qps(fault);
         // Fleet factor to restore the fault-free frontier: extra
         // nodes bought pro rata to the stable-QPS shortfall. Null when
-        // no cell of the fault row is stable at all.
-        let (overprovision, extra_tco) = if stable > 0.0 {
-            let f = baseline / stable;
-            (json!(f), json!(node_tco * NODES as f64 * (f - 1.0)))
-        } else {
-            (Value::Null, Value::Null)
+        // no cell of the fault row (or of the baseline) is stable.
+        let (overprovision, extra_tco) = match (baseline, stable) {
+            (Some(base), Some(stable)) if stable > 0.0 => {
+                let f = base / stable;
+                (json!(f), json!(node_tco * NODES as f64 * (f - 1.0)))
+            }
+            _ => (Value::Null, Value::Null),
         };
         per_fault.push(json!({
             "fault": fault,

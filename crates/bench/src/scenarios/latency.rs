@@ -25,6 +25,7 @@ use pifs_core::system::SlsSystem;
 use serde_json::{json, Value};
 use tracegen::ArrivalProcess;
 
+use super::stability;
 use crate::scenario::{workload_seed, GridScenario, ParamSpec, ResultRow};
 use crate::{scale_buffers, STD_BATCHES, STD_BATCH_SIZE};
 
@@ -163,29 +164,21 @@ fn get_f64(row: &ResultRow, key: &str) -> f64 {
 /// with knee detection: the knee is the first offered rate whose row is
 /// flagged `saturated` (arrival span under [`SATURATION_FRAC`] of the
 /// makespan — see that constant) or whose p99 exceeds twice the
-/// lowest-load p99, whichever the sweep hits first.
+/// lowest-load p99, whichever the sweep hits first. Degenerate groups
+/// (single-point or fully saturated sweeps) report honest `null`s —
+/// see [`stability`].
 fn curve_json(group: &[&ResultRow]) -> Value {
     let qps: Vec<f64> = group.iter().map(|r| get_f64(r, "offered_qps")).collect();
     let achieved: Vec<f64> = group.iter().map(|r| get_f64(r, "achieved_qps")).collect();
     let p50: Vec<f64> = group.iter().map(|r| get_f64(r, "p50_ns")).collect();
     let p99: Vec<f64> = group.iter().map(|r| get_f64(r, "p99_ns")).collect();
-    let base_p99 = p99.first().copied().unwrap_or(0.0);
-    let knee = group.iter().position(|r| {
-        r.data.get("saturated").and_then(Value::as_bool) == Some(true)
-            || get_f64(r, "p99_ns") > 2.0 * base_p99
-    });
-    let max_stable = group
-        .iter()
-        .zip(&achieved)
-        .filter(|(r, _)| r.data.get("saturated").and_then(Value::as_bool) == Some(false))
-        .map(|(_, &a)| a)
-        .fold(0.0f64, f64::max);
+    let (knee, max_stable) = stability::stability_json(&stability::serving_points(group));
     json!({
         "offered_qps": qps,
         "achieved_qps": achieved,
         "p50_ns": p50,
         "p99_ns": p99,
-        "knee_qps": knee.map(|i| qps[i]),
+        "knee_qps": knee,
         "max_stable_qps": max_stable,
     })
 }

@@ -13,6 +13,7 @@
 
 use crate::scenario::{GridScenario, Scenario};
 
+pub mod adaptive;
 pub mod analytic;
 pub mod characterization;
 pub mod cluster;
@@ -23,6 +24,7 @@ pub mod latency;
 pub mod pm;
 pub mod scaling;
 pub mod schemes;
+pub mod stability;
 
 /// Every scenario, in the paper's presentation order; the sweep-only
 /// entries (the open-loop `latency` family and `custom`) come last.
@@ -30,7 +32,7 @@ pub fn all() -> Vec<&'static dyn Scenario> {
     ALL.iter().map(|s| *s as &dyn Scenario).collect()
 }
 
-static ALL: [&GridScenario; 25] = [
+static ALL: [&GridScenario; 26] = [
     &analytic::TABLE1,
     &analytic::TABLE2,
     &characterization::FIG5,
@@ -53,6 +55,7 @@ static ALL: [&GridScenario; 25] = [
     &latency::LATENCY_QPS,
     &latency::LATENCY_WAIT,
     &diurnal::LATENCY_DIURNAL,
+    &adaptive::LATENCY_ADAPTIVE,
     &cluster::CLUSTER_QPS,
     &faults::CLUSTER_FAULTS,
     &custom::CUSTOM,

@@ -1,0 +1,172 @@
+//! Golden-snapshot and determinism regression for the
+//! `latency_adaptive` controller sweep.
+//!
+//! `tests/golden/latency_adaptive.jsonl` was captured when the serving
+//! controllers landed. The sweep's JSONL output must stay byte-identical
+//! to it for any runner thread count — the controllers read only
+//! sim-time-visible state, so an adaptive run is as reproducible as a
+//! fixed-knob one. If a change to the *model* legitimately alters the
+//! numbers, recapture with `repro -- latency_adaptive` and say so in
+//! the commit.
+
+use pifs_bench::runner::SweepRunner;
+use pifs_bench::scenario::{find, point_seed, Point, Scenario};
+use serde_json::Value;
+
+fn golden_lines() -> Vec<String> {
+    let raw = include_str!("golden/latency_adaptive.jsonl");
+    raw.lines().map(str::to_string).collect()
+}
+
+/// Rebuilds the grid points at `indices` exactly as the full grid
+/// assigns them, so their rows are byte-comparable against the matching
+/// golden lines.
+fn adaptive_points(scenario: &dyn Scenario, indices: &[usize]) -> Vec<Point> {
+    let all = scenario.points();
+    indices
+        .iter()
+        .map(|&i| {
+            let p = &all[i];
+            assert_eq!(p.index, i, "registry grid must be in row-major order");
+            assert_eq!(p.seed, point_seed(pifs_bench::SEED, i));
+            Point::new(p.index, p.seed, p.params().to_vec())
+        })
+        .collect()
+}
+
+/// Debug-friendly 4-point subset straddling the interesting corners:
+/// the fixed and fully-adaptive controllers, each at one light-load
+/// bursty point and at the 16 M QPS knee of the two-tenant mix —
+/// byte-compared against the golden lines (the CI smoke gate).
+///
+/// Grid order: controller (4) × traffic (3) × qps (5), qps innermost,
+/// so index = controller·15 + traffic·5 + qps.
+#[test]
+fn latency_adaptive_subset_rows_match_golden_snapshot() {
+    let scenario = find("latency_adaptive").expect("latency_adaptive registered");
+    let golden = golden_lines();
+    assert_eq!(golden.len(), scenario.points().len());
+    let indices = [0usize, 14, 45, 59];
+    let points = adaptive_points(scenario, &indices);
+    assert_eq!(points[0].str("controller"), "fixed");
+    assert_eq!(points[0].str("traffic"), "bursty");
+    assert_eq!(points[1].str("controller"), "fixed");
+    assert_eq!(points[1].str("traffic"), "mix");
+    assert_eq!(points[2].str("controller"), "adaptive");
+    assert_eq!(points[3].str("controller"), "adaptive");
+    assert_eq!(points[3].str("traffic"), "mix");
+    let rows = SweepRunner::new(2).run_points(scenario, points);
+    for (row, &i) in rows.iter().zip(&indices) {
+        assert_eq!(
+            row.to_jsonl(),
+            golden[i],
+            "latency_adaptive row {i} drifted from the golden snapshot"
+        );
+    }
+}
+
+/// The adaptive sweep is byte-identical across runner thread counts —
+/// rows and summary both. This is the controller determinism bar: a
+/// policy that peeked at wall-clock time, thread ids, or cross-point
+/// state would diverge here.
+#[test]
+fn latency_adaptive_is_thread_count_independent() {
+    let scenario = find("latency_adaptive").expect("latency_adaptive registered");
+    // Subset grid in debug builds to keep the test fast; the full grid
+    // runs in release (and in the release golden test below).
+    let points = |_: ()| {
+        let all = scenario.points();
+        if cfg!(debug_assertions) {
+            let idx: Vec<usize> = (0..all.len()).step_by(all.len().div_ceil(6)).collect();
+            adaptive_points(scenario, &idx)
+        } else {
+            all
+        }
+    };
+    let serial = SweepRunner::new(1).run_points(scenario, points(()));
+    let parallel = SweepRunner::new(4).run_points(scenario, points(()));
+    let jsonl = |rows: &[pifs_bench::scenario::ResultRow]| {
+        rows.iter().map(|r| r.to_jsonl()).collect::<Vec<_>>()
+    };
+    assert_eq!(jsonl(&serial), jsonl(&parallel), "adaptive rows drifted");
+    let summary = |rows| serde_json::to_string_pretty(&scenario.summarize(rows)).unwrap();
+    assert_eq!(
+        summary(&serial),
+        summary(&parallel),
+        "adaptive summary drifted"
+    );
+}
+
+/// The full 60-point grid, byte-identical end to end, plus the PR's
+/// acceptance property: on every traffic shape, the fully-adaptive
+/// controller's p99 at the fixed policy's saturation knee is strictly
+/// below the fixed policy's own p99 there — same queries, same arrival
+/// instants, so the delta is pure controller effect. Release-only.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full grid is release-only; run with --release -- --ignored"
+)]
+fn latency_adaptive_full_grid_matches_golden_snapshot() {
+    let scenario = find("latency_adaptive").expect("latency_adaptive registered");
+    let golden = golden_lines();
+    let rows = SweepRunner::new(4).run(scenario);
+    let produced: Vec<String> = rows.iter().map(|r| r.to_jsonl()).collect();
+    assert_eq!(produced, golden);
+
+    let summary = scenario.summarize(&rows);
+    let at_knee = summary
+        .get("p99_at_fixed_knee")
+        .and_then(Value::as_array)
+        .expect("p99_at_fixed_knee array");
+    assert_eq!(at_knee.len(), 3, "one headline entry per traffic shape");
+    for entry in at_knee {
+        let traffic = entry
+            .get("traffic")
+            .and_then(Value::as_str)
+            .expect("traffic");
+        assert!(
+            entry
+                .get("fixed_knee_qps")
+                .is_some_and(|v| v.as_f64().is_some()),
+            "{traffic}: fixed policy never knees — the sweep no longer reaches saturation"
+        );
+        let p99 = |controller: &str| -> f64 {
+            entry
+                .get("p99_at_fixed_knee")
+                .and_then(|m| m.get(controller))
+                .and_then(Value::as_f64)
+                .unwrap_or_else(|| panic!("{traffic}: {controller} p99 at the fixed knee"))
+        };
+        let (fixed, adaptive) = (p99("fixed"), p99("adaptive"));
+        assert!(
+            adaptive < fixed,
+            "{traffic}: adaptive p99 {adaptive} is not below fixed {fixed} at the fixed knee"
+        );
+        // The combined policy never loses to the better of its halves
+        // by more than it wins: just require it beats fixed alongside
+        // at least one single-mechanism policy, so a regression in
+        // either mechanism is visible.
+        assert!(
+            p99("load") < fixed || p99("epoch") < fixed,
+            "{traffic}: neither single-mechanism controller beats fixed at the knee"
+        );
+    }
+
+    // Every curve reports honest stability nulls: `knee_qps` and
+    // `max_stable_qps` are either numbers or null, never 0-as-absent.
+    let curves = summary
+        .get("curves")
+        .and_then(Value::as_object)
+        .expect("curves map");
+    assert_eq!(curves.len(), 12, "4 controllers x 3 traffic shapes");
+    for (label, curve) in curves.iter() {
+        for key in ["knee_qps", "max_stable_qps", "sla_stable_qps"] {
+            let v = curve.get(key).unwrap_or_else(|| panic!("{label}: {key}"));
+            assert!(
+                matches!(v, Value::Null) || v.as_f64().is_some_and(|x| x > 0.0),
+                "{label}: {key} is {v:?} — must be a positive rate or an honest null"
+            );
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Sweep-level rejection of degenerate serving knobs — the `repro`
+//! binary itself, end to end.
+//!
+//! The regression this pins: `repro sweep ... --param batch_size=0`
+//! used to launch the grid and panic inside a worker thread (a
+//! half-written `results/` directory and a backtrace instead of a
+//! usable message). Every invalid axis value or free-form knob must
+//! now die *before any simulation starts*: exit code 2, the parser's
+//! own reason on stderr, and no panic anywhere.
+
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        // Keep any accidental grid launch tiny and off the real
+        // results/ directory.
+        .current_dir(env!("CARGO_TARGET_TMPDIR"))
+        .output()
+        .expect("spawn repro")
+}
+
+/// Asserts a sweep invocation dies cleanly: exit 2 (the CLI error
+/// code), a stderr mentioning every given needle, and no panic.
+fn assert_dies(args: &[&str], needles: &[&str]) {
+    let out = repro(args);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{args:?}: expected the clean CLI exit, got {:?}\nstderr: {stderr}",
+        out.status
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "{args:?}: worker panic leaked to the user\nstderr: {stderr}"
+    );
+    for needle in needles {
+        assert!(
+            stderr.contains(needle),
+            "{args:?}: stderr lacks {needle:?}\nstderr: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn zero_batch_size_is_a_sweep_level_error_not_a_worker_panic() {
+    // Declared axis on `latency_wait`...
+    assert_dies(
+        &["sweep", "latency_wait", "--param", "batch_size=0"],
+        &["batch_size", "must be positive"],
+    );
+    // ...and the free-form knob route through `custom`.
+    assert_dies(
+        &["sweep", "custom", "--param", "serving.batch_size=0"],
+        &["serving.batch_size", "must be positive"],
+    );
+}
+
+#[test]
+fn degenerate_serving_knobs_die_with_the_parsers_reason() {
+    assert_dies(
+        &["sweep", "latency_wait", "--param", "max_wait_us=-1"],
+        &["max_wait_us"],
+    );
+    assert_dies(
+        &["sweep", "latency_adaptive", "--param", "controller=pid"],
+        &["controller", "unknown serving controller"],
+    );
+    assert_dies(
+        &["sweep", "latency_adaptive", "--param", "traffic=sawtooth"],
+        &["traffic", "unknown arrival process"],
+    );
+    // Free-form knobs that don't exist at all.
+    assert_dies(
+        &["sweep", "custom", "--param", "serving.warp_factor=9"],
+        &["unknown SystemConfig knob"],
+    );
+    // Non-free-form scenarios must not silently absorb unknown keys.
+    assert_dies(
+        &["sweep", "latency_qps", "--param", "serving.batch_size=0"],
+        &["no parameter", "custom"],
+    );
+}
+
+#[test]
+fn the_cli_still_answers_when_asked_politely() {
+    let out = repro(&["list"]);
+    assert_eq!(out.status.code(), Some(0), "repro list must succeed");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("latency_adaptive"),
+        "registry listing lost the adaptive scenario"
+    );
+}

@@ -80,7 +80,7 @@ use simkit::{LatencyHist, SimDuration, SimTime};
 use tracegen::{Batch, QueryStream, TableLookups, Trace};
 
 use super::config::SystemConfig;
-use super::serving::{OpenLoopOpts, ServingMetrics};
+use super::serving::{OpenLoopOpts, ServingMetrics, TenantServing};
 use crate::system::SlsSystem;
 
 /// How embedding rows map to shards.
@@ -275,7 +275,7 @@ impl ShardPlacement {
     ///
     /// Panics if `stream` is not at position 0 (hotness must rank the
     /// whole workload) or the dimensions are degenerate.
-    pub fn build_streamed(cfg: &ClusterConfig, stream: &QueryStream) -> ShardPlacement {
+    pub fn build_streamed<S: TaggedQuerySource>(cfg: &ClusterConfig, stream: &S) -> ShardPlacement {
         let n_tables = stream.n_tables();
         if cfg.hot_rows_per_table == 0 {
             return ShardPlacement::from_dims(cfg.n_shards, n_tables, cfg.policy);
@@ -287,7 +287,7 @@ impl ShardPlacement {
         );
         let mut walk = stream.clone();
         let mut trackers = vec![HotnessTracker::new(); n_tables as usize];
-        while walk.next_query().is_some() {
+        while walk.next_tagged().is_some() {
             for t in 0..n_tables {
                 for &row in walk.bag(t) {
                     trackers[t as usize].record(PageId(row));
@@ -635,6 +635,15 @@ pub struct ClusterMetrics {
     pub query_checksums: Vec<f64>,
     /// Each node's own serving metrics, shard-index order.
     pub per_node: Vec<ServingMetrics>,
+    /// Per-tenant splits of the *merged* results, tenant-index order:
+    /// a tenant's `queries`/`latency` cover its answered queries
+    /// (enqueue → merged response), its `shed` counts queries with no
+    /// answer at all (shed everywhere or lost). Empty when the workload
+    /// was untagged ([`RoutedStream::tenants`] empty — e.g. the
+    /// materialized path); the `wait` split stays empty (queueing is a
+    /// node-local quantity, see
+    /// [`ServingMetrics::per_tenant`](super::serving::ServingMetrics::per_tenant)).
+    pub per_tenant: Vec<TenantServing>,
     /// Queries answered with every offered lookup (full coverage).
     pub fully_served: u64,
     /// Queries answered with at least one lookup missing (routing
@@ -775,6 +784,22 @@ impl SlsCluster {
     /// Panics if `stream` is not at position 0, or as
     /// [`SlsSystem::open_loop_begin`] would for a degenerate stream.
     pub fn run_open_loop_streamed(&mut self, stream: &mut QueryStream) -> ClusterMetrics {
+        self.run_streamed_inner(stream)
+    }
+
+    /// Serves a multi-tenant [`tracegen::TenantMixStream`] across the
+    /// cluster: the streamed path with every query carrying its tenant
+    /// tag, so both the per-node [`ServingMetrics::per_tenant`] splits
+    /// and the merged [`ClusterMetrics::per_tenant`] split are filled.
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::run_open_loop_streamed`].
+    pub fn run_open_loop_mix(&mut self, mix: &mut tracegen::TenantMixStream) -> ClusterMetrics {
+        self.run_streamed_inner(mix)
+    }
+
+    fn run_streamed_inner<S: TaggedQuerySource>(&mut self, stream: &mut S) -> ClusterMetrics {
         assert_eq!(
             stream.position(),
             0,
@@ -788,9 +813,14 @@ impl SlsCluster {
             node.open_loop_begin(n_tables, OpenLoopOpts::default());
         }
         let nodes = &mut self.nodes;
-        let routed = route_stream(&placement, &self.cfg.faults, stream, |s, at, sub| {
-            nodes[s].open_loop_push(at, sub);
-        });
+        let routed = route_stream(
+            &placement,
+            &self.cfg.faults,
+            stream,
+            |s, tenant, at, sub| {
+                nodes[s].open_loop_push_tagged(at, tenant, sub);
+            },
+        );
         let per_node: Vec<ServingMetrics> = self
             .nodes
             .iter_mut()
@@ -1146,11 +1176,24 @@ fn merge_timing(
         }
         let total = routed.total_lookups[qid];
         m.total_lookups += total;
+        // Per-tenant split of the merged outcome, for tagged workloads.
+        let tenant_slot = routed.tenants.get(qid).map(|&t| {
+            let idx = t as usize;
+            if m.per_tenant.len() <= idx {
+                m.per_tenant.resize_with(idx + 1, TenantServing::default);
+            }
+            idx
+        });
         match done {
             None if participations == 0 => m.lost += 1,
             None => m.shed += 1,
             Some(done) => {
-                m.latency.record(done.saturating_since(arrival));
+                let latency = done.saturating_since(arrival);
+                m.latency.record(latency);
+                if let Some(idx) = tenant_slot {
+                    m.per_tenant[idx].queries += 1;
+                    m.per_tenant[idx].latency.record(latency);
+                }
                 let served = total - lost_rows;
                 m.served_lookups += served;
                 if lost_rows == 0 {
@@ -1161,6 +1204,11 @@ fn merge_timing(
                 if total > 0 {
                     coverage_sum += served as f64 / total as f64;
                 }
+            }
+        }
+        if done.is_none() {
+            if let Some(idx) = tenant_slot {
+                m.per_tenant[idx].shed += 1;
             }
         }
     }
@@ -1209,6 +1257,56 @@ pub struct RoutedStream {
     pub lost_lookups: Vec<u64>,
     /// Lookups that failed over from a dead owner to a replica shard.
     pub failovers: u64,
+    /// Each query's tenant tag, qid order. Empty (the default, and what
+    /// the materialized [`shard_workloads`] path produces) means the
+    /// workload is untagged and the merge skips the per-tenant split.
+    pub tenants: Vec<u16>,
+}
+
+/// A routable tagged query source: what the cluster router and the
+/// functional-checksum replay need from a lazy stream. Single-tenant
+/// [`QueryStream`]s tag every query tenant 0; a
+/// [`tracegen::TenantMixStream`] carries its own tags.
+pub trait TaggedQuerySource: Clone {
+    /// Advances to the next query, returning `(qid, tenant, arrival)`.
+    fn next_tagged(&mut self) -> Option<(u64, u16, SimTime)>;
+    /// The current query's bag for `table` (valid until the next
+    /// [`Self::next_tagged`]).
+    fn bag(&self, table: u32) -> &[u64];
+    /// Tables per query.
+    fn n_tables(&self) -> u32;
+    /// Queries emitted so far.
+    fn position(&self) -> u64;
+}
+
+impl TaggedQuerySource for QueryStream {
+    fn next_tagged(&mut self) -> Option<(u64, u16, SimTime)> {
+        self.next_query().map(|(qid, at)| (qid, 0, at))
+    }
+    fn bag(&self, table: u32) -> &[u64] {
+        QueryStream::bag(self, table)
+    }
+    fn n_tables(&self) -> u32 {
+        QueryStream::n_tables(self)
+    }
+    fn position(&self) -> u64 {
+        QueryStream::position(self)
+    }
+}
+
+impl TaggedQuerySource for tracegen::TenantMixStream {
+    fn next_tagged(&mut self) -> Option<(u64, u16, SimTime)> {
+        self.next_query()
+    }
+    fn bag(&self, table: u32) -> &[u64] {
+        tracegen::TenantMixStream::bag(self, table)
+    }
+    fn n_tables(&self) -> u32 {
+        tracegen::TenantMixStream::n_tables(self)
+    }
+    fn position(&self) -> u64 {
+        tracegen::TenantMixStream::position(self)
+    }
 }
 
 /// Consumes `stream`, routing each query's bags across the placement's
@@ -1220,14 +1318,15 @@ pub struct RoutedStream {
 /// consults `faults` at each arrival ([`ShardPlacement::route_bag_at`]
 /// — pass the empty schedule for the historical behaviour). Returns
 /// the [`RoutedStream`] record the merge keys on.
-pub fn route_stream<F>(
+pub fn route_stream<S, F>(
     placement: &ShardPlacement,
     faults: &FaultSchedule,
-    stream: &mut QueryStream,
+    stream: &mut S,
     mut sink: F,
 ) -> RoutedStream
 where
-    F: FnMut(usize, SimTime, &[Vec<u64>]),
+    S: TaggedQuerySource,
+    F: FnMut(usize, u16, SimTime, &[Vec<u64>]),
 {
     let k = placement.n_shards as usize;
     let n_tables = stream.n_tables();
@@ -1241,8 +1340,9 @@ where
     let mut sub: Vec<Vec<Vec<u64>>> = vec![vec![Vec::new(); n_tables as usize]; k];
     let mut route: Vec<u16> = Vec::new();
     let mut all_repl: Vec<bool> = vec![true; k];
-    while let Some((qid, at)) = stream.next_query() {
+    while let Some((qid, tenant, at)) = stream.next_tagged() {
         routed.arrivals.push(at);
+        routed.tenants.push(tenant);
         for shard in sub.iter_mut() {
             for bag in shard.iter_mut() {
                 bag.clear();
@@ -1269,7 +1369,7 @@ where
         for (s, shard) in sub.iter().enumerate() {
             let tables_touched = shard.iter().filter(|bag| !bag.is_empty()).count() as u64;
             if tables_touched > 0 {
-                sink(s, at, shard);
+                sink(s, tenant, at, shard);
                 routed.qids[s].push(qid);
                 routed.touched[s].push(tables_touched);
                 routed.lookups[s].push(shard.iter().map(|bag| bag.len() as u64).sum());
@@ -1293,10 +1393,10 @@ where
 /// Panics if the routed/completion/shed/makespan shapes disagree, or
 /// if `stream` is not at position 0.
 #[allow(clippy::too_many_arguments)]
-pub fn merge_streamed(
+pub fn merge_streamed<S: TaggedQuerySource>(
     cfg: &ClusterConfig,
     placement: &ShardPlacement,
-    stream: &QueryStream,
+    stream: &S,
     routed: &RoutedStream,
     completions: &[&[SimTime]],
     sheds: &[&[u64]],
@@ -1332,7 +1432,7 @@ pub fn merge_streamed(
     let mut skip: Vec<u16> = Vec::new();
     m.query_checksums = (0..routed.arrivals.len())
         .map(|qid| {
-            let (_, at) = replay.next_query().expect("stream shorter than the run");
+            let (_, _, at) = replay.next_tagged().expect("stream shorter than the run");
             skip.clear();
             while cursor < excluded.len() && excluded[cursor].0 < qid as u64 {
                 cursor += 1;

@@ -233,8 +233,10 @@ impl SystemConfig {
     /// config where that subsystem is disabled enables it with defaults
     /// first. The open-loop batcher exposes `serving.batch_size` and
     /// `serving.max_wait_us` (microseconds; fractional values allowed),
-    /// and the admission controller `serving.shed_policy`
-    /// (`none | queue:<depth> | deadline`) and `serving.sla_us`.
+    /// the admission controller `serving.shed_policy`
+    /// (`none | queue:<depth> | deadline`) and `serving.sla_us`, and the
+    /// adaptive-knob controller `serving.controller`
+    /// (`fixed | load | epoch | adaptive`).
     ///
     /// # Errors
     ///
@@ -358,6 +360,10 @@ impl SystemConfig {
                 }
                 self.serving.sla_ns = (us * 1_000.0).round() as u64;
             }
+            "serving.controller" => {
+                self.serving.controller = super::controller::ControllerPolicy::parse(value)
+                    .map_err(|e| format!("knob serving.controller: {e}"))?;
+            }
             _ => return Err(format!("unknown SystemConfig knob {key:?}")),
         }
         Ok(())
@@ -402,6 +408,7 @@ mod tests {
             ("serving.max_wait_us", "12.5"),
             ("serving.shed_policy", "queue:48"),
             ("serving.sla_us", "30"),
+            ("serving.controller", "adaptive"),
         ] {
             c.apply_knob(k, v).unwrap();
         }
@@ -424,6 +431,10 @@ mod tests {
             super::super::serving::ShedPolicy::QueueDepth { max_pending: 48 }
         );
         assert_eq!(c.serving.sla_ns, 30_000);
+        assert_eq!(
+            c.serving.controller,
+            super::super::controller::ControllerPolicy::Adaptive
+        );
     }
 
     #[test]
@@ -438,6 +449,11 @@ mod tests {
         let err = c.apply_knob("serving.shed_policy", "queue:0").unwrap_err();
         assert!(
             err.contains("serving.shed_policy") && err.contains(">= 1"),
+            "{err}"
+        );
+        let err = c.apply_knob("serving.controller", "pid").unwrap_err();
+        assert!(
+            err.contains("serving.controller") && err.contains("unknown serving controller"),
             "{err}"
         );
         assert_eq!(c, before);

@@ -16,6 +16,10 @@
 //! * [`serving`] — the open-loop serving layer: timestamped query
 //!   queue, the fill/max-wait [`QueryBatcher`](serving::QueryBatcher),
 //!   and streaming tail-latency accounting;
+//! * [`controller`] — deterministic adaptive serving controllers: the
+//!   pluggable [`ControllerPolicy`](controller::ControllerPolicy) that
+//!   retunes the batching knobs and the page-management epoch cadence
+//!   from sim-time-visible load and hotness-churn signals;
 //! * [`metrics`] — [`RunMetrics`](metrics::RunMetrics) and the warmup
 //!   counter-offset bookkeeping;
 //! * [`cluster`] — cluster-scale sharded serving: N nodes behind a
@@ -34,6 +38,7 @@
 pub mod checkpoint;
 pub mod cluster;
 pub mod config;
+pub mod controller;
 pub mod metrics;
 pub mod pagemgmt_epoch;
 pub mod pipeline;

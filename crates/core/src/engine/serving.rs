@@ -28,6 +28,7 @@ use std::collections::VecDeque;
 
 use simkit::{LatencyHist, SimDuration, SimTime};
 
+use super::controller::{ControllerPolicy, ServingController};
 use super::metrics::{CounterOffsets, RunMetrics};
 
 /// Open-loop batcher knobs (see [`SystemConfig::serving`]).
@@ -47,6 +48,10 @@ pub struct ServingConfig {
     /// The per-query latency SLA the deadline shedder admits against,
     /// ns (`serving.sla_us` knob). Unused by the other policies.
     pub sla_ns: u64,
+    /// Runtime knob-adaptation policy (`serving.controller` knob). The
+    /// default [`ControllerPolicy::Fixed`] never moves a knob and is
+    /// byte-identical to a build without the controller.
+    pub controller: ControllerPolicy,
 }
 
 impl Default for ServingConfig {
@@ -56,6 +61,7 @@ impl Default for ServingConfig {
             max_wait_ns: 50_000, // 50 µs: a few batch service times
             shed: ShedPolicy::None,
             sla_ns: 25_000, // the bench family's 25 µs p99 SLA
+            controller: ControllerPolicy::Fixed,
         }
     }
 }
@@ -237,6 +243,17 @@ impl QueryBatcher {
             close: deadline,
         })
     }
+
+    /// Retunes the close conditions mid-stream (the serving
+    /// controller's lever). Applies from the next close decision; the
+    /// already-pending queries keep their arrival timestamps, so a
+    /// shrunk `max_wait` may make the oldest pending query immediately
+    /// due — the driver's next `flush_due` fires it.
+    pub(crate) fn set_knobs(&mut self, batch_size: u32, max_wait_ns: u64) {
+        assert!(batch_size > 0, "serving batch size must be positive");
+        self.batch_size = batch_size as usize;
+        self.max_wait = SimDuration::from_ns(max_wait_ns);
+    }
 }
 
 /// What one open-loop serving run measured.
@@ -277,8 +294,32 @@ pub struct ServingMetrics {
     /// the slot exists (downstream merges index by qid) but spans zero
     /// service.
     pub shed_qids: Vec<u64>,
+    /// Per-tenant splits, tenant-index order. Untagged pushes
+    /// ([`SlsSystem::open_loop_push`]) land on tenant 0, so a
+    /// single-tenant run has one entry mirroring the whole-run
+    /// aggregates.
+    ///
+    /// [`SlsSystem::open_loop_push`]: crate::system::SlsSystem::open_loop_push
+    pub per_tenant: Vec<TenantServing>,
+    /// Page-management epochs the run's controller admitted (0 when the
+    /// scheme has no page management).
+    pub pm_epochs: u64,
     /// The underlying pipeline metrics for the whole run.
     pub run: RunMetrics,
+}
+
+/// One tenant's slice of a serving run (see
+/// [`ServingMetrics::per_tenant`]).
+#[derive(Debug, Clone, Default)]
+pub struct TenantServing {
+    /// Queries this tenant had served.
+    pub queries: u64,
+    /// This tenant's arrivals the admission controller shed.
+    pub shed: u64,
+    /// This tenant's enqueue→completion latencies.
+    pub latency: LatencyHist,
+    /// This tenant's enqueue→dispatch waits.
+    pub wait: LatencyHist,
 }
 
 impl ServingMetrics {
@@ -301,6 +342,16 @@ impl ServingMetrics {
             self.queries as f64 / offered as f64
         }
     }
+
+    /// The per-tenant slot for `tenant`, growing the split vector with
+    /// empty slots as needed (tenant indices are dense and small).
+    pub(crate) fn tenant_mut(&mut self, tenant: u16) -> &mut TenantServing {
+        let idx = tenant as usize;
+        if self.per_tenant.len() <= idx {
+            self.per_tenant.resize_with(idx + 1, TenantServing::default);
+        }
+        &mut self.per_tenant[idx]
+    }
 }
 
 /// A query's per-table row bags, however they are stored.
@@ -321,6 +372,12 @@ pub trait QueryBags {
 impl QueryBags for tracegen::QueryStream {
     fn bag(&self, table: u32) -> &[u64] {
         tracegen::QueryStream::bag(self, table)
+    }
+}
+
+impl QueryBags for tracegen::TenantMixStream {
+    fn bag(&self, table: u32) -> &[u64] {
+        tracegen::TenantMixStream::bag(self, table)
     }
 }
 
@@ -524,6 +581,12 @@ pub(crate) struct OpenLoopSession {
     /// is spliced in as the surrounding batches retire. Only populated
     /// when completions are recorded and the shed policy is active.
     pub shed_completions: VecDeque<(u64, SimTime)>,
+    /// Pending queries' tenant tags, parallel to the pending-bag store
+    /// (untagged pushes record tenant 0).
+    pub tenants: Vec<u16>,
+    /// The adaptive-knob controller (a no-op under
+    /// [`ControllerPolicy::Fixed`]).
+    pub controller: ServingController,
 }
 
 #[cfg(test)]
@@ -665,5 +728,122 @@ mod tests {
         m.queries = 30;
         m.shed = 10;
         assert_eq!(m.availability(), 0.75);
+    }
+
+    #[test]
+    fn set_knobs_applies_to_the_next_close_decision() {
+        let mut b = batcher(4, 10_000);
+        assert!(b.offer(0, SimTime::from_ns(100)).is_none());
+        assert!(b.offer(1, SimTime::from_ns(200)).is_none());
+        // Shrinking the fill target below the pending count does not
+        // close retroactively — the next offer does.
+        b.set_knobs(2, 500);
+        let batch = b.offer(2, SimTime::from_ns(300)).expect("fill target 2");
+        assert_eq!(qids(&batch), [0, 1, 2]);
+        // The shrunk max-wait governs the next deadline.
+        assert!(b.offer(3, SimTime::from_ns(400)).is_none());
+        assert_eq!(b.deadline(), Some(SimTime::from_ns(900)));
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn set_knobs_rejects_zero_batch_size() {
+        batcher(4, 1_000).set_knobs(0, 1_000);
+    }
+
+    // ---- window-retirement boundary pins (ISSUE 10 satellite 2) ----
+    //
+    // The bound at `on_batch_close` is `close - max_wait` (saturating),
+    // and a window retires iff it ends *at or before* the bound:
+    // `(idx + 1) * window_ns > bound` keeps it open. These tests pin
+    // that inclusive/exclusive convention at the exact edges.
+
+    fn retired(w: &LatencyWindows) -> Vec<u64> {
+        w.done.iter().map(|s| s.window).collect()
+    }
+
+    fn open_windows(w: &LatencyWindows) -> Vec<u64> {
+        w.open.iter().map(|(idx, _)| *idx).collect()
+    }
+
+    #[test]
+    fn window_ending_exactly_at_the_bound_retires() {
+        // close 3_000, max_wait 1_000 → bound 2_000. Window 1 spans
+        // [1_000, 2_000): it ends exactly at the bound and a future
+        // arrival is >= 2_000, so it must retire. Window 2 spans
+        // [2_000, 3_000): an arrival at exactly 2_000 could still land
+        // in it, so it must stay open.
+        let mut w = LatencyWindows::new(1_000, 1_000);
+        w.record(SimTime::from_ns(1_500), SimDuration::from_ns(10));
+        w.record(SimTime::from_ns(2_000), SimDuration::from_ns(20));
+        w.on_batch_close(SimTime::from_ns(3_000));
+        assert_eq!(retired(&w), [1]);
+        assert_eq!(open_windows(&w), [2]);
+        // One ns earlier and window 1 ends past the bound: it stays.
+        let mut w = LatencyWindows::new(1_000, 1_000);
+        w.record(SimTime::from_ns(1_500), SimDuration::from_ns(10));
+        w.on_batch_close(SimTime::from_ns(2_999));
+        assert_eq!(retired(&w), [] as [u64; 0]);
+        assert_eq!(open_windows(&w), [1]);
+    }
+
+    #[test]
+    fn zero_max_wait_retires_right_up_to_the_close() {
+        // max_wait 0 → bound == close: every window ending at or
+        // before the close instant retires immediately.
+        let mut w = LatencyWindows::new(100, 0);
+        w.record(SimTime::from_ns(50), SimDuration::from_ns(1));
+        w.record(SimTime::from_ns(150), SimDuration::from_ns(1));
+        w.record(SimTime::from_ns(200), SimDuration::from_ns(1));
+        w.on_batch_close(SimTime::from_ns(200));
+        // Windows 0 ([0,100)) and 1 ([100,200)) end at/before 200;
+        // window 2 ([200,300)) holds the close-instant arrival itself.
+        assert_eq!(retired(&w), [0, 1]);
+        assert_eq!(open_windows(&w), [2]);
+    }
+
+    #[test]
+    fn window_wider_than_the_close_stays_open_until_finish() {
+        // window_ns > close: window 0 ends at 10_000, far past any
+        // bound a close at 500 can justify — it must survive every
+        // close and only drain at finish.
+        let mut w = LatencyWindows::new(10_000, 100);
+        w.record(SimTime::from_ns(10), SimDuration::from_ns(7));
+        w.on_batch_close(SimTime::from_ns(500));
+        assert_eq!(retired(&w), [] as [u64; 0]);
+        assert_eq!(open_windows(&w), [0]);
+        let done = w.finish();
+        assert_eq!(done.len(), 1);
+        assert_eq!((done[0].window, done[0].count), (0, 1));
+    }
+
+    #[test]
+    fn close_before_max_wait_clamps_the_bound_to_zero() {
+        // close < max_wait: the saturating_sub clamps bound to 0 and
+        // nothing can retire — no window ends at or before 0.
+        let mut w = LatencyWindows::new(100, 5_000);
+        w.record(SimTime::from_ns(10), SimDuration::from_ns(3));
+        w.on_batch_close(SimTime::from_ns(400));
+        assert_eq!(retired(&w), [] as [u64; 0]);
+        assert_eq!(open_windows(&w), [0]);
+    }
+
+    #[test]
+    fn retirement_matches_finish_summaries_exactly() {
+        // A window summarized at retirement must equal the summary the
+        // same records would produce at finish (no double-finalize, no
+        // lost records across the bound).
+        let feed = |w: &mut LatencyWindows| {
+            for i in 0..10u64 {
+                w.record(SimTime::from_ns(i * 300), SimDuration::from_ns(10 + i));
+            }
+        };
+        let mut streamed = LatencyWindows::new(1_000, 500);
+        feed(&mut streamed);
+        streamed.on_batch_close(SimTime::from_ns(2_700));
+        assert_eq!(retired(&streamed), [0, 1]);
+        let mut whole = LatencyWindows::new(1_000, 500);
+        feed(&mut whole);
+        assert_eq!(streamed.finish(), whole.finish());
     }
 }

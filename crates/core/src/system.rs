@@ -31,9 +31,11 @@ use crate::engine::serving::{LatencyWindows, OpenLoopSession, QueryBatcher, Read
 use crate::engine::topology::Plant;
 
 pub use crate::engine::config::{BufferConfig, ComputeSite, PmConfig, PmStyle, SystemConfig};
+pub use crate::engine::controller::{ControllerPolicy, ServingController};
 pub use crate::engine::metrics::RunMetrics;
 pub use crate::engine::serving::{
-    OpenLoopOpts, PendingQuery, QueryBags, ServingConfig, ServingMetrics, ShedPolicy, WindowSummary,
+    OpenLoopOpts, PendingQuery, QueryBags, ServingConfig, ServingMetrics, ShedPolicy,
+    TenantServing, WindowSummary,
 };
 
 /// One materialized trace query viewed through [`QueryBags`]: query
@@ -384,6 +386,7 @@ impl SlsSystem {
             .unwrap_or(SimTime::ZERO);
         self.session = Some(OpenLoopSession {
             batcher: QueryBatcher::new(&self.cfg.serving),
+            controller: crate::engine::controller::ServingController::new(&self.cfg.serving),
             serving: ServingMetrics::default(),
             bag_latency_sum: 0,
             dev_offset,
@@ -401,6 +404,7 @@ impl SlsSystem {
             next_qid: 0,
             last_arrival: SimTime::ZERO,
             shed_completions: std::collections::VecDeque::new(),
+            tenants: Vec::new(),
         });
     }
 
@@ -417,6 +421,24 @@ impl SlsSystem {
     /// Panics if no session is active; debug-asserts that arrivals are
     /// non-decreasing.
     pub fn open_loop_push(&mut self, arrival: SimTime, bags: &(impl QueryBags + ?Sized)) -> u64 {
+        self.open_loop_push_tagged(arrival, 0, bags)
+    }
+
+    /// [`Self::open_loop_push`] with an explicit tenant tag: the query's
+    /// served/shed counts and latency land in
+    /// [`ServingMetrics::per_tenant`]`[tenant]` as well as the whole-run
+    /// aggregates. Untagged pushes are tenant 0, so the two entry points
+    /// mix freely.
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::open_loop_push`].
+    pub fn open_loop_push_tagged(
+        &mut self,
+        arrival: SimTime,
+        tenant: u16,
+        bags: &(impl QueryBags + ?Sized),
+    ) -> u64 {
         let mut s = self
             .session
             .take()
@@ -442,6 +464,7 @@ impl SlsSystem {
         // spliced into qid order as neighbouring batches retire.
         if self.should_shed(&s, arrival) {
             s.serving.shed += 1;
+            s.serving.tenant_mut(tenant).shed += 1;
             s.serving.shed_qids.push(qid);
             if s.record_completion {
                 s.shed_completions
@@ -454,6 +477,7 @@ impl SlsSystem {
             s.rows.extend_from_slice(bags.bag(t));
             s.offsets.push(s.rows.len());
         }
+        s.tenants.push(tenant);
         if let Some(b) = s.batcher.offer(qid, arrival) {
             self.dispatch_batch(&mut s, &b);
         }
@@ -506,6 +530,7 @@ impl SlsSystem {
         }
         let mut serving = s.serving;
         serving.batches = s.batches_dispatched;
+        serving.pm_epochs = s.controller.epochs_run();
         serving.mean_batch_fill = if s.batches_dispatched == 0 {
             0.0
         } else {
@@ -563,6 +588,34 @@ impl SlsSystem {
         self.open_loop_begin(stream.n_tables(), opts);
         while let Some((_, at)) = stream.next_query() {
             self.open_loop_push(at, &*stream);
+        }
+        self.open_loop_finish()
+    }
+
+    /// Serves a multi-tenant [`tracegen::TenantMixStream`] end to end:
+    /// queries enter in the mix's global arrival order, each tagged with
+    /// its tenant, so [`ServingMetrics::per_tenant`] splits the run by
+    /// tenant while the aggregates cover the whole mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`Self::open_loop_begin`] does, or if any tenant's row
+    /// space exceeds the model's.
+    pub fn run_open_loop_mix(
+        &mut self,
+        mix: &mut tracegen::TenantMixStream,
+        opts: OpenLoopOpts,
+    ) -> ServingMetrics {
+        for t in mix.specs() {
+            assert!(
+                t.stream.trace.rows_per_table <= self.cfg.model.emb_num,
+                "tenant {:?} rows exceed the model's embedding count",
+                t.name
+            );
+        }
+        self.open_loop_begin(mix.n_tables(), opts);
+        while let Some((_, tenant, at)) = mix.next_query() {
+            self.open_loop_push_tagged(at, tenant, &*mix);
         }
         self.open_loop_finish()
     }
@@ -652,12 +705,16 @@ impl SlsSystem {
                 }
             }
         }
-        for (q, &done) in batch.queries.iter().zip(&sv.q_done) {
+        for (i, (q, &done)) in batch.queries.iter().zip(&sv.q_done).enumerate() {
             let latency = done.saturating_since(q.arrival + s.shift);
+            let wait = start.saturating_since(q.arrival + s.shift);
             s.serving.latency.record(latency);
-            s.serving
-                .wait
-                .record(start.saturating_since(q.arrival + s.shift));
+            s.serving.wait.record(wait);
+            s.controller.record_latency(latency);
+            let slot = s.serving.tenant_mut(s.tenants[i]);
+            slot.queries += 1;
+            slot.latency.record(latency);
+            slot.wait.record(wait);
             if s.record_completion {
                 // Shed neighbours with smaller qids retire first: the
                 // completion vector indexes by qid.
@@ -684,15 +741,27 @@ impl SlsSystem {
         if let Some(w) = &mut s.windows {
             w.on_batch_close(batch.close);
         }
-        if self.cfg.page_mgmt.is_some() {
+        // Page-management epoch at the batch boundary, gated by the
+        // controller: the fixed/load policies admit one at every
+        // boundary (the historical cadence), the epoch-adaptive
+        // policies stretch the cadence while the hot set is stable.
+        if self.cfg.page_mgmt.is_some() && s.controller.epoch_due(&self.hotness) {
             let overhead = run_pm_epoch(&mut self.epoch_ctx());
             batch_done += overhead;
             self.metrics.migration_ns += overhead.as_ns();
         }
         self.plant.hosts[host_idx].next_free = batch_done;
+        // Controller load tick: the dispatch backlog (close → service
+        // start) is the open-loop queue-depth signal, the fill says
+        // whether growing the batch could even absorb it.
+        let backlog_ns = start.saturating_since(batch.close + s.shift).as_ns();
+        if let Some((batch_size, max_wait_ns)) = s.controller.on_batch(n, backlog_ns) {
+            s.batcher.set_knobs(batch_size, max_wait_ns);
+        }
         s.rows.clear();
         s.offsets.clear();
         s.offsets.push(0);
+        s.tenants.clear();
         self.scratch.serving = sv;
     }
 

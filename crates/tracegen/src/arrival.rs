@@ -22,6 +22,10 @@
 //!   simulation time scales. Long-horizon streaming runs use it to
 //!   sweep the engine through the latency knee and back within one
 //!   trace.
+//! * [`ArrivalProcess::Flash`] — the diurnal base with a crowd spike:
+//!   a `flash:<mult>:<at_s>:<dur_s>` window inside which the rate is
+//!   multiplied by `mult`, the sudden-hot-item shape the adaptive
+//!   serving controllers are stress-tested against.
 //!
 //! Generation is deterministic: the same `(process, seed)` pair always
 //! yields the same timestamp stream (golden-value tested), seeded
@@ -73,6 +77,26 @@ pub enum ArrivalProcess {
         /// Modulation period, seconds of simulated time.
         period_s: f64,
     },
+    /// A crowd spike layered on [`ArrivalProcess::Diurnal`]: the same
+    /// segmented sinusoid, with every segment whose midpoint falls in
+    /// `[at_s, at_s + dur_s)` running at `mult` times its sinusoidal
+    /// rate. Outside the spike window the stream is the diurnal base
+    /// (though not draw-for-draw identical to a [`Self::Diurnal`] of
+    /// the same seed once the window has consumed RNG draws).
+    Flash {
+        /// Base (off-spike) time-averaged arrival rate, queries per second.
+        qps: f64,
+        /// Diurnal modulation depth in `[0, 1)`.
+        amplitude: f64,
+        /// Diurnal modulation period, seconds of simulated time.
+        period_s: f64,
+        /// Rate multiplier inside the spike window (`>= 1`).
+        mult: f64,
+        /// Spike start, seconds of simulated time.
+        at_s: f64,
+        /// Spike duration, seconds of simulated time (`> 0`).
+        dur_s: f64,
+    },
 }
 
 /// Piecewise-constant rate segments per diurnal period. 64 keeps the
@@ -85,10 +109,12 @@ impl ArrivalProcess {
     /// Parses a sweep-parameter spelling at a given rate: `fixed`,
     /// `poisson`, `bursty` (defaults: burst 0.8, dwell 200 µs),
     /// `bursty:<burst>:<dwell_us>`, `diurnal` (defaults: amplitude 0.5,
-    /// period 1 s), or `diurnal:<amplitude>:<period_s>`. The error
-    /// names the offending piece: unknown spellings, non-positive
-    /// `qps`, burst/amplitude outside `[0, 1)`, or non-positive
-    /// dwell/period.
+    /// period 1 s), `diurnal:<amplitude>:<period_s>`, or
+    /// `flash:<mult>:<at_s>:<dur_s>` (a crowd spike layered on the
+    /// default diurnal base). The error names the offending piece:
+    /// unknown spellings, non-positive `qps`, burst/amplitude outside
+    /// `[0, 1)`, non-positive dwell/period, or a degenerate spike
+    /// window.
     pub fn parse(spec: &str, qps: f64) -> Result<ArrivalProcess, String> {
         if !(qps > 0.0 && qps.is_finite()) {
             return Err(format!(
@@ -151,9 +177,35 @@ impl ArrivalProcess {
                     period_s,
                 }
             }
+            "flash" => {
+                let mult = arg("flash multiplier")?.ok_or_else(|| {
+                    "flash is missing its multiplier (flash:<mult>:<at_s>:<dur_s>)".to_string()
+                })?;
+                let at_s = arg("flash start")?
+                    .ok_or_else(|| "flash:<mult> is missing its start (s)".to_string())?;
+                let dur_s = arg("flash duration")?
+                    .ok_or_else(|| "flash:<mult>:<at_s> is missing its duration (s)".to_string())?;
+                if !(mult >= 1.0 && mult.is_finite()) {
+                    return Err(format!("flash multiplier {mult} must be >= 1 and finite"));
+                }
+                if !(at_s >= 0.0 && at_s.is_finite()) {
+                    return Err(format!("flash start {at_s} must be >= 0 and finite"));
+                }
+                if !(dur_s > 0.0 && dur_s.is_finite()) {
+                    return Err(format!("flash duration {dur_s} must be positive and finite"));
+                }
+                ArrivalProcess::Flash {
+                    qps,
+                    amplitude: 0.5,
+                    period_s: 1.0,
+                    mult,
+                    at_s,
+                    dur_s,
+                }
+            }
             other => {
                 return Err(format!(
-                    "unknown arrival process {other:?} (fixed|poisson|bursty[:burst:dwell_us]|diurnal[:amplitude:period_s])"
+                    "unknown arrival process {other:?} (fixed|poisson|bursty[:burst:dwell_us]|diurnal[:amplitude:period_s]|flash:<mult>:<at_s>:<dur_s>)"
                 ))
             }
         };
@@ -169,7 +221,8 @@ impl ArrivalProcess {
             ArrivalProcess::Fixed { qps }
             | ArrivalProcess::Poisson { qps }
             | ArrivalProcess::Bursty { qps, .. }
-            | ArrivalProcess::Diurnal { qps, .. } => qps,
+            | ArrivalProcess::Diurnal { qps, .. }
+            | ArrivalProcess::Flash { qps, .. } => qps,
         }
     }
 
@@ -244,6 +297,11 @@ impl ArrivalGen {
             amplitude,
             period_s,
             ..
+        }
+        | ArrivalProcess::Flash {
+            amplitude,
+            period_s,
+            ..
         } = process
         {
             assert!(
@@ -255,10 +313,27 @@ impl ArrivalGen {
                 "diurnal period must be positive and finite"
             );
         }
+        if let ArrivalProcess::Flash {
+            mult, at_s, dur_s, ..
+        } = process
+        {
+            assert!(
+                mult >= 1.0 && mult.is_finite(),
+                "flash multiplier must be >= 1 and finite"
+            );
+            assert!(
+                at_s >= 0.0 && at_s.is_finite(),
+                "flash start must be >= 0 and finite"
+            );
+            assert!(
+                dur_s > 0.0 && dur_s.is_finite(),
+                "flash duration must be positive and finite"
+            );
+        }
         let mut rng = DetRng::new(seed);
         let dwell_left_ns = match process {
             ArrivalProcess::Bursty { dwell_us, .. } => exp_draw(&mut rng, dwell_us * 1_000.0),
-            ArrivalProcess::Diurnal { period_s, .. } => {
+            ArrivalProcess::Diurnal { period_s, .. } | ArrivalProcess::Flash { period_s, .. } => {
                 period_s * NS_PER_S / DIURNAL_SEGMENTS as f64
             }
             _ => 0.0,
@@ -318,34 +393,60 @@ impl ArrivalGen {
                 qps,
                 amplitude,
                 period_s,
-            } => {
-                let seg_ns = period_s * NS_PER_S / DIURNAL_SEGMENTS as f64;
-                loop {
-                    // Segment rate at the segment's midpoint phase: a
-                    // pure function of the segment index, so the only
-                    // checkpoint state is (index, remaining dwell).
-                    let phase = (self.emitted % DIURNAL_SEGMENTS) as f64 + 0.5;
-                    let rate = qps
-                        * (1.0
-                            + amplitude
-                                * (std::f64::consts::TAU * phase / DIURNAL_SEGMENTS as f64).sin());
-                    let gap = exp_draw(&mut self.rng, NS_PER_S / rate);
-                    if gap <= self.dwell_left_ns {
-                        self.dwell_left_ns -= gap;
-                        self.clock_ns += gap;
-                        break;
-                    }
-                    // Overran the segment: consume the remainder and
-                    // redraw at the next segment's rate (memorylessness
-                    // makes the redraw distribution-exact).
-                    self.clock_ns += self.dwell_left_ns;
-                    self.emitted += 1;
-                    self.dwell_left_ns = seg_ns;
-                }
-                self.clock_ns.round()
-            }
+            } => self.segmented_walk(qps, amplitude, period_s, None),
+            ArrivalProcess::Flash {
+                qps,
+                amplitude,
+                period_s,
+                mult,
+                at_s,
+                dur_s,
+            } => self.segmented_walk(qps, amplitude, period_s, Some((mult, at_s, dur_s))),
         };
         SimTime::from_ns(ns as u64)
+    }
+
+    /// The shared diurnal/flash segment walk: exponential gaps within a
+    /// piecewise-constant rate segment, redrawn at the boundary (exact
+    /// by memorylessness). `flash = Some((mult, at_s, dur_s))` layers
+    /// the crowd spike on top: segments whose midpoint falls inside
+    /// `[at_s, at_s + dur_s)` run at `mult` times the sinusoidal rate.
+    fn segmented_walk(
+        &mut self,
+        qps: f64,
+        amplitude: f64,
+        period_s: f64,
+        flash: Option<(f64, f64, f64)>,
+    ) -> f64 {
+        let seg_ns = period_s * NS_PER_S / DIURNAL_SEGMENTS as f64;
+        loop {
+            // Segment rate at the segment's midpoint phase: a
+            // pure function of the segment index, so the only
+            // checkpoint state is (index, remaining dwell).
+            let phase = (self.emitted % DIURNAL_SEGMENTS) as f64 + 0.5;
+            let mut rate = qps
+                * (1.0
+                    + amplitude * (std::f64::consts::TAU * phase / DIURNAL_SEGMENTS as f64).sin());
+            if let Some((mult, at_s, dur_s)) = flash {
+                let mid_ns = (self.emitted as f64 + 0.5) * seg_ns;
+                if mid_ns >= at_s * NS_PER_S && mid_ns < (at_s + dur_s) * NS_PER_S {
+                    rate *= mult;
+                }
+            }
+            let gap = exp_draw(&mut self.rng, NS_PER_S / rate);
+            if gap <= self.dwell_left_ns {
+                self.dwell_left_ns -= gap;
+                self.clock_ns += gap;
+                break;
+            }
+            // Overran the segment: consume the remainder and
+            // redraw at the next segment's rate (memorylessness
+            // makes the redraw distribution-exact).
+            self.clock_ns += self.dwell_left_ns;
+            self.emitted += 1;
+            self.dwell_left_ns = seg_ns;
+        }
+        self.clock_ns.round()
     }
 }
 
@@ -423,6 +524,52 @@ mod tests {
     }
 
     #[test]
+    fn flash_stream_matches_golden_values() {
+        let p = ArrivalProcess::Flash {
+            qps: 100_000.0,
+            amplitude: 0.5,
+            period_s: 0.01,
+            mult: 4.0,
+            at_s: 0.0,
+            dur_s: 0.0001,
+        };
+        let t = first_n(p, 2024, 20);
+        assert_eq!(
+            t,
+            [
+                2379, 2628, 3494, 3795, 8127, 10089, 10448, 12661, 13113, 14471, 15982, 20408,
+                24942, 27585, 27968, 30817, 42523, 43534, 47566, 49008
+            ]
+        );
+    }
+
+    #[test]
+    fn flash_spike_concentrates_arrivals() {
+        // A 4× spike over [1 ms, 3 ms) of a 10 ms period must make the
+        // in-window arrival rate several times the off-window rate.
+        let p = ArrivalProcess::Flash {
+            qps: 1_000_000.0,
+            amplitude: 0.5,
+            period_s: 0.01,
+            mult: 4.0,
+            at_s: 0.001,
+            dur_s: 0.002,
+        };
+        let t = first_n(p, 17, 20_000);
+        let window = (1_000_000u64, 3_000_000u64);
+        let inside = t
+            .iter()
+            .filter(|&&ns| (window.0..window.1).contains(&ns))
+            .count() as f64;
+        let before = t.iter().filter(|&&ns| ns < window.0).count() as f64;
+        // Per-ns densities: the window is 2 ms wide, the lead-in 1 ms.
+        assert!(
+            inside / 2.0 > 2.5 * before,
+            "spike density {inside}/2 vs lead-in {before}"
+        );
+    }
+
+    #[test]
     fn diurnal_rate_tracks_the_sinusoid() {
         // With a 10 ms period, arrivals in the first half-period (rate
         // above mean) must outnumber arrivals in the second (rate below
@@ -460,6 +607,14 @@ mod tests {
                 amplitude: 0.5,
                 period_s: 0.01,
             },
+            ArrivalProcess::Flash {
+                qps: 50_000.0,
+                amplitude: 0.5,
+                period_s: 0.01,
+                mult: 3.0,
+                at_s: 0.001,
+                dur_s: 0.002,
+            },
         ] {
             assert_eq!(first_n(p, 7, 100), first_n(p, 7, 100), "{p:?}");
             if p != (ArrivalProcess::Fixed { qps: 50_000.0 }) {
@@ -482,6 +637,14 @@ mod tests {
                 qps: 250_000.0,
                 amplitude: 0.9,
                 period_s: 0.002,
+            },
+            ArrivalProcess::Flash {
+                qps: 250_000.0,
+                amplitude: 0.9,
+                period_s: 0.002,
+                mult: 8.0,
+                at_s: 0.0005,
+                dur_s: 0.001,
             },
         ] {
             let t = first_n(p, 3, 10_000);
@@ -581,7 +744,25 @@ mod tests {
                 period_s: 0.05
             })
         );
+        assert_eq!(
+            ArrivalProcess::parse("flash:4:0.001:0.002", 500.0),
+            Ok(ArrivalProcess::Flash {
+                qps: 500.0,
+                amplitude: 0.5,
+                period_s: 1.0,
+                mult: 4.0,
+                at_s: 0.001,
+                dur_s: 0.002
+            })
+        );
         let err = |spec: &str, qps: f64| ArrivalProcess::parse(spec, qps).unwrap_err();
+        assert!(err("flash", 500.0).contains("missing its multiplier"));
+        assert!(err("flash:4", 500.0).contains("missing its start"));
+        assert!(err("flash:4:0.001", 500.0).contains("missing its duration"));
+        assert!(err("flash:0.5:0:0.001", 500.0).contains(">= 1"));
+        assert!(err("flash:4:-1:0.001", 500.0).contains(">= 0"));
+        assert!(err("flash:4:0:0", 500.0).contains("positive and finite"));
+        assert!(err("flash:4:0:0.001:9", 500.0).contains("trailing"));
         assert!(err("diurnal:1.2:0.05", 500.0).contains("[0, 1)"));
         assert!(err("diurnal:0.5", 500.0).contains("missing its period"));
         assert!(err("bursty:1.5:100", 500.0).contains("[0, 1)"));

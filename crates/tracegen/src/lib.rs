@@ -34,10 +34,12 @@ pub mod analysis;
 pub mod arrival;
 pub mod dist;
 pub mod stream;
+pub mod tenant;
 pub mod trace;
 
 pub use analysis::TraceProfile;
 pub use arrival::{ArrivalGen, ArrivalProcess};
 pub use dist::Distribution;
 pub use stream::{QueryStream, QueryStreamSpec};
+pub use tenant::{QosClass, TenantMixStream, TenantSpec};
 pub use trace::{Batch, TableLookups, Trace, TraceSpec};
